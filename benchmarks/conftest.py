@@ -1,0 +1,89 @@
+"""Session-scoped campaign fixtures shared by the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+underlying measurement campaigns are expensive, so they run once per
+session here; the benchmarks then time the *analysis* stage and print
+the reproduced table/figure for comparison with the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+SEED = 2021  # the year of the paper
+
+
+@pytest.fixture(scope="session")
+def internet():
+    from repro.topology.internet import SimulatedInternet
+
+    return SimulatedInternet(seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def fleet(internet):
+    return list(internet.build_standard_vps())
+
+
+@pytest.fixture(scope="session")
+def comcast_result(internet, fleet):
+    from repro.infer.pipeline import CableInferencePipeline
+
+    return CableInferencePipeline(
+        internet.network, internet.comcast, fleet, sweep_vps=8
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def charter_result(internet, fleet):
+    from repro.infer.pipeline import CableInferencePipeline
+
+    return CableInferencePipeline(
+        internet.network, internet.charter, fleet, sweep_vps=8
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def att_campaign(internet):
+    """Internal VPs + San Diego hotspots + the bootstrap/DPR corpora."""
+    from repro.infer.att import AttInferencePipeline
+    from repro.measure.wardriving import McTracerouteCampaign
+
+    internal = list(internet.telco_internal_vps())
+    wardriving = McTracerouteCampaign(internet.network, internet.att, seed=SEED)
+    wardriving.place_hotspots(internet.att.regions["sndgca"], count=58)
+    pipeline = AttInferencePipeline(internet.network, internal)
+    lspgws = pipeline.harvest_lspgw_targets()["sndgca"]
+    bootstrap = pipeline.bootstrap(lspgws, extra_vps=wardriving.usable_vps())
+    prefixes = pipeline.discover_router_prefixes(bootstrap, lspgws, "sndgca")
+    dpr = pipeline.dpr_sweep(
+        prefixes, extra_vps=wardriving.usable_vps(), stride=2
+    )
+    prefixes = pipeline.extend_prefixes_from_dpr(dpr, prefixes, lspgws)
+    return {
+        "pipeline": pipeline,
+        "wardriving": wardriving,
+        "lspgws": lspgws,
+        "bootstrap": bootstrap,
+        "prefixes": prefixes,
+        "dpr": dpr,
+    }
+
+
+@pytest.fixture(scope="session")
+def att_topology(att_campaign):
+    campaign = att_campaign
+    return campaign["pipeline"].build_region_topology(
+        "sndgca", campaign["bootstrap"], campaign["dpr"],
+        campaign["lspgws"], region_prefixes=campaign["prefixes"],
+    )
+
+
+@pytest.fixture(scope="session")
+def ship_campaign(internet):
+    from repro.measure.shiptraceroute import ShipTracerouteCampaign
+
+    campaign = ShipTracerouteCampaign(
+        internet.mobile_carriers, internet.geography, seed=SEED
+    )
+    return campaign, campaign.run()

@@ -1,0 +1,64 @@
+"""§5.2.5 + Appendix B.4 — backbone entries and EdgeCO redundancy.
+
+Paper: 57 backbone entry points across the 28 Comcast regions; every
+Charter region and all-but-three Comcast regions reach ≥2 BackboneCOs;
+37.7 % of Charter EdgeCOs have a single upstream CO vs 11.4 % for
+Comcast (29.0 % for Charter excluding the southeast region, which
+showed no CO-level redundancy at all).
+"""
+
+from repro.analysis.tables import render_table
+from repro.infer.entries import EntryInferrer
+from repro.infer.metrics import single_upstream_fraction
+
+
+def test_b4_redundancy(benchmark, comcast_result, charter_result):
+    def run():
+        comcast_entries = EntryInferrer.backbone_cos_per_region(
+            comcast_result.entries
+        )
+        charter_entries = EntryInferrer.backbone_cos_per_region(
+            charter_result.entries
+        )
+        comcast_regions = list(comcast_result.regions.values())
+        charter_regions = list(charter_result.regions.values())
+        return {
+            "comcast_entries": comcast_entries,
+            "charter_entries": charter_entries,
+            "comcast_single": single_upstream_fraction(comcast_regions),
+            "charter_single": single_upstream_fraction(charter_regions),
+            "charter_single_ex_se": single_upstream_fraction(
+                charter_regions, exclude={"southeast"}
+            ),
+            "entry_points": len(EntryInferrer.backbone_entry_count(
+                comcast_result.entries
+            )),
+        }
+
+    out = benchmark(run)
+
+    print("\n" + render_table(
+        ["metric", "measured", "paper"],
+        [
+            ["Comcast regions with ≥2 BackboneCOs",
+             sum(1 for n in out["comcast_entries"].values() if n >= 2),
+             "25 of 28"],
+            ["Charter regions with ≥2 BackboneCOs",
+             sum(1 for n in out["charter_entries"].values() if n >= 2), "6 of 6"],
+            ["Comcast single-upstream EdgeCOs",
+             f"{out['comcast_single']:.1%}", "11.4%"],
+            ["Charter single-upstream EdgeCOs",
+             f"{out['charter_single']:.1%}", "37.7%"],
+            ["Charter single-upstream (excl. southeast)",
+             f"{out['charter_single_ex_se']:.1%}", "29.0%"],
+        ],
+        title="§5.2.5 / App. B.4 — entries and redundancy",
+    ))
+
+    comcast_two_plus = sum(1 for n in out["comcast_entries"].values() if n >= 2)
+    assert comcast_two_plus >= len(out["comcast_entries"]) - 3
+    assert all(n >= 2 for n in out["charter_entries"].values())
+    assert 0.05 < out["comcast_single"] < 0.25
+    assert 0.18 < out["charter_single"] < 0.50
+    assert out["charter_single"] > 1.6 * out["comcast_single"]
+    assert out["charter_single_ex_se"] < out["charter_single"]

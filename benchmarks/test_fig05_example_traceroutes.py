@@ -1,0 +1,53 @@
+"""Fig 5 — example traceroutes whose rDNS names reveal CO identity.
+
+Paper: a Charter path shows `tbone.rr.com` backbone hops followed by
+`socal.rr.com` hops with CLLI-coded CO tags (Fig 5a); a Comcast path
+shows `ibone.comcast.net` followed by city/state-tagged regional hops
+(Fig 5b).
+"""
+
+from repro.measure.traceroute import Tracerouter
+from repro.rdns.regexes import HostnameParser
+
+
+def _trace_into(internet, isp, region_name, vm):
+    tracer = Tracerouter(internet.network)
+    region = isp.regions[region_name]
+    target_co = region.edge_cos[2]
+    target = str(target_co.routers[0].interfaces[0].address)
+    return tracer.trace(vm.host, target, src_address=vm.src_address)
+
+
+def test_fig05_example_traceroutes(benchmark, internet):
+    parser = HostnameParser()
+    vm = internet.cloud_vm("gcp", "us-west2")
+
+    def run():
+        charter = _trace_into(internet, internet.charter, "socal", vm)
+        comcast = _trace_into(internet, internet.comcast, "bverton", vm)
+        return charter, comcast
+
+    charter, comcast = benchmark(run)
+
+    for label, trace, region, backbone_zone in (
+        ("Fig 5a (Charter SoCal)", charter, "socal", "tbone"),
+        ("Fig 5b (Comcast Beaverton)", comcast, "bverton", "ibone"),
+    ):
+        print(f"\n{label}:")
+        for hop in trace.hops:
+            print(f"  {hop.index:>2} {hop.address or '*':<16} {hop.rdns or ''}")
+        names = [h.rdns for h in trace.hops if h.rdns]
+        assert any(backbone_zone in n for n in names), label
+        regional = [parser.parse(n) for n in names]
+        regional = [p for p in regional if p is not None and p.region == region]
+        assert regional, label
+        # The backbone hop precedes the regional hops (the Fig 5
+        # transition from backbone into the regional network).
+        first_backbone = next(
+            i for i, n in enumerate(names) if backbone_zone in n
+        )
+        first_regional = next(
+            i for i, n in enumerate(names)
+            if (p := parser.parse(n)) is not None and p.region == region
+        )
+        assert first_backbone < first_regional

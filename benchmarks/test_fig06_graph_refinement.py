@@ -1,0 +1,45 @@
+"""Fig 6 — heuristic refinement of one noisy region graph.
+
+Paper: the raw graph of a dual-AggCO region carries extraneous
+EdgeCO→EdgeCO edges from stale rDNS and misses AggCO→EdgeCO edges from
+missing rDNS; refinement removes the former and completes the latter.
+"""
+
+from collections import Counter
+
+from repro.infer.refine import RegionRefiner
+
+
+def _noisy_region():
+    """A dual-star region with Fig 6a's two defects injected."""
+    adjacencies = Counter()
+    edges = [f"E{i:02d}" for i in range(16)]
+    for edge in edges:
+        adjacencies[("AGG1", edge)] = 4
+        adjacencies[("AGG2", edge)] = 4
+    del adjacencies[("AGG1", "E15")]      # missing rDNS: Fig 6a node 16
+    adjacencies[("E08", "E11")] = 3       # stale rDNS: Fig 6a edge 9->12
+    adjacencies[("E02", "E03")] = 3       # stale rDNS: Fig 6a edge 3->4
+    return adjacencies
+
+
+def test_fig06_graph_refinement(benchmark):
+    refiner = RegionRefiner()
+    refined = benchmark(lambda: refiner.refine("fig6", _noisy_region()))
+
+    print("\nFig 6 refinement of the example region:")
+    print(f"  inferred AggCOs: {sorted(refined.agg_cos)}")
+    print(
+        f"  removed {refined.stats.removed_edge_edges} false EdgeCO->EdgeCO "
+        f"edges, added {refined.stats.added_ring_edges} missing ring edges"
+    )
+
+    assert refined.agg_cos == {"AGG1", "AGG2"}
+    # Both stale EdgeCO->EdgeCO edges are gone (Fig 6b).
+    assert not refined.graph.has_edge("E08", "E11")
+    assert not refined.graph.has_edge("E02", "E03")
+    # The missing AggCO1 edge was restored (Fig 6b's added edge).
+    assert refined.graph.has_edge("AGG1", "E15")
+    # Every EdgeCO now connects to both AggCOs of the ring.
+    for edge in refined.edge_cos:
+        assert set(refined.graph.predecessors(edge)) == {"AGG1", "AGG2"}

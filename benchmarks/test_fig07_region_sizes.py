@@ -1,0 +1,45 @@
+"""Fig 7 — CDFs of COs and AggCOs per region, Charter vs Comcast.
+
+Paper: 6 Charter regions vs 28 Comcast regions; Charter regions hold
+far more COs (Fig 7a) and far more AggCOs (Fig 7b).
+"""
+
+import statistics
+
+from repro.analysis.cdf import Cdf
+
+
+def test_fig07_region_sizes(benchmark, comcast_result, charter_result):
+    def series():
+        comcast_cos = [
+            r.graph.number_of_nodes() for r in comcast_result.regions.values()
+        ]
+        charter_cos = [
+            r.graph.number_of_nodes() for r in charter_result.regions.values()
+        ]
+        comcast_aggs = [
+            sum(1 for n in r.graph.nodes if r.graph.out_degree(n) > 0)
+            for r in comcast_result.regions.values()
+        ]
+        charter_aggs = [
+            sum(1 for n in r.graph.nodes if r.graph.out_degree(n) > 0)
+            for r in charter_result.regions.values()
+        ]
+        return comcast_cos, charter_cos, comcast_aggs, charter_aggs
+
+    comcast_cos, charter_cos, comcast_aggs, charter_aggs = benchmark(series)
+
+    print("\nFig 7a — total COs per region:")
+    print("  Comcast:", Cdf(comcast_cos).ascii_plot(width=40, height=6, label="COs"))
+    print("  Charter:", Cdf(charter_cos).ascii_plot(width=40, height=6, label="COs"))
+    print(f"\nFig 7b — AggCOs per region: comcast median "
+          f"{statistics.median(comcast_aggs)}, charter median "
+          f"{statistics.median(charter_aggs)}")
+
+    # Paper shape: 28 vs 6 regions; Charter stochastically dominates.
+    assert len(comcast_cos) == 28 and len(charter_cos) == 6
+    assert min(charter_cos) > statistics.median(comcast_cos)
+    assert max(charter_cos) > max(comcast_cos)
+    assert statistics.median(charter_aggs) > statistics.median(comcast_aggs)
+    # Charter's largest region is far larger than Comcast's largest.
+    assert max(charter_cos) > 2 * max(comcast_cos)

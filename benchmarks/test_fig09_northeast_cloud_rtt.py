@@ -1,0 +1,59 @@
+"""Fig 9 — median cloud RTT to the cable ISP's Northeast states.
+
+Paper: from every cloud the closest location is Northern Virginia;
+Connecticut shows *worse* latency than Massachusetts and New Hampshire
+despite being geographically closer, because its region has no backbone
+entries of its own and rides through the Massachusetts AggCOs
+(a 3.5–4 ms penalty).
+"""
+
+import statistics
+
+from repro.analysis.tables import render_table
+from repro.latency.cloud import CloudLatencyCampaign
+
+NE_REGIONS = ("newengland", "connecticut")
+VM_CHOICES = [("aws", "us-east-1"), ("azure", "eastus"), ("gcp", "us-east4")]
+
+
+def test_fig09_northeast_cloud_rtt(benchmark, internet, comcast_result):
+    campaign = CloudLatencyCampaign(internet.network)
+    per_co = {
+        key: addrs
+        for key, addrs in campaign.edge_co_addresses(comcast_result).items()
+        if key[0] in NE_REGIONS
+    }
+
+    def run():
+        medians = {}
+        for provider, region_name in VM_CHOICES:
+            vm = internet.cloud_vm(provider, region_name)
+            samples = campaign.min_rtts_from(vm, per_co, pings=20)
+            per_state: dict = {}
+            for sample in samples:
+                state = sample.co_tag.rsplit(".", 1)[-1]
+                per_state.setdefault(state, []).append(sample.min_rtt_ms)
+            medians[provider] = {
+                state: statistics.median(values)
+                for state, values in per_state.items()
+            }
+        return medians
+
+    medians = benchmark(run)
+
+    states = sorted({s for m in medians.values() for s in m})
+    rows = [
+        [provider] + [f"{medians[provider].get(s, float('nan')):.1f}" for s in states]
+        for provider in medians
+    ]
+    print("\n" + render_table(
+        ["cloud"] + states, rows,
+        title="Fig 9 — median RTT (ms) from VA-area clouds to NE states",
+    ))
+
+    for provider, by_state in medians.items():
+        # The headline inversion: CT worse than MA and NH.
+        assert by_state["ct"] > by_state["ma"], provider
+        assert by_state["ct"] > by_state["nh"], provider
+        # The penalty is on the order of the paper's 3.5-4 ms.
+        assert 1.0 < by_state["ct"] - by_state["ma"] < 6.0, provider

@@ -1,0 +1,50 @@
+"""Fig 10 — EdgeCO RTT CDFs: from the nearest cloud vs from the AggCO.
+
+Paper: >80 % of EdgeCOs are more than 5 ms from the nearest cloud VM
+(Fig 10a), yet >80 % are within 5 ms of their AggCO (Fig 10b), and
+there are ~7.7x as many EdgeCOs as AggCOs — the edge-computing
+placement argument of §5.5.
+"""
+
+from repro.analysis.cdf import Cdf
+from repro.infer.metrics import edge_to_agg_ratio
+from repro.latency.cloud import CloudLatencyCampaign
+
+
+def test_fig10_edgeco_rtt_cdf(benchmark, internet, comcast_result, charter_result):
+    campaign = CloudLatencyCampaign(internet.network)
+    vms = internet.all_cloud_vms()
+
+    per_co = {}
+    for result in (comcast_result, charter_result):
+        per_co.update(campaign.edge_co_addresses(result))
+
+    def run():
+        nearest = campaign.nearest_cloud_rtts(vms, per_co)
+        cloud_rtts = [s.min_rtt_ms for s in nearest.values()]
+        agg_samples = []
+        for result in (comcast_result, charter_result):
+            subset = campaign.edge_co_addresses(result)
+            agg_samples += campaign.edge_to_agg_rtts(vms[0], result, subset)
+        return cloud_rtts, [s.min_rtt_ms for s in agg_samples]
+
+    cloud_rtts, agg_rtts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cloud_cdf, agg_cdf = Cdf(cloud_rtts), Cdf(agg_rtts)
+    print("\nFig 10a — RTT from nearest cloud VM to each EdgeCO:")
+    print(cloud_cdf.ascii_plot(width=50, height=8, label="RTT ms"))
+    print(f"  above 5 ms: {cloud_cdf.fraction_above(5.0):.0%} (paper: >80%)")
+    print("\nFig 10b — RTT from the serving AggCO to each EdgeCO:")
+    print(agg_cdf.ascii_plot(width=50, height=8, label="RTT ms"))
+    print(f"  within 5 ms: {agg_cdf.fraction_at(5.0):.0%} (paper: >80%)")
+    ratio = edge_to_agg_ratio(
+        list(comcast_result.regions.values())
+        + list(charter_result.regions.values())
+    )
+    print(f"  EdgeCO:AggCO ratio: {ratio:.1f}x (paper: 7.7x)")
+
+    assert cloud_cdf.fraction_above(5.0) > 0.65
+    assert agg_cdf.fraction_at(5.0) > 0.80
+    assert ratio > 3.0
+    # The crossover: AggCOs are much closer than clouds.
+    assert agg_cdf.median < cloud_cdf.median / 2

@@ -1,0 +1,41 @@
+"""Fig 12 / Fig 13 — AT&T's San Diego regional network.
+
+Paper (Fig 13a, router level): 2 backbone routers, 4 aggregation
+routers, 84 EdgeCO routers, with every EdgeCO router redundantly homed
+to two aggregation routers.  (Fig 13b, CO level): a single BackboneCO
+(both backbone routers fully meshed to all agg routers), 4 AggCOs, and
+~42 EdgeCOs with two routers each.
+"""
+
+
+def test_fig13_att_san_diego(benchmark, att_campaign, att_topology):
+    pipeline = att_campaign["pipeline"]
+
+    def rebuild():
+        return pipeline.build_region_topology(
+            "sndgca",
+            att_campaign["bootstrap"],
+            att_campaign["dpr"],
+            att_campaign["lspgws"],
+            region_prefixes=att_campaign["prefixes"],
+        )
+
+    topology = benchmark.pedantic(rebuild, rounds=1, iterations=1)
+
+    print("\nFig 13a — router-level topology of AT&T San Diego:")
+    print(f"  backbone routers: {len(topology.backbone_routers)} (paper: 2)")
+    print(f"  agg routers:      {len(topology.agg_routers)} (paper: 4)")
+    print(f"  EdgeCO routers:   {len(topology.edge_routers)} (paper: 84)")
+    print("Fig 13b — CO-level topology:")
+    print(f"  BackboneCOs: {topology.backbone_co_count} (paper: 1; "
+          f"full mesh = {topology.backbone_fully_meshed})")
+    print(f"  EdgeCOs: {len(topology.edge_cos)} (paper: ~42), "
+          f"{topology.routers_per_edge_co:.1f} routers each (paper: 2)")
+
+    assert len(topology.backbone_routers) == 2
+    assert len(topology.agg_routers) == 4
+    assert len(topology.edge_routers) == 84
+    assert topology.backbone_fully_meshed
+    assert topology.backbone_co_count == 1
+    assert len(topology.edge_cos) == 42
+    assert topology.routers_per_edge_co == 2.0

@@ -1,0 +1,47 @@
+"""Fig 14 — scamper traceroute energy efficiency on the phone.
+
+Paper: off-the-shelf scamper spends 8.6 mAh per round of traceroutes to
+266 destinations; probing consecutive hops in parallel cuts that to
+5.3 mAh (a 38 % reduction), with airplane-mode exit costing 1.4-2.6 mAh;
+the phone then sustains hourly rounds for ~12 days per charge.
+"""
+
+import random
+
+from repro.energy.model import PhoneEnergyModel
+
+
+def test_fig14_energy(benchmark):
+    model = PhoneEnergyModel()
+
+    def run():
+        old = model.traceroute_round(
+            266, parallel=False, rng=random.Random("fig14-old")
+        )
+        new = model.traceroute_round(
+            266, parallel=True, rng=random.Random("fig14-new")
+        )
+        return old, new
+
+    old, new = benchmark(run)
+    saving = 1 - new.total_mah / old.total_mah
+
+    print("\nFig 14 — cumulative energy of one traceroute round:")
+    for label, trace in (("old code", old), ("new code", new)):
+        samples = trace.samples[:: max(1, len(trace.samples) // 6)]
+        series = ", ".join(f"{t:4.0f}s:{e:4.1f}mAh" for t, e in samples)
+        print(f"  {label}: {series} -> total {trace.total_mah:.1f} mAh")
+    print(f"  saving: {saving:.0%} (paper: 38 %, 8.6 -> 5.3 mAh)")
+    days_new = model.battery_life_days(parallel=True)
+    days_old = model.battery_life_days(parallel=False)
+    print(f"  battery life: {days_new:.1f} days (paper ~12) vs "
+          f"{days_old:.1f} days off-the-shelf")
+
+    assert 7.0 < old.total_mah < 11.0          # paper: 8.6 mAh
+    assert 4.0 < new.total_mah < 7.0           # paper: 5.3 mAh
+    assert 0.30 < saving < 0.48                # paper: 38 %
+    assert new.duration_s < old.duration_s     # parallelism shortens rounds
+    assert 10.0 < days_new < 15.0              # paper: ~12 days
+    assert days_new > days_old
+    wake = model.wake_energy_mah(random.Random("fig14-wake"))
+    assert 1.4 <= wake <= 2.6                  # paper's measured range

@@ -1,0 +1,53 @@
+"""Fig 16 — topological hints encoded in mobile IPv6 addresses.
+
+Paper: AT&T encodes the region in user bits ~32-39 and router bits
+32-47 with the PGW in router bits 48-51; Verizon encodes backbone
+region / EdgeCO / PGW hierarchically in the user address; T-Mobile
+cycles a PGW byte at bits 32-39 and uses ULA router addresses.
+"""
+
+from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+
+
+def test_fig16_ipv6_fields(benchmark, ship_campaign):
+    campaign, results = ship_campaign
+    analyzer = MobileIPv6Analyzer(campaign.celldb)
+
+    def run():
+        return {
+            name: analyzer.analyze_user_addresses(result)
+            for name, result in results.items()
+        }
+
+    reports = benchmark(run)
+
+    for name, report in sorted(reports.items()):
+        print(f"\nFig 16 — {name} user-address fields:")
+        for row in report.describe():
+            print(f"  {row}")
+
+    att = reports["att-mobile"]
+    # AT&T: one geography field inside bits 32-40, no PGW in user bits.
+    assert att.geo_fields and all(
+        32 <= start and end <= 40 for start, end in att.geo_fields
+    )
+    assert not att.cycling_fields
+
+    verizon = reports["verizon"]
+    # Verizon: hierarchical geography (backbone region + EdgeCO) plus a
+    # PGW nibble around bits 40-43.
+    assert len(verizon.geo_fields) >= 2
+    assert any(start <= 40 < end for start, end in verizon.cycling_fields)
+
+    tmobile = reports["tmobile"]
+    # T-Mobile: a cycling PGW byte right after the /32, no geography.
+    assert any(start == 32 for start, _end in tmobile.cycling_fields)
+    assert not tmobile.geo_fields
+
+    # Router-hop fields: AT&T's region must also show in hop bits 32-48.
+    att_hop = analyzer.analyze_hop(results["att-mobile"], 1)
+    assert att_hop is not None
+    assert any(
+        start >= 32 and end <= 48 for start, end in att_hop.geo_fields
+    )
+    print("\nAT&T router-hop fields:", att_hop.describe())

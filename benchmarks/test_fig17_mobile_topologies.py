@@ -1,0 +1,38 @@
+"""Fig 17 — the three carriers' inferred aggregation designs.
+
+Paper: AT&T concentrates each region into one mobile EdgeCO with
+several PGWs on its own backbone; Verizon groups multiple EdgeCOs
+under shared backbone regions; T-Mobile distributes PGW pools across
+sites wired to several third-party backbone providers.
+"""
+
+from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+
+
+def test_fig17_mobile_topologies(benchmark, ship_campaign):
+    campaign, results = ship_campaign
+    analyzer = MobileIPv6Analyzer(campaign.celldb)
+
+    def run():
+        return {
+            name: (
+                analyzer.classify_topology(result),
+                analyzer.backbone_providers(result),
+            )
+            for name, result in results.items()
+        }
+
+    classified = benchmark(run)
+
+    print("\nFig 17 — inferred mobile access network designs:")
+    for name, (klass, providers) in sorted(classified.items()):
+        shown = ", ".join(sorted(providers)) or "own backbone"
+        print(f"  {name}: {klass} (backbones: {shown})")
+
+    assert classified["att-mobile"][0] == "single-edgeco-per-region"
+    assert classified["verizon"][0] == "shared-backbone-multi-edgeco"
+    assert classified["tmobile"][0] == "distributed-multi-backbone"
+    # T-Mobile's three third-party backbones; Verizon's single alter.net.
+    assert len(classified["tmobile"][1]) == 3
+    assert classified["verizon"][1] == {"alter"}
+    assert classified["att-mobile"][1] == set()

@@ -1,0 +1,65 @@
+"""Fig 18 — hex-binned minimum RTT from each location to San Diego.
+
+Paper: AT&T's few huge regions force circuitous paths (Montana / North
+Dakota show the highest latency); Verizon's denser EdgeCOs keep latency
+lower; T-Mobile resembles Verizon except for an anomaly near the
+Florida–Louisiana Gulf coast, where devices attached to a distant South
+Carolina EdgeCO.
+"""
+
+import statistics
+
+from repro.analysis.hexbin import HexBinner
+
+
+def _samples(result):
+    return [
+        (r.lat, r.lon, r.min_rtt_to_server_ms)
+        for r in result.successful_rounds()
+    ]
+
+
+def test_fig18_latency_maps(benchmark, ship_campaign):
+    _campaign, results = ship_campaign
+    binner = HexBinner(cell_deg=1.6)
+
+    def run():
+        return {
+            name: binner.bin_min(_samples(result))
+            for name, result in results.items()
+        }
+
+    maps = benchmark(run)
+
+    for name, binned in sorted(maps.items()):
+        print(f"\nFig 18 — {name} min RTT to San Diego "
+              f"({len(binned)} hexes, darker = slower):")
+        print(HexBinner.ascii_map(binned))
+
+    def mean_rtt_in(result, states):
+        values = [
+            r.min_rtt_to_server_ms
+            for r in result.successful_rounds()
+            if r.state in states
+        ]
+        return statistics.fmean(values)
+
+    plains = ("MT", "ND", "SD")
+    # AT&T's northern plains pay the Chicago detour; Verizon does not.
+    att_plains = mean_rtt_in(results["att-mobile"], plains)
+    vz_plains = mean_rtt_in(results["verizon"], plains)
+    print(f"\nplains mean RTT: att {att_plains:.0f} ms vs verizon "
+          f"{vz_plains:.0f} ms (paper: AT&T dark, Verizon lighter)")
+    assert att_plains > 1.15 * vz_plains
+
+    # T-Mobile's Gulf anomaly: AL/MS rounds attach to Columbia, SC and
+    # run slower than comparable Gulf-coast rounds of Verizon.
+    tmo_gulf = mean_rtt_in(results["tmobile"], ("AL", "MS"))
+    vz_gulf = mean_rtt_in(results["verizon"], ("AL", "MS"))
+    print(f"gulf mean RTT: tmobile {tmo_gulf:.0f} ms vs verizon "
+          f"{vz_gulf:.0f} ms (paper: T-Mobile anomaly)")
+    assert tmo_gulf > vz_gulf
+
+    # West-coast rounds are fast for everyone (the San Diego server).
+    for name, result in results.items():
+        assert mean_rtt_in(result, ("CA",)) < 80, name

@@ -1,0 +1,48 @@
+"""§6.1 — McTraceroute path visibility vs research-platform VPs.
+
+Paper: of San Diego's 58 McDonald's, 23 used AT&T WiFi; traceroutes
+from them revealed about twice the distinct IP paths that the region's
+eight Atlas and two Ark probes could see.
+"""
+
+import re
+
+from repro.measure.traceroute import Tracerouter
+from repro.measure.wardriving import McTracerouteCampaign
+
+
+def test_sec61_mctraceroute_paths(benchmark, internet, att_campaign):
+    wardriving = att_campaign["wardriving"]
+    hotspots = wardriving.usable_vps()
+    pattern = re.compile(r"lightspeed\.sndgca\.sbcglobal\.net$")
+    targets = internet.network.rdns.addresses_matching(pattern)[:120]
+
+    internal = [
+        vp for vp in internet.telco_internal_vps()
+        if "sndgca" in vp.name
+    ]
+    tracer = Tracerouter(internet.network)
+
+    def run():
+        wifi_traces = wardriving.sweep(targets)
+        platform_traces = []
+        for vp in internal:
+            for target in targets:
+                trace = tracer.trace(vp.host, target, src_address=vp.src_address)
+                platform_traces.append(trace)
+        return (
+            McTracerouteCampaign.distinct_ip_paths(wifi_traces),
+            McTracerouteCampaign.distinct_ip_paths(platform_traces),
+        )
+
+    wifi_paths, platform_paths = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    usable = len(hotspots)
+    print(f"\n§6.1 — San Diego vantage comparison:")
+    print(f"  hotspots on AT&T: {usable} of 58 (paper: 23 of 58)")
+    print(f"  distinct IP paths: McTraceroute {len(wifi_paths)} vs "
+          f"Ark/Atlas {len(platform_paths)} "
+          f"({len(wifi_paths) / max(1, len(platform_paths)):.1f}x; paper: ~2x)")
+
+    assert 12 <= usable <= 35              # ~40 % of 58
+    assert len(wifi_paths) >= 2 * len(platform_paths)

@@ -1,0 +1,35 @@
+"""Table 1 — aggregation types observed in Comcast and Charter.
+
+Paper:   Single AggCO   Comcast 5,  Charter 0
+         Two AggCOs     Comcast 11, Charter 0
+         Multi-level    Comcast 12, Charter 6
+"""
+
+from collections import Counter
+
+from repro.analysis.tables import render_table
+
+
+def test_table1_aggregation_types(benchmark, comcast_result, charter_result):
+    def classify():
+        return (
+            Counter(comcast_result.aggregation_types().values()),
+            Counter(charter_result.aggregation_types().values()),
+        )
+
+    comcast, charter = benchmark(classify)
+
+    print("\n" + render_table(
+        ["Aggregation Type", "Comcast", "Charter"],
+        [
+            ["Single AggCO (Fig 8a)", comcast["single"], charter["single"]],
+            ["Two AggCOs (Fig 8b)", comcast["two"], charter["two"]],
+            ["Multi-level (Fig 8c)", comcast["multi"], charter["multi"]],
+        ],
+        title="Table 1 — network types observed (paper: 5/11/12 and 0/0/6)",
+    ))
+
+    assert comcast["single"] == 5
+    assert comcast["two"] == 11
+    assert comcast["multi"] == 12
+    assert charter == Counter({"multi": 6})

@@ -1,0 +1,42 @@
+"""Table 2 — latency from a Los Angeles cloud VM to San Diego EdgeCOs.
+
+Paper: min RTTs bucket as 3-4 ms: 5 | 4-5: 19 | 5-6: 7 | 6-7: 2 |
+9-10: 2, average 4.3 ms; the two distant EdgeCOs (El Centro and
+Calexico customers) show about twice the average latency.
+"""
+
+import statistics
+
+from repro.analysis.tables import render_table
+from repro.latency.cloud import CloudLatencyCampaign
+
+
+def test_table2_san_diego_latency(benchmark, internet):
+    vm = internet.cloud_vm("gcp", "us-west2")  # Los Angeles
+    campaign = CloudLatencyCampaign(internet.network)
+    customers = internet.att.ndt_customer_addresses("sndgca")
+
+    def run():
+        return campaign.att_edgeco_latency(
+            vm, customers, backbone_region_tag="sd2ca"
+        )
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    buckets = campaign.bucket_latencies(latencies)
+    average = statistics.fmean(latencies.values())
+
+    print("\n" + render_table(
+        ["Latency", "EdgeCOs"],
+        [[bucket, count] for bucket, count in buckets.items()],
+        title="Table 2 — Google Cloud (LA) to San Diego EdgeCOs "
+              "(paper: 5/19/7/2/0/0/2, avg 4.3 ms)",
+    ))
+    print(f"  average: {average:.2f} ms")
+
+    # Shape targets: ~42 devices found via the TTL trick, the bulk in
+    # the 4-6 ms bands, a small distant tail at ~1.5-2x the average.
+    assert len(latencies) >= 38
+    assert buckets["4-5ms"] + buckets["5-6ms"] >= 0.6 * len(latencies)
+    assert 3.5 < average < 5.5
+    tail = [v for v in latencies.values() if v > 1.4 * average]
+    assert 1 <= len(tail) <= 5

@@ -1,0 +1,45 @@
+"""Table 4 — adjacency pruning: backbone, cross-region, single, MPLS.
+
+Paper: of the unique IP adjacencies, backbone adjacencies account for
+26 % (Comcast) / 12 % (Charter), cross-region (stale rDNS) for 4.5 % /
+1.8 %, single observations for well under 1 %, and MPLS pruning fires
+only in one Charter region.
+"""
+
+from repro.analysis.tables import render_table
+
+
+def test_table4_adjacency_pruning(benchmark, comcast_result, charter_result):
+    def stats():
+        return (
+            comcast_result.adjacencies.stats,
+            charter_result.adjacencies.stats,
+        )
+
+    comcast, charter = benchmark(stats)
+
+    print("\n" + render_table(
+        ["stage", "Comcast IP", "Comcast CO", "Charter IP", "Charter CO"],
+        [
+            [c_row[0], c_row[1], c_row[2], ch_row[1], ch_row[2]]
+            for c_row, ch_row in zip(comcast.as_rows(), charter.as_rows())
+        ],
+        title="Table 4 — pruned adjacencies "
+              "(paper: backbone 26%/12%, cross-region 4.5%/1.8%)",
+    ))
+
+    for stats_obj in (comcast, charter):
+        assert stats_obj.initial_ip > 1000
+        assert stats_obj.backbone_ip > 0
+        assert stats_obj.cross_region_ip > 0
+    # Backbone pairs are the biggest pruned class, as in the paper.
+    assert comcast.backbone_ip > comcast.cross_region_ip
+    assert charter.backbone_ip > charter.cross_region_ip
+    # Comcast's staler rDNS produces relatively more cross-region noise.
+    comcast_cross = comcast.cross_region_co / comcast.initial_co
+    charter_cross = charter.cross_region_co / charter.initial_co
+    assert comcast_cross > charter_cross
+    # MPLS pruning fires for Charter (the midwest tunnels), yielding
+    # fewer or equal MPLS CO prunes for Comcast.
+    assert charter.mpls_co > 0
+    assert comcast.mpls_co <= charter.mpls_co

@@ -1,0 +1,55 @@
+"""Table 5 — Direct Path Revelation exposes MPLS-hidden hops.
+
+Paper: an intra-region traceroute to a lightspeed gateway shows the
+EdgeCO router immediately (the aggregation layer is hidden inside the
+LSP); re-targeting the traceroute at the egress router's own interface
+reveals two additional interior hops inside the AggCO prefix
+(75.20.78.x in the paper's San Diego).
+"""
+
+import ipaddress
+
+from repro.measure.traceroute import Tracerouter
+
+
+def test_table5_dpr(benchmark, internet, att_campaign):
+    tracer = Tracerouter(internet.network)
+    wardriving = att_campaign["wardriving"]
+    vp = wardriving.usable_vps()[0]
+    lspgw = sorted(att_campaign["lspgws"])[40]
+
+    # The edge-router interface revealed by the plain trace is the DPR
+    # target (App. C's method).
+    plain = tracer.trace(vp.host, lspgw, src_address=vp.src_address)
+    router_hops = [
+        h.address for h in plain.hops
+        if h.address is not None and h.rdns is None
+    ]
+    assert router_hops, "plain trace revealed no unnamed router hop"
+    egress = router_hops[-1]
+
+    def run():
+        return tracer.trace(vp.host, egress, src_address=vp.src_address)
+
+    dpr = benchmark(run)
+
+    print(f"\nTable 5 — plain trace to {lspgw}:")
+    for hop in plain.hops:
+        print(f"  {hop.index:>2} {hop.address or '*':<16} {hop.rdns or ''}")
+    print(f"DPR trace to egress {egress}:")
+    for hop in dpr.hops:
+        print(f"  {hop.index:>2} {hop.address or '*':<16} {hop.rdns or ''}")
+
+    agg_pool = ipaddress.ip_network("75.16.0.0/12")
+    plain_in_agg = [
+        h.address for h in plain.hops
+        if h.address and ipaddress.ip_address(h.address) in agg_pool
+    ]
+    dpr_in_agg = [
+        h.address for h in dpr.hops
+        if h.address and ipaddress.ip_address(h.address) in agg_pool
+    ]
+    # MPLS hides the agg layer from through traffic; DPR reveals it.
+    assert not plain_in_agg
+    assert dpr_in_agg
+    assert len(dpr.responsive_addresses()) > len(plain.responsive_addresses()) - 2

@@ -1,0 +1,28 @@
+"""Table 6 — San Diego AT&T CO prefixes.
+
+Paper: six /24s hold the EdgeCO router interfaces and one separate /24
+(75.20.78.0/24) holds the AggCO routers.
+"""
+
+from repro.analysis.tables import render_table
+
+
+def test_table6_att_prefixes(benchmark, internet, att_topology):
+    def collect():
+        return sorted(att_topology.edge_prefixes), sorted(att_topology.agg_prefixes)
+
+    edge_prefixes, agg_prefixes = benchmark(collect)
+
+    rows = [["Edge CO", p] for p in edge_prefixes]
+    rows += [["Aggregation CO", p] for p in agg_prefixes]
+    print("\n" + render_table(
+        ["Central Office type", "prefix"], rows,
+        title="Table 6 — San Diego CO prefixes (paper: 6 edge /24s + 1 agg /24)",
+    ))
+
+    assert len(edge_prefixes) == 6
+    assert len(agg_prefixes) == 1
+    # They match the generator's ground-truth address plan exactly.
+    truth = internet.att.router_prefixes["sndgca"]
+    assert set(edge_prefixes) == {str(p) for p in truth["edge"]}
+    assert set(agg_prefixes) == {str(p) for p in truth["agg"]}

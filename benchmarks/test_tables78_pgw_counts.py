@@ -1,0 +1,55 @@
+"""Tables 7 & 8 — packet gateways per region, AT&T and Verizon.
+
+Paper: AT&T operates 11 mobile regions with 2-6 PGWs each (the MTSO
+numbers of Table 7); Verizon operates ~32 wireless regions grouped
+under 12 backbone regions with 1-4 PGWs each (Table 8).
+"""
+
+from repro.analysis.tables import render_table
+from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+
+
+def test_tables78_pgw_counts(benchmark, internet, ship_campaign):
+    campaign, results = ship_campaign
+    analyzer = MobileIPv6Analyzer(campaign.celldb)
+
+    def run():
+        return (
+            analyzer.pgw_counts(results["att-mobile"]),
+            analyzer.pgw_counts(results["verizon"]),
+        )
+
+    att_counts, verizon_counts = benchmark(run)
+
+    print("\n" + render_table(
+        ["region bits", "PGWs"],
+        [[key, count] for key, count in sorted(att_counts.items())],
+        title="Table 7 — AT&T PGWs per region (paper: 2-6 per region)",
+    ))
+    print("\n" + render_table(
+        ["region bits", "PGWs"],
+        [[key, count] for key, count in sorted(verizon_counts.items())],
+        title="Table 8 — Verizon PGWs per wireless region (paper: 1-4)",
+    ))
+
+    # Table 7 shape: 11 regions, counts distributed across 2..6.
+    assert len(att_counts) == 11
+    truth_att = sorted(
+        spec.pgw_count for spec in internet.mobile_carriers["att-mobile"].regions
+    )
+    assert sorted(att_counts.values()) == truth_att
+
+    # Table 8 shape: most wireless regions observed, counts in 1..4.
+    assert 24 <= len(verizon_counts) <= 32
+    assert all(1 <= count <= 4 for count in verizon_counts.values())
+    truth_by_bits = {
+        f"{spec.region_bits >> 8:x}:{spec.region_bits & 0xff:x}"[:-1]: spec.pgw_count
+        for spec in internet.mobile_carriers["verizon"].regions
+    }
+    # At least half the observed regions recover the exact PGW count
+    # (the rest are capped by how often the phone re-attached there).
+    exact = sum(
+        1 for key, count in verizon_counts.items()
+        if any(count == v for k, v in truth_by_bits.items())
+    )
+    assert exact >= len(verizon_counts) // 2

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated internet, traceroute into a cable
+region, and read CO identifiers out of the rDNS — the Fig 5 workflow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.measure.traceroute import Tracerouter
+from repro.rdns.regexes import HostnameParser
+from repro.topology.internet import SimulatedInternet
+
+
+def main() -> None:
+    print("Building the simulated internet (transit, clouds, ISPs)...")
+    internet = SimulatedInternet(seed=7, include_mobile=False)
+    network = internet.network
+    print(
+        f"  {len(network.routers)} routers, {len(network.links)} links, "
+        f"{len(network.rdns)} PTR records\n"
+    )
+
+    # A cloud VM probes into a Charter-like region, as in Fig 5a.
+    vm = internet.cloud_vm("gcp", "us-west2")
+    tracer = Tracerouter(network)
+    parser = HostnameParser()
+
+    region = internet.charter.regions["socal"]
+    target_co = region.edge_cos[3]
+    target = str(target_co.routers[0].interfaces[0].address)
+    print(f"traceroute from {vm.name} to {target} (an EdgeCO router):")
+    trace = tracer.trace(vm.host, target, src_address=vm.src_address)
+    for hop in trace.hops:
+        name = hop.rdns or ""
+        rtt = f"{hop.rtt_ms:7.2f} ms" if hop.rtt_ms is not None else "      *"
+        print(f"  {hop.index:>2}  {hop.address or '*':<16} {rtt}  {name}")
+
+    print("\nWhat the hostnames reveal (the paper's Fig 5 reading):")
+    for hop in trace.hops:
+        parsed = parser.parse(hop.rdns)
+        if parsed is None:
+            continue
+        if parsed.role == "backbone":
+            print(f"  hop {hop.index}: backbone PoP at {parsed.co_tag!r}")
+        else:
+            print(
+                f"  hop {hop.index}: {parsed.role} CO {parsed.co_tag!r} "
+                f"in regional network {parsed.region!r}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Resilience of inferred regional topologies (§6.3, §8).
+
+Maps the Comcast-like ISP, then sweeps single-CO failures over every
+inferred region graph: which COs are single points of failure, and how
+do the paper's three aggregation shapes (Fig 8) differ in blast radius?
+The Christmas 2020 Nashville incident — one BackboneCO serving a whole
+region — is the motivating case.
+
+Run:  python examples/resilience_analysis.py
+"""
+
+from repro.analysis.resilience import ResilienceAnalyzer
+from repro.analysis.tables import render_table
+from repro.infer.aggtype import classify_aggregation
+from repro.infer.pipeline import CableInferencePipeline
+from repro.topology.internet import SimulatedInternet
+
+
+def main() -> None:
+    print("Mapping the Comcast-like ISP...")
+    internet = SimulatedInternet(seed=7, include_telco=False, include_mobile=False)
+    fleet = list(internet.build_standard_vps())
+    result = CableInferencePipeline(
+        internet.network, internet.comcast, fleet, sweep_vps=8
+    ).run()
+
+    rows = []
+    by_type: dict = {}
+    for name in sorted(result.regions):
+        region = result.regions[name]
+        sweep = ResilienceAnalyzer(region).sweep()
+        worst = sweep.worst_case
+        spofs = sweep.single_points_of_failure()
+        agg_type = classify_aggregation(region)
+        by_type.setdefault(agg_type, []).append(worst.disconnected_fraction)
+        rows.append([
+            name, agg_type, f"{worst.disconnected_fraction:.0%}",
+            worst.failed_co, len(spofs),
+        ])
+    print(render_table(
+        ["region", "type", "worst failure", "at CO", "SPOFs"],
+        rows,
+        title="Single-CO failure impact per inferred region",
+    ))
+
+    print("\nBlast radius by aggregation shape (Fig 8):")
+    for agg_type in ("single", "two", "multi"):
+        values = by_type.get(agg_type, [])
+        if values:
+            mean = sum(values) / len(values)
+            print(f"  {agg_type:>6}: mean worst-case {mean:.0%} of EdgeCOs "
+                  f"({len(values)} regions)")
+    print(
+        "\nSingle-AggCO regions concentrate all EdgeCOs behind one "
+        "building — the Nashville shape (§6.3); dual-AggCO regions "
+        "survive any one CO failure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of *Inferring Regional Access Network Topologies*.
+
+This package reproduces the methodology and evaluation of Zhang et al.,
+"Inferring Regional Access Network Topologies: Methods and Applications"
+(ACM IMC 2021) on a fully simulated measurement substrate.
+
+The package is organized as:
+
+``repro.net``
+    Simulated internet primitives: addresses, routers, links, MPLS
+    tunnels, reverse DNS, and the packet-forwarding network.
+``repro.topology``
+    Ground-truth generators for U.S.-style regional access networks:
+    cable ISPs (Comcast/Charter-like), a telco (AT&T-like wireline
+    network), and mobile carriers, plus synthetic geography.
+``repro.measure``
+    Measurement tooling: traceroute/ping engines, vantage points,
+    WiFi-hotspot wardriving ("McTraceroute"), parcel-shipped phones
+    ("ShipTraceroute"), and the scamper energy model.
+``repro.alias``
+    Alias resolution (Mercator- and MIDAR-style).
+``repro.rdns``
+    Hostname parsing: per-ISP regexes and CLLI-code geolocation.
+``repro.infer``
+    The paper's contribution: the two-phase CO-level topology
+    inference pipeline, the AT&T pipeline, and the mobile IPv6
+    bit-field analysis.
+``repro.latency`` / ``repro.energy`` / ``repro.analysis``
+    Latency campaigns, the smartphone radio energy model, and
+    rendering helpers used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "CableInferencePipeline": ("repro.infer.pipeline", "CableInferencePipeline"),
+    "InferredRegion": ("repro.infer.pipeline", "InferredRegion"),
+    "AttInferencePipeline": ("repro.infer.att", "AttInferencePipeline"),
+    "MobileIPv6Analyzer": ("repro.infer.mobile_ipv6", "MobileIPv6Analyzer"),
+    "SimulatedInternet": ("repro.topology.internet", "SimulatedInternet"),
+    "build_default_internet": ("repro.topology.internet", "build_default_internet"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API (keeps `import repro` light)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+__all__ = [
+    "AttInferencePipeline",
+    "CableInferencePipeline",
+    "InferredRegion",
+    "MobileIPv6Analyzer",
+    "SimulatedInternet",
+    "build_default_internet",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Alias resolution: grouping IP addresses into routers.
+
+Two classic techniques, both used by the paper (§5.1):
+
+* :mod:`repro.alias.mercator` — common source-address probing
+  (Govindan & Tangmunarunkit 2000);
+* :mod:`repro.alias.midar` — IP-ID monotonic-bounds testing at scale
+  (Keys et al. 2013).
+
+:mod:`repro.alias.resolve` combines them into the alias sets the
+IP→CO mapping step consumes.
+"""
+
+from repro.alias.mercator import MercatorProber
+from repro.alias.midar import MidarProber
+from repro.alias.resolve import AliasResolver, AliasSets
+
+__all__ = ["AliasResolver", "AliasSets", "MercatorProber", "MidarProber"]

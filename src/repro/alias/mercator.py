@@ -1,0 +1,62 @@
+"""Mercator-style alias resolution.
+
+Mercator sends a probe to one interface address of a router and checks
+the source address of the reply: many routers reply from the interface
+facing the prober rather than the probed address, so a mismatch pairs
+the two addresses as aliases of one router.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import parse_ip
+from repro.net.network import Network
+from repro.net.router import Router
+
+
+class MercatorProber:
+    """Common-source-address alias probing against a :class:`Network`."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.probes_sent = 0
+
+    def probe(self, src: Router, target_address: str,
+              src_address: "str | None" = None) -> "tuple[str, str] | None":
+        """Probe one address; return an alias pair if revealed.
+
+        Returns ``(target, reply_source)`` when the reply came from a
+        different address than the one probed, ``None`` otherwise
+        (including when the target does not answer).
+        """
+        self.probes_sent += 1
+        source = src_address or (
+            str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
+        )
+        target = str(parse_ip(target_address))
+        owner = self.network.owner_router(target)
+        if owner is None:
+            return None
+        key = (source, target, "mercator")
+        if not owner.policy.responds_to(parse_ip(source), key):
+            return None
+        from repro.errors import RoutingError
+
+        try:
+            path = self.network.forwarding_path(src, owner, flow_id=0)
+        except RoutingError:
+            return None
+        inbound = self.network.inbound_interfaces(path)
+        reply_source = str(owner.reply_address(inbound[-1], target))
+        if reply_source != target:
+            return (target, reply_source)
+        return None
+
+    def probe_all(self, src: Router, addresses,
+                  src_address: "str | None" = None) -> "list[tuple[str, str]]":
+        """Probe many addresses; return all alias pairs discovered."""
+        pairs = []
+        for address in addresses:
+            pair = self.probe(src, address, src_address=src_address)
+            if pair is not None:
+                pairs.append(pair)
+        return pairs

@@ -1,0 +1,7 @@
+"""Analysis and rendering helpers shared by examples and benchmarks."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.hexbin import HexBinner
+from repro.analysis.tables import render_table
+
+__all__ = ["Cdf", "HexBinner", "render_table"]

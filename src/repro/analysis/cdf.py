@@ -1,0 +1,65 @@
+"""Empirical CDFs with an ASCII renderer for the Fig 7/10 benchmarks."""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import ReproError
+
+
+class Cdf:
+    """An empirical cumulative distribution over a sample."""
+
+    def __init__(self, samples) -> None:
+        self.samples = sorted(float(s) for s in samples)
+        if not self.samples:
+            raise ReproError("a CDF needs at least one sample")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def fraction_at(self, value: float) -> float:
+        """P(X <= value)."""
+        return bisect.bisect_right(self.samples, value) / len(self.samples)
+
+    def fraction_above(self, value: float) -> float:
+        """P(X > value)."""
+        return 1.0 - self.fraction_at(value)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 <= q <= 100)."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"percentile out of range: {q}")
+        index = min(len(self.samples) - 1, int(q / 100.0 * len(self.samples)))
+        return self.samples[index]
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def series(self, points: int = 50) -> "list[tuple[float, float]]":
+        """(value, fraction) pairs suitable for plotting or printing."""
+        lo, hi = self.samples[0], self.samples[-1]
+        if hi == lo:
+            return [(lo, 1.0)]
+        step = (hi - lo) / points
+        return [
+            (lo + i * step, self.fraction_at(lo + i * step))
+            for i in range(points + 1)
+        ]
+
+    def ascii_plot(self, width: int = 60, height: int = 12,
+                   label: str = "") -> str:
+        """A terminal rendering of the CDF (benchmarks print these)."""
+        rows = []
+        series = self.series(points=width - 1)
+        for level in range(height, -1, -1):
+            frac = level / height
+            line = "".join(
+                "#" if f >= frac - 1e-9 else " " for _v, f in series
+            )
+            rows.append(f"{frac:4.2f} |{line}")
+        lo, hi = self.samples[0], self.samples[-1]
+        rows.append("     +" + "-" * width)
+        rows.append(f"      {lo:<10.2f}{label:^{max(0, width - 20)}}{hi:>10.2f}")
+        return "\n".join(rows)

@@ -1,0 +1,86 @@
+"""Hexagonal binning for the Fig 18 latency maps.
+
+Fig 18 colours hexagons by the minimum RTT measured from that location;
+the binner maps (lat, lon) samples onto a hex grid and aggregates the
+per-bin minimum, plus an ASCII map renderer for the benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class HexCell:
+    """One hexagon: axial coordinates plus its centre."""
+
+    q: int
+    r: int
+    lat: float
+    lon: float
+
+
+class HexBinner:
+    """Bins (lat, lon, value) samples onto a pointy-top hex grid."""
+
+    def __init__(self, cell_deg: float = 1.6) -> None:
+        if cell_deg <= 0:
+            raise ReproError("hex cell size must be positive")
+        self.cell_deg = cell_deg
+
+    def cell_for(self, lat: float, lon: float) -> HexCell:
+        """The hex cell containing a coordinate (axial rounding)."""
+        size = self.cell_deg
+        q = (math.sqrt(3) / 3 * lon - 1.0 / 3 * lat) / size
+        r = (2.0 / 3 * lat) / size
+        # Cube-coordinate rounding.
+        x, z = q, r
+        y = -x - z
+        rx, ry, rz = round(x), round(y), round(z)
+        dx, dy, dz = abs(rx - x), abs(ry - y), abs(rz - z)
+        if dx > dy and dx > dz:
+            rx = -ry - rz
+        elif dy <= dz:
+            rz = -rx - ry
+        center_lat = 3.0 / 2 * size * rz
+        center_lon = math.sqrt(3) * size * (rx + rz / 2.0)
+        return HexCell(int(rx), int(rz), center_lat, center_lon)
+
+    def bin_min(self, samples: "list[tuple[float, float, float]]") -> "dict[HexCell, float]":
+        """Per-hex minimum of (lat, lon, value) samples (Fig 18's metric)."""
+        best: "dict[HexCell, float]" = {}
+        for lat, lon, value in samples:
+            cell = self.cell_for(lat, lon)
+            if cell not in best or value < best[cell]:
+                best[cell] = value
+        return best
+
+    @staticmethod
+    def ascii_map(binned: "dict[HexCell, float]",
+                  thresholds: "list[float]" = None,
+                  glyphs: str = ".:-=+*#@") -> str:
+        """Render binned values as a rough ASCII map (west→east, north↑).
+
+        Values are mapped to glyphs by threshold; darker glyph = higher
+        value, matching Fig 18's colour scale.
+        """
+        if not binned:
+            raise ReproError("nothing to render")
+        thresholds = thresholds or [40, 60, 80, 100, 120, 140, 160]
+        cells = list(binned.items())
+        lats = [c.lat for c, _v in cells]
+        lons = [c.lon for c, _v in cells]
+        lat_step = 1.8
+        lon_step = 1.8
+        rows = int((max(lats) - min(lats)) / lat_step) + 1
+        cols = int((max(lons) - min(lons)) / lon_step) + 1
+        grid = [[" "] * cols for _ in range(rows)]
+        for cell, value in cells:
+            row = rows - 1 - int((cell.lat - min(lats)) / lat_step)
+            col = int((cell.lon - min(lons)) / lon_step)
+            level = sum(1 for t in thresholds if value >= t)
+            grid[row][col] = glyphs[min(level, len(glyphs) - 1)]
+        return "\n".join("".join(line) for line in grid)

@@ -1,0 +1,140 @@
+"""Resilience analysis over inferred CO topologies (§8 future work).
+
+The paper closes by proposing that the inferred regional topologies be
+used to study resilience: which CO or link failures disconnect how many
+EdgeCOs (and therefore how many last-mile customers)?  §6.3 gives the
+motivating incident — the Christmas 2020 attack on AT&T's Nashville
+office took down the whole region, consistent with the region having a
+single BackboneCO.
+
+This module implements that analysis over refined region graphs:
+
+* single-CO failure impact (how many EdgeCOs lose all upstream paths);
+* the set of single points of failure;
+* a region-level resilience score comparable across ISPs and regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.infer.refine import RefinedRegion
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Consequences of removing one CO from a region graph."""
+
+    region: str
+    failed_co: str
+    #: EdgeCOs left with no path from any entry CO.
+    disconnected_edge_cos: "tuple[str, ...]"
+    total_edge_cos: int
+
+    @property
+    def disconnected_fraction(self) -> float:
+        if self.total_edge_cos == 0:
+            return 0.0
+        return len(self.disconnected_edge_cos) / self.total_edge_cos
+
+
+@dataclass
+class RegionResilience:
+    """The full single-failure sweep of one region."""
+
+    region: str
+    impacts: "list[FailureImpact]" = field(default_factory=list)
+
+    def single_points_of_failure(self, threshold: float = 0.5) -> "list[str]":
+        """COs whose loss disconnects more than *threshold* of EdgeCOs."""
+        return [
+            impact.failed_co
+            for impact in self.impacts
+            if impact.disconnected_fraction > threshold
+        ]
+
+    @property
+    def worst_case(self) -> "FailureImpact | None":
+        if not self.impacts:
+            return None
+        return max(self.impacts, key=lambda i: i.disconnected_fraction)
+
+    @property
+    def mean_impact(self) -> float:
+        if not self.impacts:
+            return 0.0
+        return sum(i.disconnected_fraction for i in self.impacts) / len(self.impacts)
+
+
+class ResilienceAnalyzer:
+    """Single-failure sweeps over refined region graphs."""
+
+    def __init__(self, region: RefinedRegion,
+                 entry_cos: "set[str] | None" = None) -> None:
+        if region.graph.number_of_nodes() == 0:
+            raise ReproError(f"region {region.name!r} has an empty graph")
+        self.region = region
+        # Traffic enters through COs with no upstream inside the region
+        # (the top AggCOs fed by backbone entries), unless told otherwise.
+        if entry_cos is None:
+            entry_cos = {
+                node for node in region.graph.nodes
+                if region.graph.in_degree(node) == 0
+                and region.graph.out_degree(node) > 0
+            }
+        if not entry_cos:
+            entry_cos = set(region.agg_cos)
+        self.entry_cos = set(entry_cos)
+
+    # ------------------------------------------------------------------
+    def _reachable_edges(self, graph: nx.DiGraph,
+                         entries: "set[str]") -> "set[str]":
+        reachable: "set[str]" = set()
+        for entry in entries:
+            if entry in graph:
+                reachable |= nx.descendants(graph, entry)
+                reachable.add(entry)
+        return {node for node in reachable if node in self.region.edge_cos}
+
+    def co_failure(self, co: str) -> FailureImpact:
+        """Impact of losing one CO (fiber cut at the building, §6.3)."""
+        graph = self.region.graph
+        if co not in graph:
+            raise ReproError(f"{co!r} is not a CO of region {self.region.name}")
+        baseline = self._reachable_edges(graph, self.entry_cos)
+        degraded = graph.copy()
+        degraded.remove_node(co)
+        entries = self.entry_cos - {co}
+        surviving = self._reachable_edges(degraded, entries)
+        lost = tuple(sorted(baseline - surviving - {co}))
+        return FailureImpact(
+            region=self.region.name,
+            failed_co=co,
+            disconnected_edge_cos=lost,
+            total_edge_cos=len(baseline),
+        )
+
+    def sweep(self, include_edges: bool = False) -> RegionResilience:
+        """Fail every aggregating CO (optionally every CO) in turn."""
+        result = RegionResilience(self.region.name)
+        targets = sorted(
+            node for node in self.region.graph.nodes
+            if include_edges or self.region.graph.out_degree(node) > 0
+        )
+        for co in targets:
+            result.impacts.append(self.co_failure(co))
+        return result
+
+
+def compare_regions(regions: "dict[str, RefinedRegion]") -> "dict[str, float]":
+    """Worst-case single-failure impact per region (the cross-region
+    resilience comparison §8 proposes)."""
+    out = {}
+    for name, region in sorted(regions.items()):
+        sweep = ResilienceAnalyzer(region).sweep()
+        worst = sweep.worst_case
+        out[name] = worst.disconnected_fraction if worst else 0.0
+    return out

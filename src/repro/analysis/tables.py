@@ -1,0 +1,29 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def render_table(headers: "list[str]", rows: "list[list[object]]",
+                 title: str = "") -> str:
+    """Render a fixed-width table; benchmarks print these to mirror the
+    paper's tables row for row."""
+    if not headers:
+        raise ReproError("a table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ReproError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

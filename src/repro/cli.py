@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's campaigns:
+
+* ``build``       — build the simulated internet and print its inventory;
+* ``map-cable``   — run the §5 pipeline against a cable ISP;
+* ``map-att``     — run the §6 pipeline against a telco region;
+* ``ship``        — run the §7 ShipTraceroute campaign and IPv6 analysis;
+* ``energy``      — print the Fig 14 energy comparison;
+* ``resilience``  — single-failure sweeps over inferred region graphs.
+
+Every command accepts ``--seed``; exporting commands accept ``--json-dir``
+(and ``--dot-dir`` for cable regions) to write artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+from collections import Counter
+
+
+def _build_internet(args, **kwargs):
+    from repro.topology.internet import SimulatedInternet
+
+    return SimulatedInternet(seed=args.seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_build(args) -> int:
+    """Build the simulated internet and print its inventory."""
+    internet = _build_internet(args)
+    network = internet.network
+    print(f"routers: {len(network.routers)}")
+    print(f"links: {len(network.links)}")
+    print(f"ptr records: {len(network.rdns)}")
+    for isp in (internet.comcast, internet.charter, internet.att):
+        total_cos = sum(len(r.cos) for r in isp.regions.values())
+        print(f"{isp.name}: {len(isp.regions)} regions, {total_cos} COs")
+    for name, carrier in sorted(internet.mobile_carriers.items()):
+        print(f"{name}: {len(carrier.regions)} mobile regions")
+    return 0
+
+
+def cmd_map_cable(args) -> int:
+    """Run the §5 pipeline against a cable ISP, optionally exporting."""
+    from repro.infer.pipeline import CableInferencePipeline
+    from repro.io.export import region_to_dot, region_to_json
+
+    internet = _build_internet(args, include_telco=False, include_mobile=False)
+    isp = getattr(internet, args.isp)
+    fleet = list(internet.build_standard_vps())
+    result = CableInferencePipeline(
+        internet.network, isp, fleet, sweep_vps=args.sweep_vps
+    ).run()
+    types = Counter(result.aggregation_types().values())
+    print(f"{args.isp}: {len(result.regions)} regions inferred "
+          f"({types['single']} single / {types['two']} two / "
+          f"{types['multi']} multi-level)")
+    for name in sorted(result.regions):
+        region = result.regions[name]
+        print(f"  {name}: {region.graph.number_of_nodes()} COs, "
+              f"{len(region.agg_cos)} AggCOs")
+    if args.json_dir:
+        directory = pathlib.Path(args.json_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, region in result.regions.items():
+            (directory / f"{args.isp}-{name}.json").write_text(
+                region_to_json(region)
+            )
+        print(f"wrote {len(result.regions)} JSON files to {directory}")
+    if args.dot_dir:
+        directory = pathlib.Path(args.dot_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, region in result.regions.items():
+            (directory / f"{args.isp}-{name}.dot").write_text(
+                region_to_dot(region)
+            )
+        print(f"wrote {len(result.regions)} DOT files to {directory}")
+    return 0
+
+
+def cmd_map_att(args) -> int:
+    """Run the §6 pipeline against one telco region."""
+    from repro.infer.att import AttInferencePipeline
+    from repro.io.export import att_topology_to_json
+    from repro.measure.wardriving import McTracerouteCampaign
+
+    internet = _build_internet(args, include_cable=False, include_mobile=False)
+    if args.region not in internet.att.regions:
+        print(f"unknown region {args.region!r}; available: "
+              f"{', '.join(sorted(internet.att.regions))}", file=sys.stderr)
+        return 2
+    internal = list(internet.telco_internal_vps())
+    wardriving = McTracerouteCampaign(internet.network, internet.att,
+                                      seed=args.seed)
+    wardriving.place_hotspots(internet.att.regions[args.region], count=58)
+    topology = AttInferencePipeline(internet.network, internal).run_region(
+        args.region, extra_vps=wardriving.usable_vps(), dpr_stride=2
+    )
+    print(f"{args.region}: {len(topology.backbone_routers)} backbone + "
+          f"{len(topology.agg_routers)} agg + "
+          f"{len(topology.edge_routers)} edge routers; "
+          f"{topology.backbone_co_count} BackboneCO(s), "
+          f"{len(topology.edge_cos)} EdgeCOs")
+    if args.json_dir:
+        directory = pathlib.Path(args.json_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"att-{args.region}.json"
+        path.write_text(att_topology_to_json(topology))
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_ship(args) -> int:
+    """Run the §7 ShipTraceroute campaign and the IPv6 analysis."""
+    from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+    from repro.io.export import carrier_analysis_to_json
+    from repro.measure.shiptraceroute import ShipTracerouteCampaign
+    from repro.topology.geography import Geography
+    from repro.topology.mobile import build_mobile_carriers
+
+    geography = Geography()
+    carriers = build_mobile_carriers(geography, seed=args.seed)
+    campaign = ShipTracerouteCampaign(carriers, geography, seed=args.seed)
+    results = campaign.run()
+    analyzer = MobileIPv6Analyzer(campaign.celldb)
+    for name, result in sorted(results.items()):
+        analysis = analyzer.analyze(result)
+        print(f"{name}: {result.succeeded}/{result.attempted} rounds "
+              f"({result.success_rate:.0%}), {analysis.region_count} regions, "
+              f"{analysis.topology_class}")
+        if args.json_dir:
+            directory = pathlib.Path(args.json_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.json").write_text(
+                carrier_analysis_to_json(analysis)
+            )
+    return 0
+
+
+def cmd_energy(args) -> int:
+    """Print the Fig 14 energy comparison."""
+    from repro.energy.model import PhoneEnergyModel
+
+    model = PhoneEnergyModel()
+    old = model.traceroute_round(args.targets, parallel=False,
+                                 rng=random.Random(args.seed))
+    new = model.traceroute_round(args.targets, parallel=True,
+                                 rng=random.Random(args.seed))
+    print(f"sequential (off-the-shelf): {old.total_mah:.1f} mAh per round")
+    print(f"parallel (ShipTraceroute):  {new.total_mah:.1f} mAh per round")
+    print(f"saving: {1 - new.total_mah / old.total_mah:.0%}")
+    print(f"battery life at hourly rounds: "
+          f"{model.battery_life_days(args.targets, parallel=True):.1f} days")
+    return 0
+
+
+def cmd_resilience(args) -> int:
+    """Sweep single-CO failures over inferred region graphs (§8)."""
+    from repro.analysis.resilience import ResilienceAnalyzer
+    from repro.infer.pipeline import CableInferencePipeline
+
+    internet = _build_internet(args, include_telco=False, include_mobile=False)
+    isp = getattr(internet, args.isp)
+    fleet = list(internet.build_standard_vps())
+    result = CableInferencePipeline(
+        internet.network, isp, fleet, sweep_vps=args.sweep_vps
+    ).run()
+    print(f"{args.isp}: worst single-CO failure per region")
+    for name in sorted(result.regions):
+        sweep = ResilienceAnalyzer(result.regions[name]).sweep()
+        worst = sweep.worst_case
+        spofs = sweep.single_points_of_failure()
+        print(f"  {name}: worst {worst.disconnected_fraction:.0%} "
+              f"({worst.failed_co}); {len(spofs)} SPOF(s)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Inferring Regional Access Network "
+                    "Topologies' (IMC 2021) on a simulated substrate.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("build", help="build the simulated internet")
+
+    map_cable = sub.add_parser("map-cable", help="run the §5 cable pipeline")
+    map_cable.add_argument("isp", choices=("comcast", "charter"))
+    map_cable.add_argument("--sweep-vps", type=int, default=8)
+    map_cable.add_argument("--json-dir")
+    map_cable.add_argument("--dot-dir")
+
+    map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
+    map_att.add_argument("region", nargs="?", default="sndgca")
+    map_att.add_argument("--json-dir")
+
+    ship = sub.add_parser("ship", help="run the §7 ShipTraceroute campaign")
+    ship.add_argument("--json-dir")
+
+    energy = sub.add_parser("energy", help="print the Fig 14 energy numbers")
+    energy.add_argument("--targets", type=int, default=266)
+
+    resilience = sub.add_parser(
+        "resilience", help="single-failure sweeps over inferred regions"
+    )
+    resilience.add_argument("isp", choices=("comcast", "charter"))
+    resilience.add_argument("--sweep-vps", type=int, default=8)
+
+    return parser
+
+
+_COMMANDS = {
+    "build": cmd_build,
+    "map-cable": cmd_map_cable,
+    "map-att": cmd_map_att,
+    "ship": cmd_ship,
+    "energy": cmd_energy,
+    "resilience": cmd_resilience,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

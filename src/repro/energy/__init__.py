@@ -1,0 +1,9 @@
+"""Smartphone radio energy model (Fig 14)."""
+
+from repro.energy.model import (
+    EnergyTrace,
+    PhoneEnergyModel,
+    RadioState,
+)
+
+__all__ = ["EnergyTrace", "PhoneEnergyModel", "RadioState"]

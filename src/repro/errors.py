@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AddressError(ReproError):
+    """An address or prefix was malformed or exhausted."""
+
+
+class TopologyError(ReproError):
+    """A topology generator or the simulated network was misconfigured."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two endpoints of the simulated network."""
+
+
+class MeasurementError(ReproError):
+    """A measurement campaign was configured inconsistently."""
+
+
+class InferenceError(ReproError):
+    """The inference pipeline received input it cannot process."""

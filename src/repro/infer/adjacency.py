@@ -1,0 +1,180 @@
+"""CO adjacency extraction and pruning (Appendix B.2, Table 4).
+
+From the traceroute corpus, collect immediately adjacent responding
+address pairs, lift them to CO adjacencies via the IP→CO mapping, and
+prune four classes of false or out-of-scope adjacency:
+
+* **MPLS tunnel entry/exit pairs** — a pair adjacent in the original
+  corpus but separated by intermediate hops in the follow-up (DPR)
+  corpus is a tunnel, not a link;
+* **backbone adjacencies** — entries into the region are inferred
+  separately (§5.2.5), so adjacencies touching a backbone hostname are
+  set aside;
+* **cross-region adjacencies** — overwhelmingly stale rDNS;
+* **single-observation adjacencies** — traceroute noise (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.infer.ip2co import Ip2CoMapping
+from repro.measure.traceroute import TraceResult
+from repro.net.dns import RdnsStore
+from repro.rdns.regexes import HostnameParser
+
+
+@dataclass
+class AdjacencyStats:
+    """Pruning accounting in the shape of Table 4."""
+
+    initial_ip: int = 0
+    initial_co: int = 0
+    mpls_ip: int = 0
+    mpls_co: int = 0
+    backbone_ip: int = 0
+    backbone_co: int = 0
+    cross_region_ip: int = 0
+    cross_region_co: int = 0
+    single_ip: int = 0
+    single_co: int = 0
+
+    def as_rows(self) -> "list[tuple[str, str, str]]":
+        """Render the Table 4 rows (percentages relative to Initial)."""
+        def pct(n: int, total: int) -> str:
+            return f"{100.0 * n / total:.2f}%" if total else "0%"
+
+        return [
+            ("Initial", f"{self.initial_ip}", f"{self.initial_co}"),
+            ("MPLS", pct(self.mpls_ip, self.initial_ip), pct(self.mpls_co, self.initial_co)),
+            ("Backbone", pct(self.backbone_ip, self.initial_ip), pct(self.backbone_co, self.initial_co)),
+            ("Cross-Region", pct(self.cross_region_ip, self.initial_ip), pct(self.cross_region_co, self.initial_co)),
+            ("Single", pct(self.single_ip, self.initial_ip), pct(self.single_co, self.initial_co)),
+        ]
+
+
+@dataclass
+class RegionAdjacencies:
+    """Surviving CO adjacencies per region, with observation counts."""
+
+    #: region -> {(co_a, co_b): observation count} (directed, in path order).
+    per_region: "dict[str, Counter]" = field(default_factory=dict)
+    #: Adjacencies touching a backbone hop, kept for entry inference:
+    #: (backbone tag, region, co_tag) -> count.
+    backbone_pairs: "Counter" = field(default_factory=Counter)
+    stats: AdjacencyStats = field(default_factory=AdjacencyStats)
+
+    def regions(self) -> "list[str]":
+        return sorted(self.per_region)
+
+
+class AdjacencyExtractor:
+    """Builds :class:`RegionAdjacencies` from the corpora."""
+
+    def __init__(self, mapping: Ip2CoMapping, rdns: RdnsStore, isp: str,
+                 parser: "HostnameParser | None" = None) -> None:
+        self.mapping = mapping
+        self.rdns = rdns
+        self.isp = isp
+        self.parser = parser or HostnameParser()
+
+    # -- helpers -------------------------------------------------------------
+    def _backbone_tag(self, address: str) -> "str | None":
+        parsed = self.parser.parse(self.rdns.lookup(address))
+        if parsed is not None and parsed.role == "backbone" and (
+            parsed.isp == self.isp or self.isp.startswith(parsed.isp)
+        ):
+            return parsed.co_tag or parsed.region
+        return None
+
+    @staticmethod
+    def _mpls_separated(
+        pair: "tuple[str, str]", followup_traces: "list[TraceResult]"
+    ) -> bool:
+        """True when follow-up traces show intermediate hops inside *pair*."""
+        first, second = pair
+        for trace in followup_traces:
+            addresses = trace.responsive_addresses()
+            if first in addresses and second in addresses:
+                i, j = addresses.index(first), addresses.index(second)
+                if j - i > 1:
+                    return True
+        return False
+
+    # -- the extraction ---------------------------------------------------
+    def extract(
+        self,
+        traces: "list[TraceResult]",
+        followup_traces: "list[TraceResult] | None" = None,
+    ) -> RegionAdjacencies:
+        """Lift IP adjacencies to pruned per-region CO adjacencies."""
+        followups = followup_traces or []
+        result = RegionAdjacencies()
+        stats = result.stats
+
+        ip_pairs: Counter = Counter()
+        for trace in traces:
+            for pair in trace.adjacent_pairs():
+                ip_pairs[pair] += 1
+        stats.initial_ip = len(ip_pairs)
+
+        # Index follow-up visibility once: pair -> separated?
+        followup_index: "dict[tuple[str, str], bool]" = {}
+
+        co_pairs: "dict[tuple[str, str, str], int]" = {}  # (region, a, b) -> n
+        co_backbone: Counter = Counter()
+        co_cross: Counter = Counter()
+        mpls_co_pairs: set = set()
+
+        stats_initial_co: set = set()
+        for (ip_a, ip_b), count in ip_pairs.items():
+            bb_tag = self._backbone_tag(ip_a)
+            co_b = self.mapping.co_of(ip_b)
+            if bb_tag is not None:
+                stats.backbone_ip += 1
+                if co_b is not None:
+                    co_backbone[(bb_tag, co_b[0], co_b[1])] += count
+                continue
+            co_a = self.mapping.co_of(ip_a)
+            if co_a is None or co_b is None:
+                continue
+            if co_a == co_b:
+                continue
+            region_a, tag_a = co_a
+            region_b, tag_b = co_b
+            stats_initial_co.add((region_a, tag_a, region_b, tag_b))
+            if region_a != region_b:
+                stats.cross_region_ip += 1
+                co_cross[(region_a, tag_a, region_b, tag_b)] += count
+                continue
+            if followups:
+                key = (ip_a, ip_b)
+                separated = followup_index.get(key)
+                if separated is None:
+                    separated = self._mpls_separated(key, followups)
+                    followup_index[key] = separated
+                if separated:
+                    stats.mpls_ip += 1
+                    mpls_co_pairs.add((region_a, tag_a, tag_b))
+                    continue
+            co_pairs[(region_a, tag_a, tag_b)] = (
+                co_pairs.get((region_a, tag_a, tag_b), 0) + count
+            )
+
+        stats.initial_co = len(stats_initial_co) + len(
+            {(t, r, c) for (t, r, c) in co_backbone}
+        )
+        stats.backbone_co = len({key for key in co_backbone})
+        stats.cross_region_co = len({key for key in co_cross})
+        stats.mpls_co = len(mpls_co_pairs)
+
+        # Single-observation pruning (§5.2.1).
+        for (region, tag_a, tag_b), count in co_pairs.items():
+            if count < 2:
+                stats.single_co += 1
+                stats.single_ip += 1
+                continue
+            result.per_region.setdefault(region, Counter())[(tag_a, tag_b)] = count
+        result.backbone_pairs = co_backbone
+        return result

@@ -1,0 +1,42 @@
+"""Region aggregation-type classification (Table 1, Fig 8).
+
+Classifies a refined region graph as:
+
+* ``single`` — one AggCO layer with a single AggCO (Fig 8a);
+* ``two`` — one AggCO layer made of two ring-sharing AggCOs (Fig 8b);
+* ``multi`` — multiple aggregation levels: AggCOs feeding other AggCOs,
+  or more than one AggCO ring group (Fig 8c).
+"""
+
+from __future__ import annotations
+
+from repro.infer.refine import RefinedRegion
+
+
+def classify_aggregation(region: RefinedRegion) -> str:
+    """Classify one refined region's aggregation type."""
+    aggs = region.agg_cos
+    if not aggs:
+        return "single"
+    # Any AggCO feeding another AggCO implies layered aggregation.
+    for agg in aggs:
+        for dst in region.graph.successors(agg):
+            if dst in aggs and dst != agg:
+                # Mutual edges between two paired AggCOs on one ring do
+                # not make the region multi-level; a one-way feed does.
+                if not region.graph.has_edge(dst, agg) or len(aggs) > 2:
+                    return "multi"
+    groups = [g for g in region.agg_groups if g]
+    if len(aggs) == 1:
+        return "single"
+    if len(aggs) == 2 and len(groups) <= 2:
+        return "two"
+    return "multi"
+
+
+def count_types(regions: "list[RefinedRegion]") -> "dict[str, int]":
+    """Aggregate Table 1 counts over a set of regions."""
+    counts = {"single": 0, "two": 0, "multi": 0}
+    for region in regions:
+        counts[classify_aggregation(region)] += 1
+    return counts

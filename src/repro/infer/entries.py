@@ -1,0 +1,100 @@
+"""Entry-point inference (§5.2.5).
+
+Adds back edges that cross regional boundaries — backbone entry points
+and direct inter-region connections — but only on overwhelming
+evidence: the outside CO must appear leading into **two or more**
+distinct COs of the region (stale-rDNS protection), and the entry must
+lead onward into the region (the triplet rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infer.adjacency import RegionAdjacencies
+from repro.infer.ip2co import Ip2CoMapping
+from repro.measure.traceroute import TraceResult
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One inferred entry: outside CO → a CO of the region."""
+
+    outside_tag: str
+    #: "" when the entry comes from the backbone; otherwise the name of
+    #: the neighbouring region it comes from.
+    outside_region: str
+    region: str
+    co_tag: str
+
+    @property
+    def is_backbone(self) -> bool:
+        return self.outside_region == ""
+
+
+class EntryInferrer:
+    """Backbone + inter-region entry inference from the corpora."""
+
+    def __init__(self, mapping: Ip2CoMapping, min_distinct_cos: int = 2) -> None:
+        self.mapping = mapping
+        self.min_distinct_cos = min_distinct_cos
+
+    def backbone_entries(self, adjacencies: RegionAdjacencies) -> "list[EntryPoint]":
+        """Backbone entry points from the set-aside backbone adjacencies."""
+        leads: "dict[tuple[str, str], set[str]]" = {}
+        for (bb_tag, region, co_tag), _count in adjacencies.backbone_pairs.items():
+            leads.setdefault((bb_tag, region), set()).add(co_tag)
+        entries = []
+        for (bb_tag, region), co_tags in sorted(leads.items()):
+            for co_tag in sorted(co_tags):
+                entries.append(EntryPoint(bb_tag, "", region, co_tag))
+        return entries
+
+    def inter_region_entries(self, traces: "list[TraceResult]") -> "list[EntryPoint]":
+        """Direct inter-region entries via the triplet rule.
+
+        Extract triplets ``(co_i, r1) → (co_j, r2) → (co_k, r2)`` with
+        r1 ≠ r2; the onward hop inside r2 shows the entry actually leads
+        into the region.  An entry is kept only when observed leading to
+        ≥ ``min_distinct_cos`` distinct COs of r2.
+        """
+        onward: "dict[tuple[str, str, str, str], set[str]]" = {}
+        for trace in traces:
+            mapped = [
+                self.mapping.co_of(address)
+                for address in trace.responsive_addresses()
+            ]
+            for first, second, third in zip(mapped, mapped[1:], mapped[2:]):
+                if first is None or second is None or third is None:
+                    continue
+                r1, tag_i = first
+                r2, tag_j = second
+                r3, tag_k = third
+                if r1 == r2 or r2 != r3 or tag_j == tag_k:
+                    continue
+                onward.setdefault((r1, tag_i, r2, tag_j), set()).add(tag_k)
+        entries = []
+        for (r1, tag_i, r2, tag_j), led_to in sorted(onward.items()):
+            if len(led_to) >= self.min_distinct_cos - 1:
+                entries.append(EntryPoint(tag_i, r1, r2, tag_j))
+        return entries
+
+    @staticmethod
+    def backbone_entry_count(entries: "list[EntryPoint]") -> "dict[str, int]":
+        """Distinct backbone entry points per region (the 57-entries stat)."""
+        per_region: "dict[str, set]" = {}
+        for entry in entries:
+            if entry.is_backbone:
+                per_region.setdefault(entry.region, set()).add(
+                    (entry.outside_tag, entry.co_tag)
+                )
+        return {region: len(points) for region, points in per_region.items()}
+
+    @staticmethod
+    def backbone_cos_per_region(entries: "list[EntryPoint]") -> "dict[str, int]":
+        """Distinct backbone COs feeding each region (the ≥2 check)."""
+        per_region: "dict[str, set]" = {}
+        for entry in entries:
+            if entry.is_backbone:
+                per_region.setdefault(entry.region, set()).add(entry.outside_tag)
+        return {region: len(tags) for region, tags in per_region.items()}

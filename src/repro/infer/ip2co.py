@@ -1,0 +1,193 @@
+"""IP address → CO mapping (Appendix B.1, Table 3).
+
+Three stages, each tracked for the Table 3 churn accounting:
+
+1. **Initial**: reverse-lookup every observed address (dig first, bulk
+   snapshot second) plus every address in the same point-to-point
+   subnet, and extract (region, CO tag) with the hostname regexes.
+2. **Alias resolution**: remap whole alias sets to their majority CO
+   tag; on a tie, drop the mapping rather than keep a conflicting one.
+3. **Point-to-point subnets**: a router usually replies from the
+   inbound interface, so the *other* address of that /30 or /31 sits on
+   the previous-hop router; votes from those peer addresses correct or
+   fill the previous hop's mapping (Fig 19).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.alias.resolve import AliasSets
+from repro.errors import AddressError
+from repro.measure.traceroute import TraceResult
+from repro.net.addresses import p2p_peer, parse_ip
+from repro.net.dns import RdnsStore
+from repro.rdns.regexes import HostnameParser
+
+CoRef = "tuple[str, str]"  # (region, co_tag)
+
+
+@dataclass
+class Ip2CoStats:
+    """Churn accounting in the shape of Table 3."""
+
+    initial: int = 0
+    alias_changed: int = 0
+    alias_added: int = 0
+    alias_removed: int = 0
+    after_alias: int = 0
+    p2p_changed: int = 0
+    p2p_added: int = 0
+    final: int = 0
+
+    def as_rows(self) -> "list[tuple[str, str]]":
+        """Render the Table 3 rows (percentages relative to `initial`)."""
+        def pct(n: int) -> str:
+            return f"{100.0 * n / self.initial:.2f}%" if self.initial else "0%"
+
+        return [
+            ("Initial", f"{self.initial}"),
+            ("Alias changed", pct(self.alias_changed)),
+            ("Alias added", pct(self.alias_added)),
+            ("Alias removed", pct(self.alias_removed)),
+            ("After alias", f"{self.after_alias}"),
+            ("P2P changed", pct(self.p2p_changed)),
+            ("P2P added", pct(self.p2p_added)),
+            ("Final", f"{self.final}"),
+        ]
+
+
+@dataclass
+class Ip2CoMapping:
+    """The resolved address → (region, co_tag) mapping."""
+
+    mapping: "dict[str, CoRef]" = field(default_factory=dict)
+    stats: Ip2CoStats = field(default_factory=Ip2CoStats)
+
+    def co_of(self, address: "str | None") -> "Optional[CoRef]":
+        if address is None:
+            return None
+        return self.mapping.get(address)
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+
+class Ip2CoMapper:
+    """Runs the three B.1 stages over a traceroute corpus."""
+
+    def __init__(self, rdns: RdnsStore, isp: str, p2p_prefixlen: int = 30,
+                 parser: "HostnameParser | None" = None) -> None:
+        self.rdns = rdns
+        self.isp = isp
+        self.p2p_prefixlen = p2p_prefixlen
+        self.parser = parser or HostnameParser()
+
+    # -- stage 1 -----------------------------------------------------------
+    def _lookup_co(self, address: str) -> "Optional[CoRef]":
+        return self.parser.regional_co(self.rdns.lookup(address), self.isp)
+
+    def observed_addresses(self, traces: "list[TraceResult]") -> "set[str]":
+        """All responding hop addresses plus their p2p-subnet peers."""
+        addresses: set[str] = set()
+        for trace in traces:
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                addresses.add(hop.address)
+                try:
+                    addresses.add(str(p2p_peer(hop.address, self.p2p_prefixlen)))
+                except AddressError:
+                    continue
+        return addresses
+
+    def initial_mapping(self, addresses: "set[str]") -> "dict[str, CoRef]":
+        mapping = {}
+        for address in sorted(addresses):
+            co = self._lookup_co(address)
+            if co is not None:
+                mapping[address] = co
+        return mapping
+
+    # -- stage 2 -----------------------------------------------------------
+    def _apply_alias_groups(
+        self, mapping: "dict[str, CoRef]", aliases: AliasSets, stats: Ip2CoStats
+    ) -> None:
+        for group in aliases.groups:
+            votes: Counter = Counter()
+            for address in group:
+                co = mapping.get(address) or self._lookup_co(address)
+                if co is not None:
+                    votes[co] += 1
+            if not votes:
+                continue
+            ranked = votes.most_common()
+            top_co, top_count = ranked[0]
+            tie = len(ranked) > 1 and ranked[1][1] == top_count
+            for address in group:
+                if tie:
+                    # Conflicting evidence with no majority: drop rather
+                    # than risk a wrong building (App. B.1).
+                    if address in mapping:
+                        del mapping[address]
+                        stats.alias_removed += 1
+                    continue
+                old = mapping.get(address)
+                if old is None:
+                    mapping[address] = top_co
+                    stats.alias_added += 1
+                elif old != top_co:
+                    mapping[address] = top_co
+                    stats.alias_changed += 1
+
+    # -- stage 3 -----------------------------------------------------------
+    def _apply_p2p_votes(
+        self,
+        mapping: "dict[str, CoRef]",
+        traces: "list[TraceResult]",
+        stats: Ip2CoStats,
+    ) -> None:
+        votes: "dict[str, Counter]" = {}
+        for trace in traces:
+            for prev_addr, cur_addr in trace.adjacent_pairs(exclude_final_echo=True):
+                try:
+                    peer = str(p2p_peer(cur_addr, self.p2p_prefixlen))
+                except AddressError:
+                    continue
+                peer_co = mapping.get(peer)
+                if peer_co is None:
+                    continue
+                # The peer of the inbound interface most likely sits on
+                # the previous-hop router (Fig 19).
+                votes.setdefault(prev_addr, Counter())[peer_co] += 1
+        for address, counter in votes.items():
+            ranked = counter.most_common()
+            top_co, top_count = ranked[0]
+            if len(ranked) > 1 and ranked[1][1] == top_count:
+                continue
+            old = mapping.get(address)
+            if old is None:
+                mapping[address] = top_co
+                stats.p2p_added += 1
+            elif old != top_co and counter[top_co] > counter.get(old, 0):
+                mapping[address] = top_co
+                stats.p2p_changed += 1
+
+    # -- the full run --------------------------------------------------------
+    def build(self, traces: "list[TraceResult]", aliases: AliasSets,
+              extra_addresses: "set[str] | None" = None) -> Ip2CoMapping:
+        """Run all three stages; *extra_addresses* joins stage 1's input
+        (e.g. every rDNS-bearing address of the ISP, §5.1)."""
+        stats = Ip2CoStats()
+        addresses = self.observed_addresses(traces)
+        if extra_addresses:
+            addresses |= {str(parse_ip(a)) for a in extra_addresses}
+        mapping = self.initial_mapping(addresses)
+        stats.initial = len(mapping)
+        self._apply_alias_groups(mapping, aliases, stats)
+        stats.after_alias = len(mapping)
+        self._apply_p2p_votes(mapping, traces, stats)
+        stats.final = len(mapping)
+        return Ip2CoMapping(mapping=mapping, stats=stats)

@@ -1,0 +1,110 @@
+"""Scoring inferred topologies against ground truth.
+
+The paper validated with network operators (§5.4); the simulation can
+do better — every generator records exactly what it built, so inferred
+region graphs can be scored with precision/recall over CO edges and CO
+recovery rates.  Only this module reads ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infer.refine import RefinedRegion
+from repro.topology.co import Region
+
+
+@dataclass(frozen=True)
+class RegionScore:
+    """Edge- and node-level agreement with ground truth."""
+
+    region: str
+    true_cos: int
+    inferred_cos: int
+    matched_cos: int
+    true_edges: int
+    inferred_edges: int
+    matched_edges: int
+
+    @property
+    def co_recall(self) -> float:
+        return self.matched_cos / self.true_cos if self.true_cos else 1.0
+
+    @property
+    def edge_precision(self) -> float:
+        return self.matched_edges / self.inferred_edges if self.inferred_edges else 1.0
+
+    @property
+    def edge_recall(self) -> float:
+        return self.matched_edges / self.true_edges if self.true_edges else 1.0
+
+    @property
+    def edge_f1(self) -> float:
+        p, r = self.edge_precision, self.edge_recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def score_region(
+    inferred: RefinedRegion,
+    truth: Region,
+    tag_of_co: "dict[str, str]",
+) -> RegionScore:
+    """Score one inferred region against its ground truth.
+
+    ``tag_of_co`` maps ground-truth CO uids to the rDNS tags the
+    inference works in (the generator's ``co_tag`` bookkeeping).
+    """
+    true_tags = {
+        tag_of_co[uid] for uid in truth.cos if uid in tag_of_co
+    }
+    inferred_tags = set(inferred.graph.nodes)
+    matched_cos = len(true_tags & inferred_tags)
+
+    true_edges = set()
+    for up_uid, down_uid in truth.edge_pairs():
+        up_tag, down_tag = tag_of_co.get(up_uid), tag_of_co.get(down_uid)
+        if up_tag and down_tag:
+            true_edges.add((up_tag, down_tag))
+    inferred_edges = set(inferred.graph.edges)
+    matched_edges = len(true_edges & inferred_edges)
+
+    return RegionScore(
+        region=truth.name,
+        true_cos=len(true_tags),
+        inferred_cos=len(inferred_tags),
+        matched_cos=matched_cos,
+        true_edges=len(true_edges),
+        inferred_edges=len(inferred_edges),
+        matched_edges=matched_edges,
+    )
+
+
+def single_upstream_fraction(regions: "list[RefinedRegion]",
+                             exclude: "set[str] | None" = None) -> float:
+    """Fraction of EdgeCOs with exactly one upstream CO (App. B.4)."""
+    excluded = exclude or set()
+    single = total = 0
+    for region in regions:
+        if region.name in excluded:
+            continue
+        for edge_co in region.edge_cos:
+            upstreams = set(region.graph.predecessors(edge_co))
+            if not upstreams:
+                continue
+            total += 1
+            if len(upstreams) == 1:
+                single += 1
+    return single / total if total else 0.0
+
+
+def edge_to_agg_ratio(regions: "list[RefinedRegion]") -> float:
+    """EdgeCO:AggCO ratio, counting any CO with an outgoing edge as an
+    AggCO (the §5.3 / §5.5 definition behind the 7.7× figure)."""
+    aggs = edges = 0
+    for region in regions:
+        for node in region.graph.nodes:
+            if region.graph.out_degree(node) > 0:
+                aggs += 1
+            else:
+                edges += 1
+    return edges / aggs if aggs else 0.0

@@ -1,0 +1,321 @@
+"""Mobile IPv6 bit-field analysis (§7.2, Fig 16, Fig 17, Tables 7–8).
+
+Mobile carriers expose almost no rDNS, but they encode topology into
+IPv6 address bits.  Given the geo-tagged ShipTraceroute corpus, the
+analyzer classifies the upper 64 bits of the phone's own address (and
+of each in-carrier traceroute hop) at nibble granularity:
+
+* **prefix** — never changes: the carrier's allocation;
+* **geo fields** — change only when the phone moves between areas:
+  region / backbone-region / EdgeCO identifiers;
+* **cycling fields** — change across airplane-mode re-attachments at
+  one location, cycling through a *small* value set: packet-gateway
+  (PGW) identifiers;
+* **subscriber bits** — change on every attachment with high value
+  diversity: per-session subnet bits.
+
+From those fields it counts regions and PGWs per region (Tables 7–8)
+and classifies each carrier's aggregation design (Fig 17): AT&T-style
+single EdgeCO per region, Verizon-style EdgeCOs sharing backbone
+regions, or T-Mobile-style sites with multiple third-party backbones.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InferenceError
+from repro.measure.cellular import CellDatabase
+from repro.measure.shiptraceroute import ShipCampaignResult, ShipRound
+
+#: Max distinct values (at one location) for a field to count as a
+#: cycling PGW field rather than subscriber randomness.
+_CYCLE_MAX_VALUES = 6
+
+_PROVIDER_RE = re.compile(r"\.([a-z0-9-]+)\.(?:net|com)$")
+
+
+def _nibble(value: int, index: int) -> int:
+    """Nibble *index* (0 = most significant) of a 64-bit int."""
+    return (value >> (60 - 4 * index)) & 0xF
+
+
+def _upper64(address: "str | ipaddress.IPv6Address") -> int:
+    return int(ipaddress.IPv6Address(str(address))) >> 64
+
+
+@dataclass
+class BitFieldReport:
+    """Field classification of one address population (Fig 16 rows)."""
+
+    #: Stable prefix length in bits (multiple of 4).
+    prefix_bits: int
+    #: Bit ranges [start, end) varying with geography only.
+    geo_fields: "list[tuple[int, int]]" = field(default_factory=list)
+    #: Bit ranges cycling across re-attachments at one location.
+    cycling_fields: "list[tuple[int, int]]" = field(default_factory=list)
+    #: Bit ranges with high per-attachment diversity.
+    subscriber_fields: "list[tuple[int, int]]" = field(default_factory=list)
+
+    def describe(self) -> "list[str]":
+        """Human-readable rows like the paper's Fig 16 captions."""
+        rows = [f"0-{self.prefix_bits - 1}: carrier prefix"] if self.prefix_bits else []
+        rows += [f"{a}-{b - 1}: geography (region/EdgeCO)" for a, b in self.geo_fields]
+        rows += [f"{a}-{b - 1}: packet gateway (cycles on re-attach)" for a, b in self.cycling_fields]
+        rows += [f"{a}-{b - 1}: per-session subscriber bits" for a, b in self.subscriber_fields]
+        return rows
+
+
+@dataclass
+class CarrierAnalysis:
+    """Everything inferred for one carrier."""
+
+    carrier: str
+    user_report: BitFieldReport
+    hop_reports: "dict[int, BitFieldReport]"
+    region_count: int
+    #: region key (hex of geo-field values) -> inferred PGW count.
+    pgw_counts: "dict[str, int]"
+    backbone_providers: "set[str]"
+    topology_class: str
+
+
+class MobileIPv6Analyzer:
+    """Runs the §7.2 analysis over a ShipTraceroute corpus."""
+
+    def __init__(self, celldb: "CellDatabase | None" = None) -> None:
+        self.celldb = celldb or CellDatabase()
+
+    # ------------------------------------------------------------------
+    # Corpus access (observables only)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rounds(result: ShipCampaignResult) -> "list[ShipRound]":
+        rounds = result.successful_rounds()
+        if not rounds:
+            raise InferenceError(
+                f"no successful rounds for carrier {result.carrier_name}"
+            )
+        return rounds
+
+    def _location_key(self, round_: ShipRound) -> "tuple[float, float]":
+        if round_.cellid is None:
+            raise InferenceError("successful round without a cellid")
+        return self.celldb.locate(round_.cellid)
+
+    @staticmethod
+    def _user_value(round_: ShipRound) -> int:
+        return _upper64(round_.attachment.user_prefix.network_address)
+
+    @staticmethod
+    def _hop_value(round_: ShipRound, hop_position: int) -> "Optional[int]":
+        named = [
+            h for h in round_.trace.hops[:-1]
+            if h.address is not None and ":" in h.address
+        ]
+        if hop_position >= len(named):
+            return None
+        return _upper64(named[hop_position].address)
+
+    # ------------------------------------------------------------------
+    # Field classification
+    # ------------------------------------------------------------------
+    def _classify_nibbles(
+        self, by_location: "dict[tuple, list[int]]"
+    ) -> BitFieldReport:
+        """Classify the 16 nibbles of a 64-bit value population."""
+        all_values = [v for values in by_location.values() for v in values]
+        if not all_values:
+            raise InferenceError("empty address population")
+        kinds: "list[str]" = []
+        for index in range(16):
+            nibbles_everywhere = {_nibble(v, index) for v in all_values}
+            if len(nibbles_everywhere) == 1:
+                kinds.append("prefix")
+                continue
+            varies_within = False
+            max_local_diversity = 1
+            value_repeats = False
+            for values in by_location.values():
+                if len(values) < 2:
+                    continue
+                local = [_nibble(v, index) for v in values]
+                distinct = set(local)
+                if len(distinct) > 1:
+                    varies_within = True
+                    max_local_diversity = max(max_local_diversity, len(distinct))
+                if len(values) >= 3 and len(distinct) < len(local):
+                    value_repeats = True
+            if not varies_within:
+                kinds.append("geo")
+            elif max_local_diversity <= _CYCLE_MAX_VALUES and value_repeats:
+                # A PGW field cycles through a small, *recurring* value
+                # set; per-session subscriber bits rarely repeat.
+                kinds.append("cycle")
+            else:
+                kinds.append("subscriber")
+        # A stable prefix is only the *leading* run of constant nibbles;
+        # constant nibbles inside variable fields stay with their field.
+        prefix_nibbles = 0
+        for kind in kinds:
+            if kind != "prefix":
+                break
+            prefix_nibbles += 1
+        report = BitFieldReport(prefix_bits=prefix_nibbles * 4)
+        for kind_name, target in (
+            ("geo", report.geo_fields),
+            ("cycle", report.cycling_fields),
+            ("subscriber", report.subscriber_fields),
+        ):
+            start = None
+            for index in range(prefix_nibbles, 17):
+                is_kind = index < 16 and kinds[index] == kind_name
+                if is_kind and start is None:
+                    start = index
+                elif not is_kind and start is not None:
+                    target.append((start * 4, index * 4))
+                    start = None
+        return report
+
+    def analyze_user_addresses(self, result: ShipCampaignResult) -> BitFieldReport:
+        """Fig 16's user-address rows for one carrier."""
+        by_location: "dict[tuple, list[int]]" = defaultdict(list)
+        for round_ in self._rounds(result):
+            by_location[self._location_key(round_)].append(self._user_value(round_))
+        return self._classify_nibbles(by_location)
+
+    def analyze_hop(self, result: ShipCampaignResult, hop_position: int) -> "Optional[BitFieldReport]":
+        """Fig 16's router-address rows for one in-carrier hop."""
+        by_location: "dict[tuple, list[int]]" = defaultdict(list)
+        for round_ in self._rounds(result):
+            value = self._hop_value(round_, hop_position)
+            if value is not None:
+                by_location[self._location_key(round_)].append(value)
+        if not by_location:
+            return None
+        return self._classify_nibbles(by_location)
+
+    # ------------------------------------------------------------------
+    # Regions and PGWs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _field_value(value: int, fields: "list[tuple[int, int]]") -> "tuple[int, ...]":
+        out = []
+        for start, end in fields:
+            out.append((value >> (64 - end)) & ((1 << (end - start)) - 1))
+        return tuple(out)
+
+    def region_keys(self, result: ShipCampaignResult,
+                    report: "BitFieldReport | None" = None) -> "dict[str, list[ShipRound]]":
+        """Group rounds by the user-address geography fields."""
+        report = report or self.analyze_user_addresses(result)
+        groups: "dict[str, list[ShipRound]]" = defaultdict(list)
+        for round_ in self._rounds(result):
+            value = self._user_value(round_)
+            key_parts = self._field_value(value, report.geo_fields)
+            key = ":".join(f"{part:x}" for part in key_parts) or "all"
+            groups[key].append(round_)
+        return dict(groups)
+
+    def count_regions(self, result: ShipCampaignResult) -> int:
+        """Distinct geography-field values observed (11 for AT&T…)."""
+        return len(self.region_keys(result))
+
+    def pgw_counts(self, result: ShipCampaignResult) -> "dict[str, int]":
+        """PGWs per region: distinct cycling-field values (Tables 7–8).
+
+        The PGW may only be visible in router hops (AT&T), in the user
+        address (Verizon, T-Mobile), or both; we take the most diverse
+        cycling field available per region.
+        """
+        user_report = self.analyze_user_addresses(result)
+        hop_reports = {}
+        for position in range(6):
+            hop_report = self.analyze_hop(result, position)
+            if hop_report is not None and hop_report.cycling_fields:
+                hop_reports[position] = hop_report
+        counts: "dict[str, int]" = {}
+        for key, rounds in self.region_keys(result, user_report).items():
+            best = 1
+            # Only the most significant cycling field is the PGW id:
+            # genuine identifiers sit right after the geography fields,
+            # while occasional spurious repeats live in the low
+            # subscriber bits.
+            if user_report.cycling_fields:
+                values = {
+                    self._field_value(
+                        self._user_value(r), user_report.cycling_fields[:1]
+                    )
+                    for r in rounds
+                }
+                best = max(best, len(values))
+            for position, hop_report in hop_reports.items():
+                values = set()
+                for r in rounds:
+                    value = self._hop_value(r, position)
+                    if value is not None:
+                        values.add(
+                            self._field_value(value, hop_report.cycling_fields[:1])
+                        )
+                best = max(best, len(values))
+            counts[key] = best
+        return counts
+
+    # ------------------------------------------------------------------
+    # Fig 17: carrier topology classification
+    # ------------------------------------------------------------------
+    def backbone_providers(self, result: ShipCampaignResult) -> "set[str]":
+        """Backbone provider domains seen in hop rDNS."""
+        providers = set()
+        for round_ in self._rounds(result):
+            for hop in round_.trace.hops:
+                if not hop.rdns:
+                    continue
+                match = _PROVIDER_RE.search(hop.rdns)
+                if match:
+                    providers.add(match.group(1))
+        return providers
+
+    def classify_topology(self, result: ShipCampaignResult) -> str:
+        """One of Fig 17's three designs."""
+        providers = self.backbone_providers(result)
+        if len(providers) > 1:
+            return "distributed-multi-backbone"
+        report = self.analyze_user_addresses(result)
+        if len(report.geo_fields) >= 2:
+            coarse = {
+                self._field_value(self._user_value(r), report.geo_fields[:1])
+                for r in self._rounds(result)
+            }
+            fine = {
+                self._field_value(self._user_value(r), report.geo_fields)
+                for r in self._rounds(result)
+            }
+            if len(fine) > len(coarse):
+                return "shared-backbone-multi-edgeco"
+        return "single-edgeco-per-region"
+
+    # ------------------------------------------------------------------
+    # One-call analysis
+    # ------------------------------------------------------------------
+    def analyze(self, result: ShipCampaignResult) -> CarrierAnalysis:
+        """Run everything for one carrier."""
+        user_report = self.analyze_user_addresses(result)
+        hop_reports = {}
+        for position in range(6):
+            hop_report = self.analyze_hop(result, position)
+            if hop_report is not None:
+                hop_reports[position] = hop_report
+        return CarrierAnalysis(
+            carrier=result.carrier_name,
+            user_report=user_report,
+            hop_reports=hop_reports,
+            region_count=self.count_regions(result),
+            pgw_counts=self.pgw_counts(result),
+            backbone_providers=self.backbone_providers(result),
+            topology_class=self.classify_topology(result),
+        )

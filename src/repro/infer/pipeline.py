@@ -1,0 +1,221 @@
+"""The end-to-end cable inference pipeline (§5).
+
+Phase 1 (build router-topology observations):
+
+1. traceroute to one address in every /24 of each regional network, to
+   expose at least one router per EdgeCO;
+2. traceroute to every address whose rDNS matches the ISP's regexes
+   (harvested from the Rapid7-style snapshot), which finds the CO
+   interconnections the /24 sweep misses;
+3. traceroute to every intermediate address observed, exposing MPLS
+   tunnel entry/exit pairs (the Charter false-edge source);
+4. alias resolution (Mercator + MIDAR) over the rDNS-matched and
+   observed addresses.
+
+Phase 2 (build CO-topology graphs): IP→CO mapping (App. B.1), adjacency
+extraction/pruning (App. B.2), per-region refinement (App. B.3), entry
+inference (§5.2.5), and aggregation-type classification (Table 1).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.alias.resolve import AliasResolver, AliasSets
+from repro.errors import MeasurementError
+from repro.infer.adjacency import AdjacencyExtractor, RegionAdjacencies
+from repro.infer.aggtype import classify_aggregation
+from repro.infer.entries import EntryInferrer, EntryPoint
+from repro.infer.ip2co import Ip2CoMapper, Ip2CoMapping
+from repro.infer.refine import RefinedRegion, RegionRefiner
+from repro.measure.traceroute import TraceResult, Tracerouter
+from repro.measure.vantage import VantagePoint
+from repro.net.network import Network
+from repro.rdns.regexes import HostnameParser
+
+
+#: Re-export under the historical name used across examples/benchmarks.
+InferredRegion = RefinedRegion
+
+
+@dataclass
+class CableInferenceResult:
+    """Everything the §5 analysis consumes."""
+
+    isp: str
+    regions: "dict[str, RefinedRegion]" = field(default_factory=dict)
+    entries: "list[EntryPoint]" = field(default_factory=list)
+    mapping: "Ip2CoMapping | None" = None
+    adjacencies: "RegionAdjacencies | None" = None
+    aliases: "AliasSets | None" = None
+    traces: "list[TraceResult]" = field(default_factory=list)
+    followup_traces: "list[TraceResult]" = field(default_factory=list)
+
+    def aggregation_types(self) -> "dict[str, str]":
+        return {
+            name: classify_aggregation(region)
+            for name, region in sorted(self.regions.items())
+        }
+
+    def region_sizes(self) -> "dict[str, int]":
+        return {
+            name: region.graph.number_of_nodes()
+            for name, region in sorted(self.regions.items())
+        }
+
+
+class CableInferencePipeline:
+    """Drives the full two-phase methodology against one cable ISP."""
+
+    def __init__(
+        self,
+        network: Network,
+        isp,
+        vps: "list[VantagePoint]",
+        sweep_vps: int = 12,
+        max_internal_vps: int = 4,
+        parser: "HostnameParser | None" = None,
+    ) -> None:
+        if not vps:
+            raise MeasurementError("the pipeline needs at least one vantage point")
+        self.network = network
+        self.isp = isp
+        # Probe the target ISP mostly from outside it: a VP inside the
+        # ISP traceroutes *outward*, reversing the downstream edge
+        # orientation the region graphs rely on.  A small number of
+        # inside VPs stays in the fleet (the paper's 47 VPs included
+        # access-network homes) — they are what reveals direct
+        # inter-region links that external paths never ride (§5.2.5).
+        pool = ipaddress.ip_network(str(isp.allocator.pool))
+        external = [
+            vp for vp in vps
+            if ipaddress.ip_address(vp.src_address) not in pool
+        ]
+        internal = [
+            vp for vp in vps
+            if ipaddress.ip_address(vp.src_address) in pool
+        ]
+        if internal and max_internal_vps > 0:
+            count = min(max_internal_vps, len(internal))
+            step = (len(internal) - 1) / max(1, count - 1)
+            picked = [internal[round(i * step)] for i in range(count)]
+        else:
+            picked = []
+        self.vps = external + picked
+        if not external:
+            raise MeasurementError(
+                f"all vantage points are inside {isp.name}; none usable"
+            )
+        self.sweep_vps = max(1, min(sweep_vps, len(self.vps)))
+        self.parser = parser or HostnameParser()
+        self.tracer = Tracerouter(network)
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+    def slash24_targets(self) -> "list[str]":
+        """One probe address per /24 of every announced region prefix."""
+        targets = []
+        for region_name in sorted(self.isp.region_prefixes):
+            for prefix in self.isp.region_prefixes[region_name]:
+                for subnet in prefix.subnets(new_prefix=24):
+                    targets.append(str(subnet.network_address + 1))
+        return targets
+
+    def rdns_targets(self) -> "list[str]":
+        """Every snapshot address whose name parses as an ISP regional CO."""
+        targets = []
+        for address, hostname in self.network.rdns.snapshot_items():
+            if self.parser.regional_co(hostname, self.isp.name) is not None:
+                targets.append(address)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def _sweep(self, targets: "list[str]", vps: "list[VantagePoint]") -> "list[TraceResult]":
+        traces = []
+        for vp in vps:
+            for target in targets:
+                trace = self.tracer.trace(
+                    vp.host, target, src_address=vp.src_address
+                )
+                trace.vp_name = vp.name
+                if trace.hops:
+                    traces.append(trace)
+        return traces
+
+    def collect_traces(self) -> "tuple[list[TraceResult], list[TraceResult]]":
+        """Steps 1–3: the main corpus plus the MPLS follow-up corpus."""
+        sweep_fleet = self.vps[: self.sweep_vps]
+        traces = self._sweep(self.slash24_targets(), sweep_fleet)
+        traces += self._sweep(self.rdns_targets(), self.vps)
+        # Step 3: target every observed intermediate address (the DPR
+        # probes that expose MPLS tunnels, §5.1 / App. B.2).
+        intermediates: "set[str]" = set()
+        for trace in traces:
+            addresses = trace.responsive_addresses()
+            intermediates.update(addresses[:-1] if trace.completed else addresses)
+        followups = []
+        ordered = sorted(intermediates)
+        for index, target in enumerate(ordered):
+            vp = self.vps[index % len(self.vps)]
+            trace = self.tracer.trace(vp.host, target, src_address=vp.src_address)
+            trace.vp_name = vp.name
+            if trace.hops:
+                followups.append(trace)
+        return traces, followups
+
+    def resolve_aliases(self, traces: "list[TraceResult]") -> AliasSets:
+        """Step 4: Mercator + MIDAR over rDNS-matched and observed addresses."""
+        addresses = set(self.rdns_targets())
+        for trace in traces:
+            addresses.update(trace.responsive_addresses())
+        resolver = AliasResolver(
+            self.network, p2p_prefixlen=self.isp.p2p_prefixlen
+        )
+        vp = self.vps[0]
+        return resolver.resolve(
+            vp.host, sorted(addresses), src_address=vp.src_address,
+            include_p2p_peers=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2 + orchestration
+    # ------------------------------------------------------------------
+    def run(self) -> CableInferenceResult:
+        """The full campaign: collect, resolve, map, prune, refine, enter."""
+        traces, followups = self.collect_traces()
+        aliases = self.resolve_aliases(traces)
+        mapper = Ip2CoMapper(
+            self.network.rdns, self.isp.name,
+            p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
+        )
+        mapping = mapper.build(
+            traces, aliases, extra_addresses=set(self.rdns_targets())
+        )
+        extractor = AdjacencyExtractor(
+            mapping, self.network.rdns, self.isp.name, parser=self.parser
+        )
+        adjacencies = extractor.extract(traces, followup_traces=followups)
+
+        refiner = RegionRefiner()
+        regions = {
+            region_name: refiner.refine(region_name, counter)
+            for region_name, counter in adjacencies.per_region.items()
+        }
+        inferrer = EntryInferrer(mapping)
+        entries = inferrer.backbone_entries(adjacencies)
+        entries += inferrer.inter_region_entries(traces)
+
+        return CableInferenceResult(
+            isp=self.isp.name,
+            regions=regions,
+            entries=entries,
+            mapping=mapping,
+            adjacencies=adjacencies,
+            aliases=aliases,
+            traces=traces,
+            followup_traces=followups,
+        )

@@ -1,0 +1,185 @@
+"""Region graph refinement (§5.2.2–§5.2.4, Appendix B.3).
+
+Takes the pruned CO adjacencies of one region and conforms them to the
+physical dual-star-over-fiber-ring topology the networks actually use:
+
+1. **Identify AggCOs** — COs whose out-degree exceeds the region mean
+   plus one standard deviation.
+2. **Remove false EdgeCO→EdgeCO edges** — usually uncorrected stale
+   rDNS; kept only when the source CO aggregates several otherwise
+   unconnected COs (a small AggCO in disguise).
+3. **Pair related AggCOs and add missing edges** — AggCOs whose EdgeCO
+   sets overlap ≥3/4 ride the same fiber rings, so each must connect to
+   the union of their EdgeCOs; missing edges are usually missing rDNS.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass
+class RefineStats:
+    """Edge churn accounting (App. B.3 reports these as percentages)."""
+
+    initial_edges: int = 0
+    removed_edge_edges: int = 0
+    added_ring_edges: int = 0
+    final_edges: int = 0
+
+    @property
+    def removed_fraction(self) -> float:
+        return self.removed_edge_edges / self.initial_edges if self.initial_edges else 0.0
+
+    @property
+    def added_fraction(self) -> float:
+        return self.added_ring_edges / self.initial_edges if self.initial_edges else 0.0
+
+
+@dataclass
+class RefinedRegion:
+    """The refined graph plus role assignments for one region."""
+
+    name: str
+    graph: nx.DiGraph
+    agg_cos: "set[str]"
+    edge_cos: "set[str]"
+    #: Groups of AggCOs inferred to share fiber rings (sub-regions).
+    agg_groups: "list[set[str]]"
+    stats: RefineStats
+
+
+class RegionRefiner:
+    """Refines one region's adjacency counter into a `RefinedRegion`."""
+
+    def __init__(self, overlap_threshold: float = 0.75,
+                 reciprocal_threshold: float = 0.5,
+                 remove_false_edges: bool = True,
+                 complete_rings: bool = True) -> None:
+        self.overlap_threshold = overlap_threshold
+        self.reciprocal_threshold = reciprocal_threshold
+        #: Ablation switches: disable §5.2.3 (false-edge removal) or
+        #: §5.2.4 (ring completion) to measure each heuristic's value.
+        self.remove_false_edges = remove_false_edges
+        self.complete_rings = complete_rings
+
+    # -- step 1: AggCO identification ---------------------------------------
+    @staticmethod
+    def identify_agg_cos(graph: nx.DiGraph) -> "set[str]":
+        """COs with out-degree above mean + one standard deviation."""
+        degrees = [graph.out_degree(node) for node in graph.nodes]
+        if not degrees:
+            return set()
+        mean = statistics.fmean(degrees)
+        std = statistics.pstdev(degrees)
+        threshold = mean + std
+        aggs = {node for node in graph.nodes if graph.out_degree(node) > threshold}
+        if not aggs:
+            # Degenerate flat regions: the max-degree CO is the hub.
+            best = max(graph.nodes, key=graph.out_degree)  # type: ignore[arg-type]
+            if graph.out_degree(best) > 0:
+                aggs = {best}
+        return aggs
+
+    # -- step 2: false EdgeCO->EdgeCO edge removal ---------------------------
+    def _remove_edge_to_edge(self, graph: nx.DiGraph, aggs: "set[str]",
+                             stats: RefineStats) -> None:
+        agg_connected = {
+            node for node in graph.nodes
+            if any(pred in aggs for pred in graph.predecessors(node))
+        }
+        for src in list(graph.nodes):
+            if src in aggs:
+                continue
+            out_edges = [dst for dst in graph.successors(src) if dst not in aggs]
+            if not out_edges:
+                continue
+            # Small-AggCO exception: a CO feeding 2+ COs that no AggCO
+            # reaches is genuinely aggregating (App. B.3).
+            orphans = [dst for dst in out_edges if dst not in agg_connected]
+            if len(orphans) >= 2:
+                continue
+            for dst in out_edges:
+                graph.remove_edge(src, dst)
+                stats.removed_edge_edges += 1
+
+    # -- step 3: AggCO pairing + missing edges -------------------------------
+    def pair_agg_cos(self, graph: nx.DiGraph, aggs: "set[str]") -> "list[set[str]]":
+        """Group AggCOs whose downstream EdgeCO sets overlap enough."""
+        downstream = {
+            agg: {dst for dst in graph.successors(agg) if dst not in aggs}
+            for agg in aggs
+        }
+        pairs = []
+        ordered = sorted(aggs)
+        for i, agg_x in enumerate(ordered):
+            for agg_y in ordered[i + 1:]:
+                set_x, set_y = downstream[agg_x], downstream[agg_y]
+                if not set_x or not set_y:
+                    continue
+                overlap = set_x & set_y
+                frac_x = len(overlap) / len(set_x)
+                frac_y = len(overlap) / len(set_y)
+                related = (
+                    frac_x >= self.overlap_threshold
+                    and frac_y >= self.reciprocal_threshold
+                ) or (
+                    frac_y >= self.overlap_threshold
+                    and frac_x >= self.reciprocal_threshold
+                )
+                if related:
+                    pairs.append((agg_x, agg_y))
+        # Merge pairs transitively into ring groups.
+        groups: "list[set[str]]" = []
+        for agg_x, agg_y in pairs:
+            merged = None
+            for group in groups:
+                if agg_x in group or agg_y in group:
+                    group.update((agg_x, agg_y))
+                    merged = group
+                    break
+            if merged is None:
+                groups.append({agg_x, agg_y})
+        grouped = set().union(*groups) if groups else set()
+        groups.extend({agg} for agg in aggs - grouped)
+        return groups
+
+    def _complete_rings(self, graph: nx.DiGraph, aggs: "set[str]",
+                        groups: "list[set[str]]", stats: RefineStats) -> None:
+        for group in groups:
+            if len(group) < 2:
+                continue
+            union_edges: "set[str]" = set()
+            for agg in group:
+                union_edges |= {
+                    dst for dst in graph.successors(agg) if dst not in aggs
+                }
+            for agg in group:
+                for dst in union_edges:
+                    if not graph.has_edge(agg, dst):
+                        graph.add_edge(agg, dst, weight=0, inferred=True)
+                        stats.added_ring_edges += 1
+
+    # -- the full refinement ---------------------------------------------
+    def refine(self, region_name: str, adjacencies: Counter) -> RefinedRegion:
+        """Run all three steps over one region's adjacency counter."""
+        graph = nx.DiGraph()
+        for (co_a, co_b), count in adjacencies.items():
+            graph.add_edge(co_a, co_b, weight=count)
+        stats = RefineStats(initial_edges=graph.number_of_edges())
+        aggs = self.identify_agg_cos(graph)
+        if self.remove_false_edges:
+            self._remove_edge_to_edge(graph, aggs, stats)
+        groups = self.pair_agg_cos(graph, aggs)
+        if self.complete_rings:
+            self._complete_rings(graph, aggs, groups, stats)
+        stats.final_edges = graph.number_of_edges()
+        edge_cos = set(graph.nodes) - aggs
+        return RefinedRegion(
+            name=region_name, graph=graph, agg_cos=aggs,
+            edge_cos=edge_cos, agg_groups=groups, stats=stats,
+        )

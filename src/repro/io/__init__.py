@@ -1,0 +1,17 @@
+"""Serialization of inferred topologies (JSON and Graphviz DOT)."""
+
+from repro.io.export import (
+    att_topology_to_json,
+    carrier_analysis_to_json,
+    region_from_json,
+    region_to_dot,
+    region_to_json,
+)
+
+__all__ = [
+    "att_topology_to_json",
+    "carrier_analysis_to_json",
+    "region_from_json",
+    "region_to_dot",
+    "region_to_json",
+]

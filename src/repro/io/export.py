@@ -1,0 +1,142 @@
+"""Export inferred topologies as JSON documents and Graphviz DOT.
+
+A downstream user of the pipelines (resilience studies, edge-placement
+planning, visualization) needs the inferred CO graphs as artifacts, not
+as live Python objects.  The JSON schema is versioned and row-oriented;
+`region_from_json` round-trips it back into a
+:class:`~repro.infer.refine.RefinedRegion`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.infer.att import AttRegionTopology
+from repro.infer.mobile_ipv6 import CarrierAnalysis
+from repro.infer.refine import RefinedRegion, RefineStats
+
+SCHEMA_VERSION = 1
+
+
+def region_to_json(region: RefinedRegion) -> str:
+    """Serialize one refined region graph."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "cable-region",
+        "name": region.name,
+        "agg_cos": sorted(region.agg_cos),
+        "edge_cos": sorted(region.edge_cos),
+        "agg_groups": [sorted(group) for group in region.agg_groups],
+        "edges": [
+            {
+                "from": a,
+                "to": b,
+                "observations": int(data.get("weight", 0)),
+                "inferred": bool(data.get("inferred", False)),
+            }
+            for a, b, data in sorted(region.graph.edges(data=True))
+        ],
+        "stats": {
+            "initial_edges": region.stats.initial_edges,
+            "removed_edge_edges": region.stats.removed_edge_edges,
+            "added_ring_edges": region.stats.added_ring_edges,
+            "final_edges": region.stats.final_edges,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def region_from_json(text: str) -> RefinedRegion:
+    """Round-trip a serialized region back into a RefinedRegion."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )
+    if payload.get("kind") != "cable-region":
+        raise ReproError(f"not a cable-region document: {payload.get('kind')!r}")
+    graph = nx.DiGraph()
+    for node in payload["agg_cos"] + payload["edge_cos"]:
+        graph.add_node(node)
+    for edge in payload["edges"]:
+        graph.add_edge(
+            edge["from"], edge["to"],
+            weight=edge["observations"], inferred=edge["inferred"],
+        )
+    stats = RefineStats(
+        initial_edges=payload["stats"]["initial_edges"],
+        removed_edge_edges=payload["stats"]["removed_edge_edges"],
+        added_ring_edges=payload["stats"]["added_ring_edges"],
+        final_edges=payload["stats"]["final_edges"],
+    )
+    return RefinedRegion(
+        name=payload["name"],
+        graph=graph,
+        agg_cos=set(payload["agg_cos"]),
+        edge_cos=set(payload["edge_cos"]),
+        agg_groups=[set(group) for group in payload["agg_groups"]],
+        stats=stats,
+    )
+
+
+def region_to_dot(region: RefinedRegion) -> str:
+    """Graphviz DOT rendering: AggCOs as boxes, inferred edges dashed."""
+    lines = [f'digraph "{region.name}" {{', "  rankdir=TB;"]
+    for agg in sorted(region.agg_cos):
+        lines.append(f'  "{agg}" [shape=box, style=filled, fillcolor=orange];')
+    for edge_co in sorted(region.edge_cos):
+        lines.append(f'  "{edge_co}" [shape=ellipse];')
+    for a, b, data in sorted(region.graph.edges(data=True)):
+        style = ' [style=dashed]' if data.get("inferred") else ""
+        lines.append(f'  "{a}" -> "{b}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def att_topology_to_json(topology: AttRegionTopology) -> str:
+    """Serialize an inferred AT&T region (Fig 13-style content)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "telco-region",
+        "region": topology.region,
+        "backbone_routers": [sorted(g) for g in topology.backbone_routers],
+        "agg_routers": [sorted(g) for g in topology.agg_routers],
+        "edge_routers": [sorted(g) for g in topology.edge_routers],
+        "edge_cos": [sorted(g) for g in topology.edge_cos],
+        "edge_prefixes": sorted(topology.edge_prefixes),
+        "agg_prefixes": sorted(topology.agg_prefixes),
+        "backbone_fully_meshed": topology.backbone_fully_meshed,
+        "backbone_co_count": topology.backbone_co_count,
+        "router_edges": sorted(list(pair) for pair in topology.router_edges),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def carrier_analysis_to_json(analysis: CarrierAnalysis) -> str:
+    """Serialize a mobile carrier's §7.2 analysis."""
+
+    def report(r):
+        return {
+            "prefix_bits": r.prefix_bits,
+            "geo_fields": [list(f) for f in r.geo_fields],
+            "cycling_fields": [list(f) for f in r.cycling_fields],
+            "subscriber_fields": [list(f) for f in r.subscriber_fields],
+        }
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "mobile-carrier",
+        "carrier": analysis.carrier,
+        "user_report": report(analysis.user_report),
+        "hop_reports": {
+            str(pos): report(r) for pos, r in analysis.hop_reports.items()
+        },
+        "region_count": analysis.region_count,
+        "pgw_counts": dict(sorted(analysis.pgw_counts.items())),
+        "backbone_providers": sorted(analysis.backbone_providers),
+        "topology_class": analysis.topology_class,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,5 @@
+"""Latency campaigns (§5.5, §6.3: Fig 9, Fig 10, Table 2)."""
+
+from repro.latency.cloud import CloudLatencyCampaign, EdgeCoLatency
+
+__all__ = ["CloudLatencyCampaign", "EdgeCoLatency"]

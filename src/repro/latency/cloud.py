@@ -1,0 +1,219 @@
+"""Cloud-to-EdgeCO latency campaigns.
+
+Implements the paper's three latency experiments:
+
+* **Fig 9** — median of per-EdgeCO minimum RTTs from each public cloud
+  into the cable ISP's Northeast states, exposing the Connecticut
+  penalty (its region has no backbone entries of its own);
+* **Fig 10a/10b** — the CDF of EdgeCO RTTs from the *nearest* cloud
+  region, and of EdgeCO↔AggCO RTTs extracted from traceroute hop
+  deltas (the edge-computing placement argument);
+* **Table 2** — TTL-limited echo latency from a cloud VM to AT&T
+  EdgeCO devices in San Diego, via customer addresses learned from the
+  NDT dataset.
+
+All campaigns consume *inference outputs* (IP→CO mappings and refined
+region graphs), never generator ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MeasurementError
+from repro.infer.pipeline import CableInferenceResult
+from repro.measure.ping import Pinger
+from repro.measure.traceroute import Tracerouter
+from repro.measure.vantage import VantagePoint
+from repro.net.network import Network
+from repro.rdns.regexes import HostnameParser
+
+
+@dataclass
+class EdgeCoLatency:
+    """Minimum RTT to one EdgeCO from one vantage point."""
+
+    region: str
+    co_tag: str
+    address: str
+    min_rtt_ms: float
+    vp_name: str
+
+
+class CloudLatencyCampaign:
+    """Ping/traceroute latency sweeps from cloud VMs into access ISPs."""
+
+    def __init__(self, network: Network, parser: "HostnameParser | None" = None) -> None:
+        self.network = network
+        self.pinger = Pinger(network)
+        self.tracer = Tracerouter(network)
+        self.parser = parser or HostnameParser()
+
+    # ------------------------------------------------------------------
+    # EdgeCO address sets from inference output
+    # ------------------------------------------------------------------
+    @staticmethod
+    def edge_co_addresses(result: CableInferenceResult) -> "dict[tuple[str, str], list[str]]":
+        """(region, co_tag) → addresses, for inferred EdgeCOs only."""
+        if result.mapping is None:
+            raise MeasurementError("inference result carries no IP→CO mapping")
+        edge_tags = {
+            (name, co)
+            for name, region in result.regions.items()
+            for co in region.edge_cos
+        }
+        per_co: "dict[tuple[str, str], list[str]]" = defaultdict(list)
+        for address, (region, co_tag) in result.mapping.mapping.items():
+            if (region, co_tag) in edge_tags:
+                per_co[(region, co_tag)].append(address)
+        return dict(per_co)
+
+    # ------------------------------------------------------------------
+    # Fig 9 / Fig 10a: cloud -> EdgeCO pings
+    # ------------------------------------------------------------------
+    def min_rtts_from(self, vp: VantagePoint,
+                      per_co: "dict[tuple[str, str], list[str]]",
+                      pings: int = 100) -> "list[EdgeCoLatency]":
+        """Minimum RTT per EdgeCO from one VM (100 pings each, §5.5)."""
+        out = []
+        for (region, co_tag), addresses in sorted(per_co.items()):
+            best: "Optional[float]" = None
+            best_addr = addresses[0]
+            for address in addresses[:2]:
+                ping = self.pinger.ping(vp.host, address, count=pings,
+                                        src_address=vp.src_address)
+                if ping.min_rtt_ms is not None and (
+                    best is None or ping.min_rtt_ms < best
+                ):
+                    best, best_addr = ping.min_rtt_ms, address
+            if best is not None:
+                out.append(EdgeCoLatency(region, co_tag, best_addr, best, vp.name))
+        return out
+
+    def nearest_cloud_rtts(self, vms: "list[VantagePoint]",
+                           per_co: "dict[tuple[str, str], list[str]]") -> "dict[tuple[str, str], EdgeCoLatency]":
+        """Per EdgeCO, the best minimum RTT over all cloud VMs (Fig 10a)."""
+        best: "dict[tuple[str, str], EdgeCoLatency]" = {}
+        for vm in vms:
+            for sample in self.min_rtts_from(vm, per_co, pings=20):
+                key = (sample.region, sample.co_tag)
+                if key not in best or sample.min_rtt_ms < best[key].min_rtt_ms:
+                    best[key] = sample
+        return best
+
+    @staticmethod
+    def closest_vm_for(samples_by_vm: "dict[str, list[EdgeCoLatency]]") -> str:
+        """The paper's 'closest location': lowest min RTT to the most EdgeCOs."""
+        wins: Counter = Counter()
+        best: "dict[tuple[str, str], tuple[float, str]]" = {}
+        for vp_name, samples in samples_by_vm.items():
+            for sample in samples:
+                key = (sample.region, sample.co_tag)
+                if key not in best or sample.min_rtt_ms < best[key][0]:
+                    best[key] = (sample.min_rtt_ms, vp_name)
+        for _key, (_rtt, vp_name) in best.items():
+            wins[vp_name] += 1
+        if not wins:
+            raise MeasurementError("no EdgeCO answered any cloud VM")
+        return wins.most_common(1)[0][0]
+
+    # ------------------------------------------------------------------
+    # Fig 10b: EdgeCO <-> AggCO RTT from traceroute hop deltas
+    # ------------------------------------------------------------------
+    def edge_to_agg_rtts(self, vp: VantagePoint, result: CableInferenceResult,
+                         per_co: "dict[tuple[str, str], list[str]]") -> "list[EdgeCoLatency]":
+        """RTT between each EdgeCO and its serving AggCO (Fig 10b).
+
+        Traceroute to an EdgeCO address; the RTT difference between the
+        EdgeCO hop and the immediately preceding AggCO hop is the
+        round-trip over the connecting fiber ring arc.
+        """
+        if result.mapping is None:
+            raise MeasurementError("inference result carries no IP→CO mapping")
+        agg_tags = {
+            (name, co)
+            for name, region in result.regions.items()
+            for co in region.agg_cos
+        }
+        out = []
+        for (region, co_tag), addresses in sorted(per_co.items()):
+            trace = self.tracer.trace(vp.host, addresses[0],
+                                      src_address=vp.src_address)
+            hops = [h for h in trace.hops if h.address is not None]
+            for prev, cur in zip(hops, hops[1:]):
+                prev_co = result.mapping.co_of(prev.address)
+                cur_co = result.mapping.co_of(cur.address)
+                if (
+                    prev_co in agg_tags
+                    and cur_co == (region, co_tag)
+                    and prev.rtt_ms is not None
+                    and cur.rtt_ms is not None
+                ):
+                    delta = max(0.0, cur.rtt_ms - prev.rtt_ms)
+                    out.append(EdgeCoLatency(region, co_tag, cur.address,
+                                             round(delta, 3), vp.name))
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    # Table 2: TTL-limited echo to AT&T EdgeCO devices
+    # ------------------------------------------------------------------
+    def att_edgeco_latency(
+        self,
+        vp: VantagePoint,
+        customer_addresses: "list[str]",
+        backbone_region_tag: str,
+        pings: int = 100,
+    ) -> "dict[str, float]":
+        """Min RTT per EdgeCO device via the §6.3 TTL trick.
+
+        Traceroute to each customer; keep traces that traverse the
+        region's BackboneCO (identified by its ``cr*.<tag>`` rDNS); take
+        the penultimate responding hop as the EdgeCO device and measure
+        it with TTL-limited echo.
+        """
+        per_device: "dict[str, float]" = {}
+        for address in customer_addresses:
+            trace = self.tracer.trace(vp.host, address, src_address=vp.src_address)
+            named = [
+                (h, self.parser.parse(h.rdns))
+                for h in trace.hops if h.address is not None
+            ]
+            if not any(
+                p is not None and p.role == "backbone" and p.region == backbone_region_tag
+                for _h, p in named
+            ):
+                continue
+            if not trace.completed or len(trace.hops) < 2:
+                continue
+            # Penultimate probe TTL: the last hop index before the
+            # destination's.
+            responding = [h for h in trace.hops if h.address is not None]
+            if len(responding) < 2:
+                continue
+            penultimate = responding[-2]
+            ping = self.pinger.ttl_limited_ping(
+                vp.host, address, ttl=penultimate.index, count=pings,
+                src_address=vp.src_address,
+            )
+            if ping.min_rtt_ms is None:
+                continue
+            device = penultimate.address
+            if device not in per_device or ping.min_rtt_ms < per_device[device]:
+                per_device[device] = ping.min_rtt_ms
+        return per_device
+
+    @staticmethod
+    def bucket_latencies(latencies: "dict[str, float]",
+                         edges: "list[tuple[int, int]]" = None) -> "dict[str, int]":
+        """Histogram in the shape of Table 2's latency buckets."""
+        edges = edges or [(3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9), (9, 10)]
+        buckets = {f"{lo}-{hi}ms": 0 for lo, hi in edges}
+        for value in latencies.values():
+            for lo, hi in edges:
+                if lo <= value < hi:
+                    buckets[f"{lo}-{hi}ms"] += 1
+                    break
+        return buckets

@@ -1,0 +1,18 @@
+"""Measurement tooling over the simulated internet.
+
+The engines here expose only prober-visible observables (reply
+addresses, RTTs, reply TTLs, rDNS) — never ground truth.
+"""
+
+from repro.measure.traceroute import Hop, TraceResult, Tracerouter
+from repro.measure.ping import Pinger
+from repro.measure.vantage import VantagePoint, VantagePointSet
+
+__all__ = [
+    "Hop",
+    "Pinger",
+    "TraceResult",
+    "Tracerouter",
+    "VantagePoint",
+    "VantagePointSet",
+]

@@ -1,0 +1,73 @@
+"""Cell towers and OpenCellID-style geolocation (§7.1.1).
+
+GPS rarely works inside a truck, so ShipTraceroute logs the serving
+cell's ``cellid`` at each round and converts it to a location later
+using a public tower database.  The simulated database places towers on
+a fixed grid: any coordinate resolves to its grid cell's tower, which
+introduces the same few-km quantization error the real pipeline has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.topology.geography import Geography, great_circle_km
+
+#: Grid pitch in degrees (~0.2° ≈ 20 km, a rural macro-cell radius).
+_GRID_DEG = 0.2
+
+
+@dataclass(frozen=True)
+class CellTower:
+    """One tower: id plus its (grid-centre) location."""
+
+    cellid: int
+    lat: float
+    lon: float
+
+
+class CellDatabase:
+    """Deterministic tower grid + OpenCellID-style lookup."""
+
+    def __init__(self, grid_deg: float = _GRID_DEG) -> None:
+        if grid_deg <= 0:
+            raise MeasurementError("grid pitch must be positive")
+        self.grid_deg = grid_deg
+
+    def _cell_indices(self, lat: float, lon: float) -> "tuple[int, int]":
+        return (
+            int(round(lat / self.grid_deg)),
+            int(round(lon / self.grid_deg)),
+        )
+
+    def serving_cell(self, lat: float, lon: float) -> CellTower:
+        """The tower a phone at (lat, lon) camps on."""
+        i, j = self._cell_indices(lat, lon)
+        cellid = (i + 2000) * 10_000 + (j + 5000)
+        return CellTower(cellid, i * self.grid_deg, j * self.grid_deg)
+
+    def locate(self, cellid: int) -> "tuple[float, float]":
+        """OpenCellID lookup: cellid → tower location."""
+        i = cellid // 10_000 - 2000
+        j = cellid % 10_000 - 5000
+        return i * self.grid_deg, j * self.grid_deg
+
+    def quantization_error_km(self, lat: float, lon: float) -> float:
+        """Distance between a true location and its cellid-derived one."""
+        tower = self.serving_cell(lat, lon)
+        return great_circle_km(lat, lon, tower.lat, tower.lon)
+
+
+def signal_available(lat: float, lon: float, geography: Geography,
+                     max_km: float = 140.0) -> bool:
+    """Whether a phone in a truck gets usable signal at a location.
+
+    Coverage follows population: far from every metro (rural interstate
+    stretches, §7.1.1's uninhabited areas) the in-vehicle signal is too
+    weak for a traceroute round.
+    """
+    nearest = geography.nearest(lat, lon, 1)[0]
+    dist = great_circle_km(lat, lon, nearest.lat, nearest.lon)
+    # Larger metros radiate farther coverage.
+    return dist <= max_km * (0.45 + 0.11 * nearest.weight)

@@ -1,0 +1,71 @@
+"""A scamper-like prober façade (§7.1.2).
+
+Bundles the traceroute engine with the phone energy model so callers
+can run a measurement round in either of two modes:
+
+* ``sequential`` — off-the-shelf scamper: one hop outstanding at a
+  time, paying the full timeout for each unresponsive hop;
+* ``parallel`` — the ShipTraceroute modification: probes to several
+  consecutive hops in flight at once, which shortens radio-active time
+  and cuts round energy by ~38 % (Fig 14).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.energy.model import EnergyTrace, PhoneEnergyModel
+from repro.errors import MeasurementError
+from repro.measure.traceroute import TraceResult, Tracerouter
+from repro.net.network import Network
+from repro.net.router import Router
+
+
+@dataclass
+class ScamperRound:
+    """One measurement round: traces plus the energy spent on them."""
+
+    traces: "list[TraceResult]"
+    energy: EnergyTrace
+    mode: str
+
+    @property
+    def energy_mah(self) -> float:
+        return self.energy.total_mah
+
+
+class Scamper:
+    """The prober: traceroute rounds with energy accounting."""
+
+    def __init__(
+        self,
+        network: "Network | None" = None,
+        energy_model: "PhoneEnergyModel | None" = None,
+        mode: str = "parallel",
+    ) -> None:
+        if mode not in ("parallel", "sequential"):
+            raise MeasurementError(f"unknown scamper mode {mode!r}")
+        self.network = network
+        self.tracer = Tracerouter(network) if network is not None else None
+        self.energy_model = energy_model or PhoneEnergyModel()
+        self.mode = mode
+
+    def round_energy(self, n_targets: int, seed: int = 0,
+                     include_wake: bool = True) -> EnergyTrace:
+        """Energy for a round of *n_targets* traceroutes in this mode."""
+        return self.energy_model.traceroute_round(
+            n_targets,
+            parallel=(self.mode == "parallel"),
+            rng=random.Random(f"scamper|{self.mode}|{seed}"),
+            include_wake=include_wake,
+        )
+
+    def run_round(self, src: Router, targets: "list[str]",
+                  src_address: "str | None" = None, seed: int = 0) -> ScamperRound:
+        """Run the traceroutes and account the round's energy."""
+        if self.tracer is None:
+            raise MeasurementError("this Scamper was built without a network")
+        traces = self.tracer.trace_many(src, targets, src_address=src_address)
+        energy = self.round_energy(len(targets), seed=seed)
+        return ScamperRound(traces=traces, energy=energy, mode=self.mode)

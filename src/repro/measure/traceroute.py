@@ -1,0 +1,177 @@
+"""ICMP paris-traceroute engine.
+
+Implements the probing behaviour the paper's methodology depends on:
+
+* hop-by-hop TTL probing with per-flow path pinning (paris-traceroute
+  keeps the flow identifier constant so ECMP does not corrupt a single
+  trace, while different flow ids may take different equal-cost paths);
+* reply-address selection by the responding router's policy (usually
+  the inbound interface — the property Appendix B.1's /30-peer
+  heuristic relies on);
+* MPLS visibility filtering (tunnels hide interior hops unless the
+  destination triggers Direct Path Revelation);
+* silent hops ("*") for routers whose policy refuses the probe;
+* RTT computation from path geometry plus a small deterministic jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.addresses import parse_ip
+from repro.net.network import Network
+from repro.net.router import Router, _stable_hash
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traceroute hop: address (None for ``*``), rdns, rtt, reply TTL."""
+
+    index: int
+    address: Optional[str]
+    rdns: Optional[str] = None
+    rtt_ms: Optional[float] = None
+    reply_ttl: Optional[int] = None
+
+    @property
+    def responded(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class TraceResult:
+    """A complete traceroute: source, destination, and the hop list."""
+
+    src_address: str
+    dst_address: str
+    hops: "list[Hop]"
+    #: True when the destination itself answered the final probe.
+    completed: bool = False
+    flow_id: int = 0
+    #: Free-form annotation set by campaign drivers (e.g. VP name).
+    vp_name: str = ""
+
+    def responsive_addresses(self) -> "list[str]":
+        """The addresses that replied, in path order."""
+        return [hop.address for hop in self.hops if hop.address is not None]
+
+    def adjacent_pairs(self, exclude_final_echo: bool = False) -> "list[tuple[str, str]]":
+        """Pairs of addresses at immediately consecutive responding hops.
+
+        Pairs across a silent ("*") hop are *not* immediate and are
+        excluded, exactly as the paper's adjacency extraction does.
+
+        ``exclude_final_echo`` drops the pair ending at the destination
+        of a completed trace: an echo reply carries the *probed*
+        address, not an inbound-interface address, so heuristics built
+        on the inbound-interface assumption (the point-to-point peer
+        vote of Appendix B.1) must not consume it.
+        """
+        pairs = []
+        last_index = self.hops[-1].index if self.hops else -1
+        for first, second in zip(self.hops, self.hops[1:]):
+            if first.address is None or second.address is None:
+                continue
+            if (
+                exclude_final_echo
+                and self.completed
+                and second.index == last_index
+            ):
+                continue
+            pairs.append((first.address, second.address))
+        return pairs
+
+
+class Tracerouter:
+    """Traceroute campaigns against a :class:`Network`."""
+
+    def __init__(self, network: Network, max_ttl: int = 32, jitter_ms: float = 0.05) -> None:
+        self.network = network
+        self.max_ttl = max_ttl
+        self.jitter_ms = jitter_ms
+        #: Count of traceroutes run (campaign bookkeeping / benchmarks).
+        self.probes_sent = 0
+
+    def _rtt(self, src: Router, hop_router: Router, one_way_ms: float, probe_key: object) -> float:
+        """Round-trip time with deterministic per-probe jitter."""
+        jitter = (_stable_hash("rtt", probe_key) % 1000) / 1000.0 * self.jitter_ms
+        return 2.0 * one_way_ms + 0.1 + jitter
+
+    def trace(
+        self,
+        src: Router,
+        dst_address: str,
+        flow_id: int = 0,
+        src_address: "str | None" = None,
+    ) -> TraceResult:
+        """Run one traceroute from *src* toward *dst_address*."""
+        self.probes_sent += 1
+        source_addr = src_address or (
+            str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
+        )
+        result = TraceResult(source_addr, str(parse_ip(dst_address)), hops=[], flow_id=flow_id)
+        dst_router, dst_exists = self.network.route_target(dst_address)
+        if dst_router is None:
+            return result
+
+        # Paris-traceroute semantics: the flow key (source, flow id) is
+        # constant for the whole trace, so ECMP cannot corrupt it, while
+        # different VPs and flow ids explore different equal-cost paths.
+        flow_key = f"{source_addr}|{flow_id}"
+        path = self.network.forwarding_path(src, dst_router, flow_id=flow_key)
+        inbound = self.network.inbound_interfaces(path)
+        inbound_of = {router.uid: iface for router, iface in zip(path, inbound)}
+        delays = self.network.path_delays_ms(path)
+        one_way = {router.uid: delay for router, delay in zip(path, delays)}
+        visible = self.network.mpls.visible_path(path, dst_router)
+
+        hop_index = 0
+        for router in visible[1:]:  # skip the source itself
+            is_final = router is dst_router
+            hop_index += 1
+            if hop_index > self.max_ttl:
+                break
+            probe_key = (source_addr, dst_address, flow_id, hop_index)
+            if is_final:
+                responds = dst_exists and router.policy.answers_echo(
+                    parse_ip(source_addr), probe_key
+                )
+                reply_addr = str(parse_ip(dst_address)) if responds else None
+            else:
+                responds = router.policy.responds_to(parse_ip(source_addr), probe_key)
+                reply_addr = (
+                    str(router.reply_address(inbound_of.get(router.uid), dst_address))
+                    if responds
+                    else None
+                )
+            if responds:
+                rtt = self._rtt(src, router, one_way[router.uid], probe_key)
+                reply_ttl = router.policy.initial_ttl - (hop_index - 1)
+                result.hops.append(
+                    Hop(
+                        index=hop_index,
+                        address=reply_addr,
+                        rdns=self.network.rdns.dig(reply_addr),
+                        rtt_ms=round(rtt, 3),
+                        reply_ttl=reply_ttl,
+                    )
+                )
+                if is_final:
+                    result.completed = True
+            else:
+                result.hops.append(Hop(index=hop_index, address=None))
+        return result
+
+    def trace_many(
+        self,
+        src: Router,
+        dst_addresses,
+        flow_id: int = 0,
+        src_address: "str | None" = None,
+    ) -> "list[TraceResult]":
+        """Traceroute to every destination in *dst_addresses*."""
+        return [
+            self.trace(src, dst, flow_id=flow_id, src_address=src_address)
+            for dst in dst_addresses
+        ]

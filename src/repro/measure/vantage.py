@@ -1,0 +1,99 @@
+"""Vantage points.
+
+A vantage point is a host attached somewhere on the simulated internet
+from which traceroute/ping campaigns run.  The paper used 47 VPs in
+access, cloud, and transit networks for the cable study (§5.1), CAIDA
+Ark and RIPE Atlas probes inside AT&T regions (§6.1), public-WiFi
+hotspots ("McTraceroute"), and cloud VMs for latency work (§5.5, §6.3).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MeasurementError
+from repro.net.network import Network
+from repro.net.router import ReplyPolicy, Router
+from repro.topology.geography import City
+
+
+@dataclass
+class VantagePoint:
+    """One measurement host: a router node plus its source address."""
+
+    name: str
+    kind: str  # "ark" | "atlas" | "cloud" | "wifi" | "transit" | "access"
+    host: Router
+    src_address: str
+    city: Optional[City] = None
+
+    def __post_init__(self) -> None:
+        valid = {"ark", "atlas", "cloud", "wifi", "transit", "access", "server"}
+        if self.kind not in valid:
+            raise MeasurementError(f"unknown VP kind {self.kind!r}")
+
+
+class VantagePointSet:
+    """A named collection of vantage points."""
+
+    def __init__(self) -> None:
+        self._vps: dict[str, VantagePoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._vps)
+
+    def __iter__(self):
+        return iter(sorted(self._vps.values(), key=lambda vp: vp.name))
+
+    def add(self, vp: VantagePoint) -> VantagePoint:
+        if vp.name in self._vps:
+            raise MeasurementError(f"duplicate VP name {vp.name!r}")
+        self._vps[vp.name] = vp
+        return vp
+
+    def get(self, name: str) -> VantagePoint:
+        try:
+            return self._vps[name]
+        except KeyError as exc:
+            raise MeasurementError(f"no VP named {name!r}") from exc
+
+    def of_kind(self, kind: str) -> "list[VantagePoint]":
+        return [vp for vp in self if vp.kind == kind]
+
+
+_HOST_SEQ = [0]
+
+
+def attach_host(
+    network: Network,
+    parent: Router,
+    name: str,
+    host_subnet: "str | ipaddress.IPv4Network",
+    length_km: float = 2.0,
+    extra_delay_ms: float = 0.0,
+) -> "tuple[Router, str]":
+    """Attach a measurement host behind *parent* via a /30 subnet.
+
+    Returns the host router and its source address.  The host responds
+    to probes (it is a real machine) and gets a deterministic uid.
+    """
+    net = (
+        ipaddress.ip_network(host_subnet)
+        if isinstance(host_subnet, str)
+        else host_subnet
+    )
+    if net.prefixlen != 30:
+        raise MeasurementError("attach_host expects a /30 host subnet")
+    base = int(net.network_address)
+    parent_addr = ipaddress.IPv4Address(base + 1)
+    host_addr = ipaddress.IPv4Address(base + 2)
+    _HOST_SEQ[0] += 1
+    host = Router(f"host-{name}-{_HOST_SEQ[0]:04d}", policy=ReplyPolicy())
+    network.add_router(host)
+    network.connect(
+        parent, host, parent_addr, host_addr,
+        prefixlen=30, length_km=length_km, extra_delay_ms=extra_delay_ms,
+    )
+    return host, str(host_addr)

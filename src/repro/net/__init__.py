@@ -1,0 +1,35 @@
+"""Simulated internet primitives.
+
+Everything in this subpackage is ISP-agnostic: addresses and prefixes,
+routers with interfaces and ICMP reply behaviour, point-to-point links,
+MPLS label-switched paths, a reverse-DNS store, and :class:`Network`,
+the packet-forwarding substrate that the measurement tools probe.
+"""
+
+from repro.net.addresses import (
+    Ipv4Allocator,
+    Ipv6FieldCodec,
+    p2p_peer,
+    parse_ip,
+    same_subnet,
+)
+from repro.net.dns import RdnsStore
+from repro.net.link import Link
+from repro.net.mpls import MplsTunnel
+from repro.net.router import Interface, ReplyPolicy, Router
+from repro.net.network import Network
+
+__all__ = [
+    "Interface",
+    "Ipv4Allocator",
+    "Ipv6FieldCodec",
+    "Link",
+    "MplsTunnel",
+    "Network",
+    "RdnsStore",
+    "ReplyPolicy",
+    "Router",
+    "p2p_peer",
+    "parse_ip",
+    "same_subnet",
+]

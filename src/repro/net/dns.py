@@ -1,0 +1,89 @@
+"""Reverse DNS (PTR) store with staleness.
+
+The paper's cable-network methodology leans on rDNS hostnames that
+embed CO identifiers, and much of its heuristic machinery exists to
+cope with *stale* names — PTR records left behind when equipment moved
+between COs (§5, Appendix B).  The store therefore tracks two epochs:
+
+* ``dig`` — the live record, what an on-demand PTR query returns;
+* ``snapshot`` — a Rapid7-style bulk snapshot, which may lag the live
+  zone and contain additional stale entries.
+
+The paper prioritizes dig results over the snapshot (Appendix B.1);
+:meth:`RdnsStore.lookup` implements the same priority.  Ground-truth
+staleness flags are kept for scoring only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.net.addresses import IPAddress, parse_ip
+
+
+class RdnsStore:
+    """PTR database for the simulated internet."""
+
+    def __init__(self) -> None:
+        self._dig: dict[str, str] = {}
+        self._snapshot: dict[str, str] = {}
+        self._stale: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(set(self._dig) | set(self._snapshot))
+
+    def set(self, address: "str | IPAddress", hostname: str, snapshot: bool = True) -> None:
+        """Record a live PTR entry (and, by default, mirror it in the snapshot)."""
+        key = str(parse_ip(address))
+        self._dig[key] = hostname
+        if snapshot:
+            self._snapshot[key] = hostname
+
+    def set_stale(self, address: "str | IPAddress", hostname: str, in_dig: bool = True) -> None:
+        """Record a *stale* PTR entry — a name describing the wrong CO.
+
+        When ``in_dig`` is False the stale name only exists in the bulk
+        snapshot (the zone was fixed but the snapshot predates the fix).
+        """
+        key = str(parse_ip(address))
+        self._snapshot[key] = hostname
+        if in_dig:
+            self._dig[key] = hostname
+        self._stale.add(key)
+
+    def remove(self, address: "str | IPAddress") -> None:
+        """Delete any record for *address* from both epochs."""
+        key = str(parse_ip(address))
+        self._dig.pop(key, None)
+        self._snapshot.pop(key, None)
+        self._stale.discard(key)
+
+    def dig(self, address: "str | IPAddress") -> Optional[str]:
+        """A live PTR query."""
+        return self._dig.get(str(parse_ip(address)))
+
+    def snapshot_lookup(self, address: "str | IPAddress") -> Optional[str]:
+        """A lookup against the bulk snapshot."""
+        return self._snapshot.get(str(parse_ip(address)))
+
+    def lookup(self, address: "str | IPAddress") -> Optional[str]:
+        """Combined lookup, preferring the live record (App. B.1)."""
+        key = str(parse_ip(address))
+        return self._dig.get(key) or self._snapshot.get(key)
+
+    def snapshot_items(self) -> Iterator["tuple[str, str]"]:
+        """Iterate the bulk snapshot, Rapid7-dataset style."""
+        return iter(sorted(self._snapshot.items()))
+
+    def addresses_matching(self, pattern) -> "list[str]":
+        """All snapshot addresses whose hostname matches a compiled regex."""
+        return [addr for addr, name in self.snapshot_items() if pattern.search(name)]
+
+    def is_stale(self, address: "str | IPAddress") -> bool:
+        """Ground truth: whether the record is stale (scoring only)."""
+        return str(parse_ip(address)) in self._stale
+
+    @property
+    def stale_count(self) -> int:
+        """Ground truth: number of stale records (scoring only)."""
+        return len(self._stale)

@@ -1,0 +1,72 @@
+"""Point-to-point links between router interfaces.
+
+Links carry a geographic length; propagation delay follows from the
+speed of light in fiber (~2/3 c, i.e. ~200 km per millisecond one-way).
+The latency findings of the paper (Fig 9, Fig 10, Table 2) are driven
+almost entirely by this geometry, so the link model keeps it explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.router import Interface
+
+#: One-way fiber propagation speed, km per millisecond.
+FIBER_KM_PER_MS = 200.0
+
+#: Per-hop forwarding/processing delay added at each router, ms.
+PER_HOP_PROCESSING_MS = 0.05
+
+
+@dataclass
+class Link:
+    """A bidirectional point-to-point link between two interfaces."""
+
+    a: "Interface"
+    b: "Interface"
+    length_km: float = 1.0
+    #: Extra fixed one-way delay (e.g. last-mile DOCSIS/DSL serialization).
+    extra_delay_ms: float = 0.0
+    #: Configured IGP metric.  When set, routing uses it instead of the
+    #: propagation delay; ISPs give redundant dual-star links *equal*
+    #: metrics, which is what creates the ECMP diversity that lets
+    #: traceroute observe both AggCOs of a pair (§5.2.2).  RTTs always
+    #: come from the physical delay regardless of metric.
+    metric: "float | None" = None
+    #: Ground-truth annotation: which fiber ring this link rides on.
+    ring: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length_km < 0:
+            raise TopologyError("link length cannot be negative")
+        self.a.link = self
+        self.b.link = self
+
+    @property
+    def delay_ms(self) -> float:
+        """One-way propagation + fixed delay for this link, in ms."""
+        return self.length_km / FIBER_KM_PER_MS + self.extra_delay_ms
+
+    @property
+    def routing_weight(self) -> float:
+        """What the IGP shortest-path computation sees for this link."""
+        if self.metric is not None:
+            return self.metric
+        return self.delay_ms + PER_HOP_PROCESSING_MS
+
+    def other(self, iface: "Interface") -> "Interface":
+        """The interface at the opposite end from *iface*."""
+        if iface is self.a:
+            return self.b
+        if iface is self.b:
+            return self.a
+        raise TopologyError("interface is not attached to this link")
+
+    def routers(self):
+        """The two routers this link joins."""
+        return self.a.router, self.b.router

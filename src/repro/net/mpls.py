@@ -1,0 +1,134 @@
+"""MPLS label-switched paths.
+
+The paper's AT&T and Charter case studies both contend with MPLS
+tunnels that hide interior routers from traceroute (§4, §6, App. B.2,
+App. C).  The model captures the two behaviours the methodology needs:
+
+* **Invisible interiors** — a traceroute whose destination lies beyond
+  the tunnel egress sees the ingress hop followed directly by the
+  egress (or the first hop past it), with the interior hops absent.
+  This creates the false ingress→egress links that Appendix B.2 prunes.
+* **Direct Path Revelation (DPR)** — a traceroute *targeted at* the
+  tunnel's egress interface (or at an interior router address) is
+  routed as plain IP and reveals the interior hops (Vanaubel et al.,
+  used in §6.1 / App. C, Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.router import Router
+
+
+@dataclass
+class MplsTunnel:
+    """A unidirectional LSP from *ingress* to *egress*.
+
+    ``interior`` lists the label-switching routers strictly between the
+    two endpoints.  When ``ttl_propagate`` is False (the "pipe" model,
+    and AT&T's observed configuration), interior routers do not
+    decrement the IP TTL, so they never generate ICMP time-exceeded
+    messages for through traffic.
+    """
+
+    ingress: "Router"
+    egress: "Router"
+    interior: "tuple[Router, ...]" = ()
+    ttl_propagate: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ingress is self.egress:
+            raise TopologyError("an LSP needs distinct ingress and egress routers")
+        if self.ingress in self.interior or self.egress in self.interior:
+            raise TopologyError("tunnel endpoints cannot also be interior hops")
+
+    def hides(self, router: "Router", destination_router: "Router") -> bool:
+        """True when *router* is invisible for traffic to *destination_router*.
+
+        Interior hops are hidden unless the destination is itself the
+        egress or one of the interior routers (the DPR condition), or
+        the tunnel propagates TTL.
+        """
+        if self.ttl_propagate:
+            return False
+        if router not in self.interior:
+            return False
+        if destination_router is self.egress or destination_router in self.interior:
+            return False
+        return True
+
+
+class MplsDomain:
+    """The set of LSPs configured inside one network.
+
+    Two configuration shapes are supported:
+
+    * explicit :class:`MplsTunnel` objects (the Charter case — a
+      bounded set of ingress/egress pairs);
+    * blanket **LSR rules** for provider cores where every interior
+      router label-switches all through traffic (the AT&T case): the
+      listed routers are hidden from traceroute unless the probe's
+      destination router is itself part of the domain's infrastructure
+      set — which is exactly the Direct Path Revelation condition used
+      in §6.1 / Appendix C.
+    """
+
+    def __init__(self) -> None:
+        self.tunnels: list[MplsTunnel] = []
+        self._by_ingress: dict[str, list[MplsTunnel]] = {}
+        #: (hidden router uids, revealing destination router uids)
+        self._lsr_rules: list[tuple[frozenset, frozenset]] = []
+
+    def add_lsr_rule(self, hidden_routers, reveal_destinations) -> None:
+        """Hide *hidden_routers* except for probes destined to *reveal_destinations*."""
+        self._lsr_rules.append(
+            (
+                frozenset(r.uid for r in hidden_routers),
+                frozenset(r.uid for r in reveal_destinations),
+            )
+        )
+
+    def add(self, tunnel: MplsTunnel) -> MplsTunnel:
+        """Register an LSP."""
+        self.tunnels.append(tunnel)
+        self._by_ingress.setdefault(tunnel.ingress.uid, []).append(tunnel)
+        return tunnel
+
+    def tunnel_through(self, path_routers: "list[Router]") -> "list[MplsTunnel]":
+        """Return LSPs whose ingress and egress both appear, in order, on *path_routers*."""
+        index = {router.uid: i for i, router in enumerate(path_routers)}
+        found = []
+        for router in path_routers:
+            for tunnel in self._by_ingress.get(router.uid, ()):
+                i = index[tunnel.ingress.uid]
+                j = index.get(tunnel.egress.uid)
+                if j is not None and i < j:
+                    found.append(tunnel)
+        return found
+
+    def visible_path(
+        self, path_routers: "list[Router]", destination: "Router"
+    ) -> "list[Router]":
+        """Filter a forwarding path down to the routers traceroute can see."""
+        tunnels = self.tunnel_through(path_routers)
+        hidden_by_rule: set[str] = set()
+        for lsrs, reveal in self._lsr_rules:
+            if destination.uid in reveal:
+                continue
+            hidden_by_rule |= lsrs
+        if not tunnels and not hidden_by_rule:
+            return list(path_routers)
+        visible = []
+        for router in path_routers:
+            if router.uid in hidden_by_rule and router is not destination:
+                continue
+            if any(t.hides(router, destination) for t in tunnels):
+                continue
+            visible.append(router)
+        return visible

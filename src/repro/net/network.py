@@ -1,0 +1,260 @@
+"""The simulated internet: routers, links, and packet forwarding.
+
+:class:`Network` is the substrate every measurement tool probes.  It
+computes forwarding paths with a delay-weighted shortest-path search
+(cached single-source runs, so campaigns from a few vantage points to
+many thousands of targets stay fast), supports equal-cost multipath
+with per-flow deterministic tie-breaking (paris-traceroute keeps the
+flow fixed, so a flow sees a stable path), applies MPLS visibility
+rules, and answers probes according to each router's reply policy.
+
+Ground truth lives in router/CO annotations; the measurement API
+deliberately exposes only what a real prober could see: reply
+addresses, reply TTLs, RTTs, and rDNS.
+"""
+
+from __future__ import annotations
+
+import heapq
+import ipaddress
+from typing import Iterable, Optional
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.addresses import IPAddress, parse_ip
+from repro.net.dns import RdnsStore
+from repro.net.link import PER_HOP_PROCESSING_MS, Link
+from repro.net.mpls import MplsDomain
+from repro.net.router import Interface, Router, _stable_hash
+
+
+class Network:
+    """A collection of routers and links that forwards probe packets."""
+
+    def __init__(self) -> None:
+        self.routers: dict[str, Router] = {}
+        self.links: list[Link] = []
+        self.rdns = RdnsStore()
+        self.mpls = MplsDomain()
+        self._addr_owner: dict[str, Interface] = {}
+        # Longest-prefix "attraction" routes: traffic to any address in
+        # the prefix is delivered to the given router even when no
+        # interface owns the address (e.g. unused addresses of an
+        # EdgeCO's customer /24).
+        self._prefix_routes: dict[str, Router] = {}
+        self._prefix_lens: set[tuple[int, int]] = set()  # (version, prefixlen)
+        self._adj: dict[str, list[tuple[str, float, Link]]] = {}
+        self._sssp_cache: dict[str, tuple[dict[str, float], dict[str, list[str]]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_router(self, router: Router) -> Router:
+        """Register a router (uids must be unique)."""
+        if router.uid in self.routers:
+            raise TopologyError(f"duplicate router uid {router.uid!r}")
+        self.routers[router.uid] = router
+        self._adj.setdefault(router.uid, [])
+        for iface in router.interfaces:
+            self._register_interface(iface)
+        return router
+
+    def _register_interface(self, iface: Interface) -> None:
+        key = str(iface.address)
+        if key in self._addr_owner:
+            raise TopologyError(f"address {key} assigned twice")
+        self._addr_owner[key] = iface
+
+    def add_interface(self, router: Router, address: "str | IPAddress", prefixlen: int, name: str = "") -> Interface:
+        """Add an interface to an already-registered router."""
+        iface = router.add_interface(address, prefixlen, name=name)
+        self._register_interface(iface)
+        return iface
+
+    def connect(
+        self,
+        router_a: Router,
+        router_b: Router,
+        addr_a: "str | IPAddress",
+        addr_b: "str | IPAddress",
+        prefixlen: int = 30,
+        length_km: float = 1.0,
+        extra_delay_ms: float = 0.0,
+        metric: "float | None" = None,
+        ring: object = None,
+    ) -> Link:
+        """Create a point-to-point link with the given interface addresses."""
+        iface_a = self.add_interface(router_a, addr_a, prefixlen)
+        iface_b = self.add_interface(router_b, addr_b, prefixlen)
+        link = Link(iface_a, iface_b, length_km=length_km,
+                    extra_delay_ms=extra_delay_ms, metric=metric, ring=ring)
+        self.links.append(link)
+        weight = link.routing_weight
+        self._adj[router_a.uid].append((router_b.uid, weight, link))
+        self._adj[router_b.uid].append((router_a.uid, weight, link))
+        self._sssp_cache.clear()
+        return link
+
+    def add_prefix_route(self, prefix: "str | ipaddress.IPv4Network | ipaddress.IPv6Network", router: Router) -> None:
+        """Route all traffic for *prefix* to *router* (longest match wins)."""
+        net = ipaddress.ip_network(prefix) if isinstance(prefix, str) else prefix
+        self._prefix_routes[str(net)] = router
+        self._prefix_lens.add((net.version, net.prefixlen))
+
+    # ------------------------------------------------------------------
+    # Address resolution
+    # ------------------------------------------------------------------
+    def owner_interface(self, address: "str | IPAddress") -> Optional[Interface]:
+        """The interface that owns *address*, if any."""
+        return self._addr_owner.get(str(parse_ip(address)))
+
+    def owner_router(self, address: "str | IPAddress") -> Optional[Router]:
+        """The router that owns *address* as an interface or loopback."""
+        iface = self.owner_interface(address)
+        if iface is not None:
+            return iface.router
+        key = str(parse_ip(address))
+        for router in self.routers.values():
+            if router.loopback is not None and str(router.loopback) == key:
+                return router
+        return None
+
+    def route_target(self, address: "str | IPAddress") -> "tuple[Optional[Router], bool]":
+        """Resolve a probe destination to (delivering router, address exists).
+
+        A non-existent address inside a routed prefix is delivered to
+        the prefix's router (which will not answer an echo for it); an
+        address outside all prefixes is unroutable.
+        """
+        addr = parse_ip(address)
+        iface = self.owner_interface(addr)
+        if iface is not None:
+            return iface.router, True
+        best: Optional[Router] = None
+        best_len = -1
+        for version, plen in self._prefix_lens:
+            if version != addr.version or plen <= best_len:
+                continue
+            candidate = str(
+                ipaddress.ip_network(f"{addr}/{plen}", strict=False)
+            )
+            router = self._prefix_routes.get(candidate)
+            if router is not None:
+                best, best_len = router, plen
+        return best, False
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _sssp(self, src_uid: str) -> "tuple[dict[str, float], dict[str, list[str]]]":
+        """Single-source shortest paths keeping *all* equal-cost predecessors."""
+        cached = self._sssp_cache.get(src_uid)
+        if cached is not None:
+            return cached
+        dist: dict[str, float] = {src_uid: 0.0}
+        preds: dict[str, list[str]] = {src_uid: []}
+        heap = [(0.0, src_uid)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            for v, w, _link in self._adj[u]:
+                nd = d + w
+                old = dist.get(v, float("inf"))
+                if nd < old - 1e-12:
+                    dist[v] = nd
+                    preds[v] = [u]
+                    heapq.heappush(heap, (nd, v))
+                elif abs(nd - old) <= 1e-12 and u not in preds[v] and w > 0:
+                    # Zero-weight ties would make u and v each other's
+                    # predecessors and trap the path walk in a cycle.
+                    preds[v].append(u)
+        self._sssp_cache[src_uid] = (dist, preds)
+        return dist, preds
+
+    def forwarding_path(
+        self, src: Router, dst: Router, flow_id: object = 0
+    ) -> "list[Router]":
+        """The router-level path a flow takes from *src* to *dst*.
+
+        Equal-cost choices are broken deterministically by a hash of the
+        flow id and the node, so a fixed flow (paris-traceroute) always
+        sees one stable path while different flows may diverge.
+        """
+        dist, preds = self._sssp(src.uid)
+        if dst.uid not in dist:
+            raise RoutingError(f"no route from {src.uid} to {dst.uid}")
+        path_uids = [dst.uid]
+        node = dst.uid
+        while node != src.uid:
+            options = preds[node]
+            if len(options) == 1:
+                node = options[0]
+            else:
+                choice = _stable_hash("ecmp", flow_id, node) % len(options)
+                node = sorted(options)[choice]
+            path_uids.append(node)
+        path_uids.reverse()
+        return [self.routers[uid] for uid in path_uids]
+
+    def _link_between(self, a: Router, b: Router) -> Link:
+        for neighbor_uid, _w, link in self._adj[a.uid]:
+            if neighbor_uid == b.uid:
+                return link
+        raise RoutingError(f"no link between {a.uid} and {b.uid}")
+
+    def path_delays_ms(self, path: "list[Router]") -> "list[float]":
+        """Cumulative one-way *physical* delay at each router of *path*.
+
+        Routing may follow configured metrics, but latency always
+        follows the fiber: this walks the actual links taken.
+        """
+        delays = [0.0]
+        total = 0.0
+        for prev, cur in zip(path, path[1:]):
+            link = self._link_between(prev, cur)
+            total += link.delay_ms + PER_HOP_PROCESSING_MS
+            delays.append(total)
+        return delays
+
+    def path_delay_ms(self, src: Router, dst: Router, flow_id: object = 0) -> float:
+        """One-way physical delay along the forwarding path, in ms."""
+        path = self.forwarding_path(src, dst, flow_id=flow_id)
+        return self.path_delays_ms(path)[-1]
+
+    def inbound_interfaces(self, path: "list[Router]") -> "list[Optional[Interface]]":
+        """For each router on *path*, the interface the packet arrived on.
+
+        The first element (the source) has no inbound interface.  The
+        inbound interface determines the ICMP reply address for routers
+        with an ``inbound`` reply policy.
+        """
+        result: "list[Optional[Interface]]" = [None]
+        for prev, cur in zip(path, path[1:]):
+            inbound = None
+            for neighbor_uid, _w, link in self._adj[prev.uid]:
+                if neighbor_uid != cur.uid:
+                    continue
+                iface = link.a if link.a.router is cur else link.b
+                inbound = iface
+                break
+            result.append(inbound)
+        return result
+
+    def neighbors(self, router: Router) -> "list[Router]":
+        """Directly connected routers."""
+        return [self.routers[uid] for uid, _w, _l in self._adj[router.uid]]
+
+    def degree(self, router: Router) -> int:
+        """Number of links attached to *router*."""
+        return len(self._adj[router.uid])
+
+    # ------------------------------------------------------------------
+    # Convenience iteration
+    # ------------------------------------------------------------------
+    def routers_where(self, predicate) -> "list[Router]":
+        """All routers satisfying *predicate* (ground-truth helpers)."""
+        return [r for r in self.routers.values() if predicate(r)]
+
+    def all_addresses(self) -> Iterable[str]:
+        """Every assigned interface address."""
+        return self._addr_owner.keys()

@@ -1,0 +1,16 @@
+"""Hostname semantics: per-ISP regexes and CLLI geolocation."""
+
+from repro.rdns.clli import parse_clli, clli_state
+from repro.rdns.regexes import (
+    CABLE_PATTERNS,
+    HostnameParser,
+    ParsedHostname,
+)
+
+__all__ = [
+    "CABLE_PATTERNS",
+    "HostnameParser",
+    "ParsedHostname",
+    "clli_state",
+    "parse_clli",
+]

@@ -1,0 +1,162 @@
+"""Per-ISP hostname regexes.
+
+The paper hand-crafted regexes to extract CO identifiers and regional
+network names from rDNS (§5, Fig 5):
+
+* Comcast-style: ``po-1-1-cbr01.troutdale.or.bverton.comcast.net`` —
+  role code (``ar``/``cbr``/``rur``), CO location (city + state), and
+  region tag; backbone routers sit under ``ibone``.
+* Charter-style: ``agg1.sndhcaax01r.socal.rr.com`` — a CLLI-based CO
+  tag (plus a device-type letter) and region tag; backbone routers sit
+  under ``tbone`` with ``-bcr`` labels.
+* AT&T: ``cr2.sd2ca.ip.att.net`` backbone routers and
+  ``107-200-91-1.lightspeed.sndgca.sbcglobal.net`` lightspeed gateways.
+* Verizon: ``…alter.net`` backbone and ``…ost.myvzw.com`` speedtest
+  hosts.
+
+Parsing never consults ground truth — only the hostname text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ParsedHostname:
+    """Semantic fields extracted from one hostname."""
+
+    isp: str
+    #: Regional network tag ("socal", "bverton", "sndgca"…); "ibone" /
+    #: "tbone" style backbone zones normalize to role="backbone" with
+    #: the PoP location in co_tag.
+    region: str
+    #: CO identifier within the region (building-level for CLLI tags,
+    #: metro-level for city tags).
+    co_tag: str
+    #: "agg" | "edge" | "backbone" | "lspgw" | "unknown" — as hinted by
+    #: the name alone (graph heuristics make the real role call).
+    role: str
+    raw: str
+
+
+_COMCAST_REGIONAL = re.compile(
+    r"^[a-z]+(?:-\d+)+-(?P<role>ar|cbr|rur)\d*\."
+    r"(?P<city>[a-z0-9]+)\.(?P<state>[a-z]{2})\."
+    r"(?P<region>[a-z0-9]+)\.(?P<isp>[a-z0-9]+)\.net$"
+)
+_COMCAST_BACKBONE = re.compile(
+    r"^[a-z]+(?:-\d+)+-cr\d+\.(?P<city>[a-z0-9]+)\.(?P<state>[a-z]{2})\."
+    r"ibone\.(?P<isp>[a-z0-9]+)\.net$"
+)
+_CHARTER_REGIONAL = re.compile(
+    r"^(?P<role>agg|tge|bun)\d*\.(?P<tag>[a-z][a-z0-9]{5,11})(?P<kind>[rhm])\."
+    r"(?P<region>[a-z0-9]+)\.rr\.com$"
+)
+_CHARTER_BACKBONE = re.compile(
+    r"^bu-[a-z]+\d*\.(?P<tag>[a-z0-9]+)-bcr\d+\.tbone\.rr\.com$"
+)
+_ATT_BACKBONE = re.compile(
+    r"^cr\d+\.(?P<tag>[a-z0-9]{4,6})\.ip\.att\.net$"
+)
+_ATT_LSPGW = re.compile(
+    r"^(?P<ip>[\d-]+-\d+)\.lightspeed\.(?P<region>[a-z]{6})\.sbcglobal\.net$"
+)
+_VZ_BACKBONE = re.compile(r"\.alter\.net$")
+_VZ_SPEEDTEST = re.compile(r"^(?P<code>[a-z0-9]{3,6})\.ost\.myvzw\.com$")
+
+_COMCAST_ROLES = {"ar": "agg", "cbr": "edge", "rur": "edge"}
+
+
+class HostnameParser:
+    """Stateless hostname → :class:`ParsedHostname` extraction."""
+
+    def parse(self, hostname: "str | None") -> Optional[ParsedHostname]:
+        """Parse any known ISP hostname; None when nothing matches."""
+        if not hostname:
+            return None
+        name = hostname.strip().lower()
+        match = _COMCAST_REGIONAL.match(name)
+        if match:
+            return ParsedHostname(
+                isp=match.group("isp"),
+                region=match.group("region"),
+                co_tag=f"{match.group('city')}.{match.group('state')}",
+                role=_COMCAST_ROLES[match.group("role")],
+                raw=name,
+            )
+        match = _COMCAST_BACKBONE.match(name)
+        if match:
+            return ParsedHostname(
+                isp=match.group("isp"),
+                region="ibone",
+                co_tag=f"{match.group('city')}.{match.group('state')}",
+                role="backbone",
+                raw=name,
+            )
+        match = _CHARTER_REGIONAL.match(name)
+        if match:
+            return ParsedHostname(
+                isp="charter",
+                region=match.group("region"),
+                co_tag=match.group("tag"),
+                role="agg" if match.group("kind") == "r" else "edge",
+                raw=name,
+            )
+        match = _CHARTER_BACKBONE.match(name)
+        if match:
+            return ParsedHostname(
+                isp="charter", region="tbone",
+                co_tag=match.group("tag"), role="backbone", raw=name,
+            )
+        match = _ATT_BACKBONE.match(name)
+        if match:
+            return ParsedHostname(
+                isp="att", region=match.group("tag"),
+                co_tag=match.group("tag"), role="backbone", raw=name,
+            )
+        match = _ATT_LSPGW.match(name)
+        if match:
+            return ParsedHostname(
+                isp="att", region=match.group("region"),
+                co_tag=match.group("region"), role="lspgw", raw=name,
+            )
+        match = _VZ_SPEEDTEST.match(name)
+        if match:
+            return ParsedHostname(
+                isp="verizon", region="", co_tag=match.group("code"),
+                role="edge", raw=name,
+            )
+        if _VZ_BACKBONE.search(name):
+            return ParsedHostname(
+                isp="verizon", region="", co_tag="", role="backbone", raw=name,
+            )
+        return None
+
+    def regional_co(self, hostname: "str | None", isp: str) -> "Optional[tuple[str, str]]":
+        """(region, co_tag) when the hostname names a regional CO of *isp*."""
+        parsed = self.parse(hostname)
+        if parsed is None or parsed.isp != isp:
+            return None
+        if parsed.role in ("backbone", "lspgw"):
+            return None
+        return parsed.region, parsed.co_tag
+
+    def is_backbone(self, hostname: "str | None", isp: "str | None" = None) -> bool:
+        """Whether the hostname names a backbone router."""
+        parsed = self.parse(hostname)
+        if parsed is None or parsed.role != "backbone":
+            return False
+        return isp is None or parsed.isp == isp
+
+
+#: Regexes a campaign uses to harvest probe targets from the Rapid7
+#: snapshot (§5.1's "every address with rDNS matching one of our
+#: regexes" and §6.1's lspgw harvest).
+CABLE_PATTERNS = {
+    "comcast": re.compile(r"\.[a-z0-9]+\.comcast\.net$"),
+    "charter": re.compile(r"\.rr\.com$"),
+    "att-lspgw": re.compile(r"\.lightspeed\.[a-z]{6}\.sbcglobal\.net$"),
+}

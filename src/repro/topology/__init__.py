@@ -1,0 +1,31 @@
+"""Ground-truth topology generators.
+
+These build the networks the paper measured: cable ISPs with rDNS-rich
+regional networks (Comcast/Charter-like, §5), an MPLS-heavy telco
+(AT&T-like, §6), and the three mobile carriers with IPv6-encoded
+topology (§7) — all placed on a synthetic U.S. geography so that
+latency follows real distances.
+"""
+
+from repro.topology.co import CentralOffice, CoKind, Region
+from repro.topology.geography import Geography, City
+
+__all__ = [
+    "CentralOffice",
+    "City",
+    "CoKind",
+    "Geography",
+    "Region",
+    "SimulatedInternet",
+    "build_default_internet",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the internet assembly (it imports the measurement
+    layer, which itself needs this package — eager import would cycle)."""
+    if name in ("SimulatedInternet", "build_default_internet"):
+        from repro.topology import internet
+
+        return getattr(internet, name)
+    raise AttributeError(f"module 'repro.topology' has no attribute {name!r}")

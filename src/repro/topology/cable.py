@@ -1,0 +1,624 @@
+"""Cable ISP topology generators (the §5 case study networks).
+
+Builds two synthetic cable ISPs in the image of the paper's subjects:
+
+* **Comcast-like** ("comcast"): 28 smaller regions, city/state rDNS tags
+  (``po-1-1-cbr01.troutdale.or.bverton.comcast.net``), /30 inter-router
+  subnets, higher rDNS staleness, aggregation types split 5 single /
+  11 two / 12 multi-level (Table 1).
+* **Charter-like** ("charter"): 6 vast regions, CLLI rDNS tags
+  (``agg1.sndhcaax01r.socal.rr.com``), /31 subnets, more aggregation
+  layers, one region running MPLS between its top AggCOs and EdgeCOs
+  (the false-adjacency source of Appendix B.2), and one region with no
+  CO-level redundancy (Appendix B.4).
+
+Both expose the observables the paper's pipeline consumes — rDNS with
+injected staleness, customer /24s, backbone entries — and record full
+ground truth for scoring.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Allocator
+from repro.net.mpls import MplsTunnel
+from repro.net.network import Network
+from repro.net.router import Router
+from repro.topology.co import CentralOffice, CoKind, Region
+from repro.topology.fiber import FiberRing
+from repro.topology.geography import City, Geography, clli_city_code
+from repro.topology.isp import BaseIsp
+
+#: Configured IGP metric for all intra-region and entry links: equal
+#: metrics on redundant dual-star links create the ECMP diversity that
+#: lets multi-VP traceroute observe both AggCOs of a pair (§5.2.2).
+REGION_METRIC = 10.0
+
+
+def _slug(name: str) -> str:
+    """Lowercase alphanumeric slug of a city name."""
+    return "".join(c for c in name.lower() if c.isalnum())
+
+
+@dataclass(frozen=True)
+class CableRegionSpec:
+    """Recipe for one cable regional network."""
+
+    name: str
+    anchor: "tuple[str, str]"  # (city name, state)
+    agg_type: str  # "single" | "two" | "multi"
+    n_edge: int
+    #: Number of sub-regions for multi-level regions.
+    n_subregions: int = 0
+    #: States whose metros supply sub-region anchors.
+    states: "tuple[str, ...]" = ()
+    #: Region reached through another region instead of the backbone
+    #: (the Connecticut-via-Massachusetts pattern of §5.5).
+    entry_via_region: str = ""
+    #: Probability an EdgeCO is single-homed in dual-AggCO sub-regions.
+    p_single: float = 0.03
+    #: Probability an EdgeCO daisy-chains off another EdgeCO.
+    p_daisy: float = 0.015
+    #: Probability a sub-region gets a redundant AggCO pair (vs one).
+    p_dual_subregion: float = 0.95
+    #: Force every EdgeCO single-homed (Charter's southeast, App. B.4).
+    no_redundancy: bool = False
+    #: Run MPLS LSPs from top AggCOs to EdgeCOs (one Charter region).
+    uses_mpls: bool = False
+    #: Extra special-purpose entry PoP city (Boston PoP of §5.5).
+    special_pop: "tuple[str, str] | None" = None
+    #: Also connect top AggCOs to this other region's top AggCOs
+    #: (Central California → San Francisco, §5.2.5).
+    also_connects_region: str = ""
+    #: Explicit backbone entry PoP metros (overrides nearest-two).  Used
+    #: where the ISP's entries are not the geographically obvious ones,
+    #: which is what steers some real flows through a neighbouring
+    #: region's AggCOs.
+    entry_pop_cities: "tuple[tuple[str, str], ...]" = ()
+
+
+class CableIsp(BaseIsp):
+    """A cable ISP built from :class:`CableRegionSpec` recipes."""
+
+    def __init__(
+        self,
+        name: str,
+        asn: int,
+        pool: str,
+        network: Network,
+        style: str,
+        backbone_cities: "list[tuple[str, str]]",
+        stale_rate: float,
+        missing_rate: float,
+        p2p_prefixlen: int,
+        geography: "Geography | None" = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, asn, pool, network, geography=geography, seed=seed)
+        if style not in ("comcast", "charter"):
+            raise TopologyError(f"unknown cable rDNS style {style!r}")
+        self.style = style
+        self.stale_rate = stale_rate
+        self.missing_rate = missing_rate
+        self.p2p_prefixlen = p2p_prefixlen
+        self._used_clli: set[str] = set()
+        self._used_cities: set[str] = set()
+        self._co_tags: dict[str, str] = {}  # co.uid -> rDNS CO tag
+        self._used_tags: set[str] = set()
+        self._region_of_co: dict[str, str] = {}
+        self._all_cos: list[CentralOffice] = []
+        self._iface_seq = 0
+        #: uids of the top-level AggCOs per region (entry attachment).
+        self._top_aggs: dict[str, list[tuple[CentralOffice, Router]]] = {}
+        for city_name, state in backbone_cities:
+            self.add_backbone_pop(self.geography.city(city_name, state))
+        self.mesh_backbone(extra_chords=3)
+
+    # ------------------------------------------------------------------
+    # rDNS naming (per style)
+    # ------------------------------------------------------------------
+    def backbone_rdns_for(self, pop, router, iface_index):
+        slugged = _slug(pop.city.name)
+        state = pop.city.state.lower()
+        if self.style == "comcast":
+            return f"be-{1100 + iface_index}-cr01.{slugged}.{state}.ibone.{self.name}.net"
+        code = clli_city_code(pop.city.name).lower()
+        return f"bu-ether{10 + iface_index}.{code}{state}0yw-bcr00.tbone.rr.com"
+
+    def _make_co_tag(self, co: CentralOffice) -> str:
+        """The CO identifier embedded in this ISP's rDNS names."""
+        if self.style == "comcast":
+            return f"{_slug(co.city.name)}.{co.city.state.lower()}"
+        suffix = "".join(
+            self.rng.choice(string.ascii_lowercase) for _ in range(2)
+        )
+        # CLLI city+state (6 chars) + 2 letters + building number, the
+        # shape of the paper's `sndhcaax01`.
+        return f"{co.clli[:6].lower()}{suffix}01"
+
+    def co_tag(self, co: CentralOffice) -> str:
+        """Stable rDNS CO tag for a CO (ground-truth mapping for scoring)."""
+        tag = self._co_tags.get(co.uid)
+        if tag is None:
+            tag = self._make_co_tag(co)
+            bump = 1
+            while tag in self._used_tags:
+                bump += 1
+                if self.style == "comcast":
+                    tag = f"{_slug(co.city.name)}{bump}.{co.city.state.lower()}"
+                else:
+                    tag = self._make_co_tag(co)
+            self._used_tags.add(tag)
+            self._co_tags[co.uid] = tag
+        return tag
+
+    def hostname_for(self, co: CentralOffice, region_name: str) -> str:
+        """Compose a full interface hostname for a router in *co*."""
+        self._iface_seq += 1
+        tag = self.co_tag(co)
+        if self.style == "comcast":
+            role = {"agg": "ar", "edge": "cbr", "backbone": "cr"}[co.kind.value]
+            return (
+                f"ae-{self._iface_seq % 97}-{role}01.{tag}."
+                f"{region_name}.{self.name}.net"
+            )
+        role = {"agg": "agg", "edge": "agg", "backbone": "bcr"}[co.kind.value]
+        kind_letter = "r" if co.kind == CoKind.AGG else self.rng.choice("rhm")
+        return f"{role}{1 + self._iface_seq % 4}.{tag}{kind_letter}.{region_name}.rr.com"
+
+    def _name_interface(self, iface, co: CentralOffice, region_name: str) -> None:
+        """Attach rDNS for one interface, with staleness/missing noise."""
+        roll = self.rng.random()
+        if roll < self.missing_rate:
+            return
+        if roll < self.missing_rate + self.stale_rate and len(self._all_cos) > 1:
+            wrong = self.rng.choice(self._all_cos)
+            if wrong.uid != co.uid:
+                wrong_region = self._region_of_co.get(wrong.uid, region_name)
+                stale_name = self.hostname_for(wrong, wrong_region)
+                # Half the stale entries survive in the live zone; the
+                # rest only pollute the bulk snapshot (App. B.1).
+                self.network.rdns.set_stale(
+                    iface.address, stale_name, in_dig=self.rng.random() < 0.5
+                )
+                return
+        self.network.rdns.set(iface.address, self.hostname_for(co, region_name))
+
+    # ------------------------------------------------------------------
+    # Region construction
+    # ------------------------------------------------------------------
+    def reserve_anchor_cities(self, specs: "list[CableRegionSpec]") -> None:
+        """Pre-register every region anchor so sub-anchors never reuse one."""
+        for spec in specs:
+            self._used_cities.add(self.geography.city(*spec.anchor).key)
+
+    def build_region(self, spec: CableRegionSpec) -> Region:
+        """Build one regional network from its spec."""
+        if spec.name in self.regions:
+            raise TopologyError(f"region {spec.name!r} already built")
+        region = Region(spec.name, self.name)
+        region.agg_type = spec.agg_type
+        self.regions[spec.name] = region
+        region_block = self.allocator.allocate_subnet(16)
+        infra = Ipv4Allocator(list(region_block.subnets(new_prefix=18))[0])
+        customers = Ipv4Allocator(
+            list(region_block.subnets(new_prefix=17))[1]
+        )
+        self.announce(spec.name, region_block)
+        anchor = self.geography.city(*spec.anchor)
+
+        builders = {
+            "single": self._build_single_agg,
+            "two": self._build_two_agg,
+            "multi": self._build_multi_agg,
+        }
+        try:
+            builder = builders[spec.agg_type]
+        except KeyError as exc:
+            raise TopologyError(f"unknown agg type {spec.agg_type!r}") from exc
+        top = builder(region, spec, anchor, infra, customers)
+        self._top_aggs[spec.name] = top
+        self._attach_entries(region, spec, anchor, top, infra)
+        # Aggregate route: traffic for unused parts of the region block
+        # still flows into the region (and dies at the top AggCO).
+        self.network.add_prefix_route(region_block, top[0][1])
+        return region
+
+    # -- CO/router helpers ---------------------------------------------
+    def _unique_clli(self, city: City, building: int) -> str:
+        base = self.geography.clli(city, building)
+        candidate, bump = base, building
+        while candidate in self._used_clli:
+            bump += 1
+            candidate = self.geography.clli(city, bump)
+        self._used_clli.add(candidate)
+        return candidate
+
+    def _make_co(
+        self, region: Region, kind: CoKind, city: City, level: int
+    ) -> "tuple[CentralOffice, Router]":
+        co = self.new_co(region, kind, city, self._unique_clli(city, 1), level=level)
+        router = self.new_router(role=kind.value, region_name=region.name)
+        co.add_router(router)
+        self._all_cos.append(co)
+        self._region_of_co[co.uid] = region.name
+        return co, router
+
+    def _synthetic_site(self, anchor: City, index: int) -> City:
+        """A synthetic EdgeCO site scattered around an anchor metro."""
+        lat, lon = self.geography.scatter(anchor, self.rng, radius_km=45.0)
+        letters = string.ascii_uppercase
+        suffix = letters[index // 26 % 26] + letters[index % 26]
+        return City(
+            name=f"{anchor.name} {suffix}",
+            state=anchor.state,
+            lat=lat,
+            lon=lon,
+            weight=1,
+        )
+
+    def _link(
+        self,
+        region: Region,
+        co_a: CentralOffice,
+        router_a: Router,
+        co_b: CentralOffice,
+        router_b: Router,
+        length_km: float,
+        ring: object = None,
+    ) -> None:
+        """Link two CO routers, name both interfaces, record ground truth."""
+        link = self.link_cos(
+            co_a, router_a, co_b, router_b, length_km,
+            p2p_prefixlen=self.p2p_prefixlen, metric=REGION_METRIC, ring=ring,
+        )
+        self._name_interface(link.a, co_a, region.name)
+        self._name_interface(link.b, co_b, region.name)
+        region.add_edge(co_a, co_b)
+
+    def _attach_customers(
+        self, region: Region, edge_co: CentralOffice, router: Router, customers: Ipv4Allocator
+    ) -> None:
+        """Give an EdgeCO router a routed customer /24."""
+        prefix = customers.allocate_subnet(24)
+        self.network.add_prefix_route(prefix, router)
+
+    # -- the three aggregation shapes (Fig 8) ---------------------------
+    def _build_edge_ring(
+        self,
+        region: Region,
+        spec: CableRegionSpec,
+        hubs: "list[tuple[CentralOffice, Router]]",
+        anchor: City,
+        count: int,
+        level: int,
+        customers: Ipv4Allocator,
+        force_single: bool = False,
+    ) -> "list[tuple[CentralOffice, Router]]":
+        """Create *count* EdgeCOs around *anchor* hanging off *hubs*.
+
+        Hub links follow fiber-ring arc lengths (Fig 3).  Some EdgeCOs
+        come out single-homed; a few daisy-chain behind another EdgeCO.
+        """
+        edges = []
+        for i in range(count):
+            site = self._synthetic_site(anchor, len(region.cos) + i)
+            edges.append(self._make_co(region, CoKind.EDGE, site, level))
+        ring_members = [co for co, _ in hubs] + [co for co, _ in edges]
+        ring = FiberRing(
+            f"{region.name}-ring-{len(region.cos)}", ring_members, self.geography
+        )
+        router_of = {co.uid: r for co, r in hubs + edges}
+        daisy_candidates: "list[tuple[CentralOffice, Router]]" = []
+        for edge_co, edge_router in edges:
+            if spec.p_daisy > 0 and daisy_candidates and self.rng.random() < spec.p_daisy:
+                parent_co, parent_router = self.rng.choice(daisy_candidates)
+                dist = 1.4 * self.geography.distance_km(parent_co.city, edge_co.city)
+                self._link(region, parent_co, parent_router, edge_co, edge_router, dist)
+            else:
+                single = (
+                    force_single
+                    or len(hubs) == 1
+                    or self.rng.random() < spec.p_single
+                )
+                chosen = hubs[:1] if single else hubs
+                for hub_co, _hub_router in chosen:
+                    self._link(
+                        region,
+                        hub_co,
+                        router_of[hub_co.uid],
+                        edge_co,
+                        edge_router,
+                        ring.arc_km(hub_co, edge_co),
+                        ring=ring,
+                    )
+            self._attach_customers(region, edge_co, edge_router, customers)
+            daisy_candidates.append((edge_co, edge_router))
+        return edges
+
+    def _build_single_agg(self, region, spec, anchor, infra, customers):
+        agg = self._make_co(region, CoKind.AGG, anchor, level=1)
+        self._build_edge_ring(
+            region, spec, [agg], anchor, spec.n_edge, level=2,
+            customers=customers, force_single=spec.no_redundancy,
+        )
+        return [agg]
+
+    def _build_two_agg(self, region, spec, anchor, infra, customers):
+        agg_a = self._make_co(region, CoKind.AGG, anchor, level=1)
+        site_b = self._synthetic_site(anchor, 999)
+        agg_b = self._make_co(region, CoKind.AGG, site_b, level=1)
+        # The AggCO pair interconnects directly.
+        self._link(
+            region, agg_a[0], agg_a[1], agg_b[0], agg_b[1],
+            1.4 * self.geography.distance_km(agg_a[0].city, site_b),
+        )
+        self._build_edge_ring(
+            region, spec, [agg_a, agg_b], anchor, spec.n_edge, level=2,
+            customers=customers, force_single=spec.no_redundancy,
+        )
+        return [agg_a, agg_b]
+
+    def _build_multi_agg(self, region, spec, anchor, infra, customers):
+        top_a = self._make_co(region, CoKind.AGG, anchor, level=1)
+        site_b = self._synthetic_site(anchor, 998)
+        top_b = self._make_co(region, CoKind.AGG, site_b, level=1)
+        self._link(
+            region, top_a[0], top_a[1], top_b[0], top_b[1],
+            1.4 * self.geography.distance_km(anchor, site_b),
+        )
+        tops = [top_a, top_b]
+
+        n_sub = max(1, spec.n_subregions)
+        sub_anchors = self._pick_sub_anchors(spec, anchor, n_sub)
+        per_sub = max(3, spec.n_edge // (n_sub + 1))
+        # The top AggCO pair serves the anchor metro's own EdgeCOs.
+        self._build_edge_ring(
+            region, spec, tops, anchor, per_sub, level=2,
+            customers=customers, force_single=spec.no_redundancy,
+        )
+        mpls_edges: "list[tuple[CentralOffice, Router]]" = []
+        sub_routers: "list[Router]" = []
+        for sub_anchor in sub_anchors:
+            dual_sub = (
+                spec.no_redundancy is False
+                and self.rng.random() < spec.p_dual_subregion
+            )
+            sub_hubs = [self._make_co(region, CoKind.AGG, sub_anchor, level=2)]
+            if dual_sub:
+                twin_site = self._synthetic_site(sub_anchor, 997)
+                twin = self._make_co(region, CoKind.AGG, twin_site, level=2)
+                sub_hubs.append(twin)
+            for sub_co, sub_router in sub_hubs:
+                sub_routers.append(sub_router)
+                for top_co, top_router in tops:
+                    self._link(
+                        region, top_co, top_router, sub_co, sub_router,
+                        1.4 * self.geography.distance_km(top_co.city, sub_co.city),
+                    )
+            edges = self._build_edge_ring(
+                region, spec, sub_hubs, sub_anchor, per_sub, level=3,
+                customers=customers, force_single=spec.no_redundancy,
+            )
+            mpls_edges.extend(edges)
+        if spec.uses_mpls:
+            self._install_mpls(tops, sub_routers, mpls_edges)
+        return tops
+
+    def _pick_sub_anchors(self, spec: CableRegionSpec, anchor: City, count: int) -> "list[City]":
+        """Sub-region anchor metros drawn from the spec's states.
+
+        Cities already anchoring another region or sub-region of this
+        ISP are skipped so no two COs of the ISP share a metro (which
+        would make their rDNS CO tags collide).
+        """
+        self._used_cities.add(anchor.key)
+        # Round-robin across the spec's states so a multi-state region
+        # (e.g. New England: MA/NH/VT) anchors sub-regions in every
+        # state rather than exhausting the first state's metros.
+        per_state: "list[list[City]]" = []
+        for state in spec.states or (anchor.state,):
+            per_state.append([
+                c for c in self.geography.cities_in(state)
+                if c.key != anchor.key and c.key not in self._used_cities
+            ])
+        anchors: "list[City]" = []
+        index = 0
+        while len(anchors) < count and any(per_state):
+            bucket = per_state[index % len(per_state)]
+            index += 1
+            if bucket:
+                city = bucket.pop(0)
+                anchors.append(city)
+                self._used_cities.add(city.key)
+        while len(anchors) < count:
+            anchors.append(self._synthetic_site(anchor, 900 + len(anchors)))
+        return anchors
+
+    def _install_mpls(self, tops, sub_routers, edges) -> None:
+        """LSPs from top AggCO routers to EdgeCO routers hiding mid aggs."""
+        interior = tuple(sub_routers)
+        for _top_co, top_router in tops:
+            for _edge_co, edge_router in edges:
+                self.network.mpls.add(
+                    MplsTunnel(
+                        ingress=top_router,
+                        egress=edge_router,
+                        interior=interior,
+                        ttl_propagate=False,
+                    )
+                )
+
+    # -- entries ---------------------------------------------------------
+    def _attach_entries(self, region, spec, anchor, top, infra) -> None:
+        """Wire the region's top AggCOs to its entry points."""
+        if spec.entry_via_region:
+            # Enter through another region's top AggCOs (Connecticut).
+            try:
+                upstream = self._top_aggs[spec.entry_via_region]
+            except KeyError as exc:
+                raise TopologyError(
+                    f"region {spec.name} enters via {spec.entry_via_region!r},"
+                    " which must be built first"
+                ) from exc
+            for up_co, up_router in upstream:
+                for local_co, local_router in top:
+                    dist = 1.4 * self.geography.distance_km(up_co.city, local_co.city)
+                    self._link_inter_region(
+                        up_co, up_router, local_co, local_router, dist,
+                        up_region=spec.entry_via_region, down_region=region.name,
+                    )
+                    region.add_entry(up_co.uid, local_co)
+            return
+        if spec.entry_pop_cities:
+            pops = [
+                self.add_backbone_pop(self.geography.city(*city))
+                for city in spec.entry_pop_cities
+            ]
+        else:
+            pops = self.nearest_backbone_pops(anchor, count=2)
+        if spec.special_pop is not None:
+            special_city = self.geography.city(*spec.special_pop)
+            pops = pops + [self.add_backbone_pop(special_city, building=77)]
+        for pop in pops:
+            pop_router = pop.routers[0]
+            for local_co, local_router in top:
+                dist = 1.4 * self.geography.distance_km(pop.city, local_co.city)
+                link = self.link_cos(
+                    None, pop_router, local_co, local_router,
+                    length_km=dist, p2p_prefixlen=self.p2p_prefixlen,
+                    metric=REGION_METRIC,
+                )
+                name = self.backbone_rdns_for(pop, pop_router, len(pop_router.interfaces))
+                if name:
+                    self.network.rdns.set(link.a.address, name)
+                self._name_interface(link.b, local_co, region.name)
+                region.add_entry(pop.uid, local_co)
+        if spec.also_connects_region:
+            try:
+                other = self._top_aggs[spec.also_connects_region]
+            except KeyError as exc:
+                raise TopologyError(
+                    f"region {spec.name} also connects to"
+                    f" {spec.also_connects_region!r}, which must be built first"
+                ) from exc
+            other_co, other_router = other[0]
+            local_co, local_router = top[0]
+            dist = 1.4 * self.geography.distance_km(other_co.city, local_co.city)
+            self._link_inter_region(
+                other_co, other_router, local_co, local_router, dist,
+                up_region=spec.also_connects_region, down_region=region.name,
+            )
+            region.add_entry(other_co.uid, local_co)
+
+    def _link_inter_region(
+        self, up_co, up_router, down_co, down_router, length_km,
+        up_region: str, down_region: str, metric: float = REGION_METRIC,
+    ) -> None:
+        """Link COs in two different regions (an inter-region entry)."""
+        link = self.link_cos(
+            up_co, up_router, down_co, down_router,
+            length_km, p2p_prefixlen=self.p2p_prefixlen, metric=metric,
+        )
+        self._name_interface(link.a, up_co, up_region)
+        self._name_interface(link.b, down_co, down_region)
+
+
+# ----------------------------------------------------------------------
+# The two stock ISPs
+# ----------------------------------------------------------------------
+
+COMCAST_BACKBONE_CITIES = [
+    ("Seattle", "WA"), ("Sunnyvale", "CA"), ("Los Angeles", "CA"),
+    ("Denver", "CO"), ("Dallas", "TX"), ("Chicago", "IL"),
+    ("Atlanta", "GA"), ("Miami", "FL"), ("New York", "NY"),
+    ("Newark", "NJ"), ("Ashburn", "VA"),
+]
+
+CHARTER_BACKBONE_CITIES = [
+    ("Los Angeles", "CA"), ("Dallas", "TX"), ("St. Louis", "MO"),
+    ("Chicago", "IL"), ("Atlanta", "GA"), ("Charlotte", "NC"),
+    ("New York", "NY"), ("Denver", "CO"),
+]
+
+COMCAST_REGION_SPECS = [
+    CableRegionSpec("bverton", ("Beaverton", "OR"), "multi", 24, 2, ("OR",)),
+    CableRegionSpec("sanfrancisco", ("San Francisco", "CA"), "multi", 30, 2, ("CA",)),
+    CableRegionSpec("centralca", ("Sacramento", "CA"), "multi", 26, 2, ("CA",),
+                    also_connects_region="sanfrancisco",
+                    entry_pop_cities=(("Sunnyvale", "CA"), ("Denver", "CO"))),
+    CableRegionSpec("minneapolis", ("Minneapolis", "MN"), "multi", 24, 2, ("MN",)),
+    CableRegionSpec("chicago", ("Chicago", "IL"), "multi", 32, 3, ("IL", "IN")),
+    CableRegionSpec("philadelphia", ("Philadelphia", "PA"), "multi", 28, 2, ("PA", "DE")),
+    CableRegionSpec("newengland", ("Boston", "MA"), "multi", 30, 3, ("MA", "NH", "VT"),
+                    special_pop=("Boston", "MA")),
+    CableRegionSpec("dc", ("Washington", "DC"), "multi", 26, 2, ("DC", "VA", "MD")),
+    CableRegionSpec("atlanta", ("Atlanta", "GA"), "multi", 26, 2, ("GA",)),
+    CableRegionSpec("miami", ("Miami", "FL"), "multi", 28, 2, ("FL",)),
+    CableRegionSpec("houston", ("Houston", "TX"), "multi", 28, 2, ("TX",)),
+    CableRegionSpec("michigan", ("Detroit", "MI"), "multi", 24, 2, ("MI",)),
+    CableRegionSpec("seattle", ("Seattle", "WA"), "two", 16),
+    CableRegionSpec("denver", ("Denver", "CO"), "two", 14),
+    CableRegionSpec("saltlake", ("Salt Lake City", "UT"), "two", 12),
+    CableRegionSpec("indianapolis", ("Indianapolis", "IN"), "two", 12),
+    CableRegionSpec("pittsburgh", ("Pittsburgh", "PA"), "two", 12),
+    CableRegionSpec("connecticut", ("Hartford", "CT"), "two", 14,
+                    entry_via_region="newengland"),
+    CableRegionSpec("baltimore", ("Baltimore", "MD"), "two", 12),
+    CableRegionSpec("richmond", ("Richmond", "VA"), "two", 12),
+    CableRegionSpec("nashville", ("Nashville", "TN"), "two", 12),
+    CableRegionSpec("jacksonville", ("Jacksonville", "FL"), "two", 10),
+    CableRegionSpec("spokane", ("Spokane", "WA"), "two", 8),
+    CableRegionSpec("albuquerque", ("Albuquerque", "NM"), "single", 8),
+    CableRegionSpec("memphis", ("Memphis", "TN"), "single", 8),
+    CableRegionSpec("knoxville", ("Knoxville", "TN"), "single", 6),
+    CableRegionSpec("savannah", ("Savannah", "GA"), "single", 6),
+    CableRegionSpec("eugene", ("Eugene", "OR"), "single", 6),
+]
+
+CHARTER_REGION_SPECS = [
+    CableRegionSpec("socal", ("Los Angeles", "CA"), "multi", 64, 4,
+                    ("CA",), p_single=0.12, p_daisy=0.05, p_dual_subregion=0.85),
+    CableRegionSpec("midwest", ("Milwaukee", "WI"), "multi", 110, 8,
+                    ("WI", "MI", "OH", "KY", "IN", "MN", "NE", "MO"),
+                    p_single=0.12, p_daisy=0.05, p_dual_subregion=0.85, uses_mpls=True),
+    CableRegionSpec("northeast", ("New York", "NY"), "multi", 85, 6,
+                    ("NY", "NJ"), p_single=0.12, p_daisy=0.05, p_dual_subregion=0.85),
+    CableRegionSpec("texas", ("Dallas", "TX"), "multi", 65, 4,
+                    ("TX",), p_single=0.12, p_daisy=0.05, p_dual_subregion=0.85),
+    CableRegionSpec("southeast", ("Charlotte", "NC"), "multi", 48, 3,
+                    ("NC", "SC", "AL"), no_redundancy=True, p_daisy=0.06),
+    CableRegionSpec("maine", ("Portland ME", "ME"), "multi", 28, 2,
+                    ("ME",), p_single=0.12, p_daisy=0.04, p_dual_subregion=0.85),
+]
+
+
+def build_comcast_like(network: Network, geography: "Geography | None" = None, seed: int = 0) -> CableIsp:
+    """Build the Comcast-like ISP with its 28 regions."""
+    isp = CableIsp(
+        name="comcast", asn=7922, pool="24.0.0.0/10", network=network,
+        style="comcast", backbone_cities=COMCAST_BACKBONE_CITIES,
+        stale_rate=0.05, missing_rate=0.10, p2p_prefixlen=30,
+        geography=geography, seed=seed,
+    )
+    isp.reserve_anchor_cities(COMCAST_REGION_SPECS)
+    for spec in COMCAST_REGION_SPECS:
+        isp.build_region(spec)
+    return isp
+
+
+def build_charter_like(network: Network, geography: "Geography | None" = None, seed: int = 0) -> CableIsp:
+    """Build the Charter-like ISP with its 6 vast regions."""
+    isp = CableIsp(
+        name="charter", asn=20115, pool="72.0.0.0/10", network=network,
+        style="charter", backbone_cities=CHARTER_BACKBONE_CITIES,
+        stale_rate=0.015, missing_rate=0.06, p2p_prefixlen=31,
+        geography=geography, seed=seed,
+    )
+    isp.reserve_anchor_cities(CHARTER_REGION_SPECS)
+    for spec in CHARTER_REGION_SPECS:
+        isp.build_region(spec)
+    return isp

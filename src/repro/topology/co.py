@@ -1,0 +1,155 @@
+"""Ground-truth Central Office and region models.
+
+These objects record what the topology generators actually built — the
+answer key that the inference pipeline (which never reads them) is
+scored against in :mod:`repro.infer.metrics`.
+
+Terminology follows §2 of the paper: EdgeCOs aggregate last-mile links,
+AggCOs aggregate EdgeCOs, BackboneCOs connect the region to the ISP
+backbone.  Directed ground-truth edges point *downstream* — from the
+backbone toward users — matching the direction probe traffic travels
+into a region and the orientation of the paper's region graphs (Fig 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import TopologyError
+from repro.topology.geography import City
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.router import Router
+
+
+class CoKind(enum.Enum):
+    """The three CO roles of the aggregation hierarchy (Fig 2)."""
+
+    EDGE = "edge"
+    AGG = "agg"
+    BACKBONE = "backbone"
+
+
+@dataclass
+class CentralOffice:
+    """One central office: a building housing one or more routers."""
+
+    uid: str
+    kind: CoKind
+    city: City
+    clli: str
+    region_name: str = ""
+    #: Aggregation layer: 0 for BackboneCOs, 1 for top-level AggCOs,
+    #: increasing toward the edge (§5.3's multi-level regions).
+    level: int = 0
+    routers: "list[Router]" = field(default_factory=list, repr=False)
+
+    @property
+    def lat(self) -> float:
+        return self.city.lat
+
+    @property
+    def lon(self) -> float:
+        return self.city.lon
+
+    def add_router(self, router: "Router") -> "Router":
+        """Attach a router and annotate it with this CO (ground truth)."""
+        router.co = self
+        self.routers.append(router)
+        return router
+
+
+class Region:
+    """A regional access network: COs plus the intended CO-level edges."""
+
+    def __init__(self, name: str, isp_name: str) -> None:
+        self.name = name
+        self.isp_name = isp_name
+        self.cos: dict[str, CentralOffice] = {}
+        #: Downstream CO adjacency: uid -> set of uids it feeds.
+        self.downstream: dict[str, set[str]] = {}
+        #: Entry points: (backbone CO uid or foreign region CO uid, local CO uid).
+        self.entries: list[tuple[str, str]] = []
+        #: Ground-truth aggregation type, set by the generator:
+        #: "single", "two", or "multi" (Fig 8 / Table 1).
+        self.agg_type: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.isp_name}/{self.name}, cos={len(self.cos)})"
+
+    def add_co(self, co: CentralOffice) -> CentralOffice:
+        """Register a CO in this region."""
+        if co.uid in self.cos:
+            raise TopologyError(f"duplicate CO uid {co.uid!r} in region {self.name}")
+        co.region_name = self.name
+        self.cos[co.uid] = co
+        self.downstream.setdefault(co.uid, set())
+        return co
+
+    def add_edge(self, upstream: CentralOffice, downstream: CentralOffice) -> None:
+        """Record a ground-truth downstream edge between two local COs."""
+        for co in (upstream, downstream):
+            if co.uid not in self.cos:
+                raise TopologyError(f"CO {co.uid} is not in region {self.name}")
+        self.downstream[upstream.uid].add(downstream.uid)
+
+    def add_entry(self, outside_co_uid: str, local_co: CentralOffice) -> None:
+        """Record an entry point from outside the region (e.g. a BackboneCO)."""
+        if local_co.uid not in self.cos:
+            raise TopologyError(f"CO {local_co.uid} is not in region {self.name}")
+        self.entries.append((outside_co_uid, local_co.uid))
+
+    # ------------------------------------------------------------------
+    # Ground-truth queries (used by generators, examples, and scoring)
+    # ------------------------------------------------------------------
+    def cos_of_kind(self, kind: CoKind) -> "list[CentralOffice]":
+        """All COs of a given role, sorted by uid."""
+        return sorted(
+            (co for co in self.cos.values() if co.kind == kind),
+            key=lambda co: co.uid,
+        )
+
+    @property
+    def edge_cos(self) -> "list[CentralOffice]":
+        return self.cos_of_kind(CoKind.EDGE)
+
+    @property
+    def agg_cos(self) -> "list[CentralOffice]":
+        return self.cos_of_kind(CoKind.AGG)
+
+    def upstreams_of(self, co: CentralOffice) -> "list[str]":
+        """Uids of COs feeding *co* (its redundancy, Appendix B.4)."""
+        return sorted(
+            uid for uid, downs in self.downstream.items() if co.uid in downs
+        )
+
+    def edge_pairs(self) -> Iterator["tuple[str, str]"]:
+        """Iterate all ground-truth (upstream, downstream) CO uid pairs."""
+        for up, downs in sorted(self.downstream.items()):
+            for down in sorted(downs):
+                yield up, down
+
+    def edge_count(self) -> int:
+        """Number of ground-truth directed CO edges."""
+        return sum(len(d) for d in self.downstream.values())
+
+    def routers(self) -> "list[Router]":
+        """Every router housed in this region's COs."""
+        return [r for co in self.cos.values() for r in co.routers]
+
+
+@dataclass
+class BackbonePop:
+    """A backbone point of presence (outside any regional network)."""
+
+    uid: str
+    city: City
+    name: str = ""
+    routers: "list[Router]" = field(default_factory=list, repr=False)
+
+    def add_router(self, router: "Router") -> "Router":
+        router.co = self
+        self.routers.append(router)
+        return router

@@ -1,0 +1,90 @@
+"""Physical fiber rings and the logical star overlay.
+
+§2.1 of the paper: access networks are physically built of hierarchical
+fiber rings (core rings joining BackboneCOs and AggCOs, edge rings
+joining AggCOs and EdgeCOs), but ISPs run point-to-point Ethernet over
+bundled fiber pairs in those rings, producing a *logical* dual-star
+topology.  The ring matters to the simulation because a logical
+AggCO→EdgeCO link physically follows the ring arc, so its propagation
+delay is the arc length, not the crow-flies distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.topology.co import CentralOffice
+from repro.topology.geography import Geography
+
+
+@dataclass
+class FiberRing:
+    """An ordered cycle of COs sharing one physical fiber ring."""
+
+    name: str
+    members: "list[CentralOffice]"
+    geography: Geography = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise TopologyError(f"ring {self.name!r} needs at least two COs")
+        if self.geography is None:
+            from repro.topology.geography import DEFAULT_GEOGRAPHY
+
+            self.geography = DEFAULT_GEOGRAPHY
+        self._index = {co.uid: i for i, co in enumerate(self.members)}
+        if len(self._index) != len(self.members):
+            raise TopologyError(f"ring {self.name!r} repeats a CO")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, co: CentralOffice) -> bool:
+        return co.uid in self._index
+
+    def segment_km(self, i: int) -> float:
+        """Length of the ring segment from member i to member i+1."""
+        a = self.members[i]
+        b = self.members[(i + 1) % len(self.members)]
+        # A fiber route is never the crow-flies line; 1.4x is a common
+        # road-route inflation factor.
+        return 1.4 * self.geography.distance_km(a.city, b.city)
+
+    def circumference_km(self) -> float:
+        """Total ring length."""
+        return sum(self.segment_km(i) for i in range(len(self.members)))
+
+    def arc_km(self, a: CentralOffice, b: CentralOffice) -> float:
+        """Shortest arc along the ring between two member COs.
+
+        This is the physical length of a bundled fiber pair patched
+        between the two COs, hence the delay of their logical link.
+        """
+        try:
+            i, j = self._index[a.uid], self._index[b.uid]
+        except KeyError as exc:
+            raise TopologyError(f"CO not on ring {self.name!r}") from exc
+        if i == j:
+            return 0.0
+        lo, hi = min(i, j), max(i, j)
+        one_way = sum(self.segment_km(k) for k in range(lo, hi))
+        return min(one_way, self.circumference_km() - one_way)
+
+    def star_links(self, hubs: "list[CentralOffice]") -> "list[tuple[CentralOffice, CentralOffice, float]]":
+        """Logical star links from each hub to every non-hub member.
+
+        Returns ``(hub, leaf, length_km)`` triples — the dual-star
+        overlay of Fig 3b when two hubs share the ring.
+        """
+        hub_ids = {h.uid for h in hubs}
+        for hub in hubs:
+            if hub not in self:
+                raise TopologyError(f"hub {hub.uid} is not on ring {self.name!r}")
+        links = []
+        for member in self.members:
+            if member.uid in hub_ids:
+                continue
+            for hub in hubs:
+                links.append((hub, member, self.arc_km(hub, member)))
+        return links

@@ -1,0 +1,276 @@
+"""Synthetic U.S. geography.
+
+A compact database of metro areas with coordinates, per-state grouping,
+great-circle distances, CLLI-code synthesis, and the contiguous-state
+adjacency graph used to route simulated parcel shipments (§7.1).
+
+Coordinates are approximate metro centroids; the paper's latency
+results depend only on distances being realistic to within tens of km.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class City:
+    """A metro area: name, two-letter state, coordinates, size weight."""
+
+    name: str
+    state: str
+    lat: float
+    lon: float
+    #: Rough market-size weight (1 = small metro, 10 = largest metros).
+    weight: int = 1
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}, {self.state}"
+
+
+# (city, state, lat, lon, weight)
+_CITY_ROWS = [
+    ("Seattle", "WA", 47.61, -122.33, 8), ("Spokane", "WA", 47.66, -117.43, 3),
+    ("Portland", "OR", 45.52, -122.68, 6), ("Beaverton", "OR", 45.49, -122.80, 3),
+    ("Eugene", "OR", 44.05, -123.09, 2), ("Boise", "ID", 43.62, -116.21, 3),
+    ("San Francisco", "CA", 37.77, -122.42, 9), ("San Jose", "CA", 37.34, -121.89, 8),
+    ("Sacramento", "CA", 38.58, -121.49, 5), ("Fresno", "CA", 36.74, -119.79, 4),
+    ("Santa Cruz", "CA", 36.97, -122.03, 2), ("Los Angeles", "CA", 34.05, -118.24, 10),
+    ("San Diego", "CA", 32.72, -117.16, 8), ("Vista", "CA", 33.20, -117.24, 2),
+    ("Azusa", "CA", 34.13, -117.91, 2), ("Irvine", "CA", 33.68, -117.83, 4),
+    ("El Centro", "CA", 32.79, -115.56, 1), ("Calexico", "CA", 32.68, -115.50, 1),
+    ("Las Vegas", "NV", 36.17, -115.14, 6), ("Reno", "NV", 39.53, -119.81, 2),
+    ("Phoenix", "AZ", 33.45, -112.07, 8), ("Tucson", "AZ", 32.22, -110.97, 3),
+    ("Salt Lake City", "UT", 40.76, -111.89, 5), ("West Jordan", "UT", 40.61, -111.94, 2),
+    ("Denver", "CO", 39.74, -104.99, 7), ("Aurora", "CO", 39.73, -104.83, 3),
+    ("Colorado Springs", "CO", 38.83, -104.82, 3), ("Albuquerque", "NM", 35.08, -106.65, 3),
+    ("Santa Fe", "NM", 35.69, -105.94, 1), ("Billings", "MT", 45.78, -108.50, 1),
+    ("Missoula", "MT", 46.87, -113.99, 1), ("Cheyenne", "WY", 41.14, -104.82, 1),
+    ("Casper", "WY", 42.85, -106.33, 1), ("Fargo", "ND", 46.88, -96.79, 1),
+    ("Bismarck", "ND", 46.81, -100.78, 1), ("Sioux Falls", "SD", 43.55, -96.73, 1),
+    ("Rapid City", "SD", 44.08, -103.23, 1), ("Omaha", "NE", 41.26, -95.94, 3),
+    ("Lincoln", "NE", 40.81, -96.68, 2), ("Wichita", "KS", 37.69, -97.34, 2),
+    ("Kansas City", "KS", 39.11, -94.63, 3), ("Oklahoma City", "OK", 35.47, -97.52, 3),
+    ("Tulsa", "OK", 36.15, -95.99, 2), ("Dallas", "TX", 32.78, -96.80, 9),
+    ("Houston", "TX", 29.76, -95.37, 9), ("San Antonio", "TX", 29.42, -98.49, 6),
+    ("Austin", "TX", 30.27, -97.74, 6), ("El Paso", "TX", 31.76, -106.49, 3),
+    ("Minneapolis", "MN", 44.98, -93.27, 6), ("Bloomington", "MN", 44.84, -93.30, 2),
+    ("Duluth", "MN", 46.79, -92.10, 1), ("Des Moines", "IA", 41.59, -93.62, 2),
+    ("Cedar Rapids", "IA", 41.98, -91.67, 1), ("St. Louis", "MO", 38.63, -90.20, 5),
+    ("Kansas City MO", "MO", 39.10, -94.58, 4), ("Springfield", "MO", 37.21, -93.29, 1),
+    ("Chicago", "IL", 41.88, -87.63, 10), ("Hinsdale", "IL", 41.80, -87.94, 2),
+    ("Springfield IL", "IL", 39.78, -89.65, 1), ("Milwaukee", "WI", 43.04, -87.91, 4),
+    ("New Berlin", "WI", 42.97, -88.11, 1), ("Madison", "WI", 43.07, -89.40, 2),
+    ("Indianapolis", "IN", 39.77, -86.16, 4), ("Fort Wayne", "IN", 41.08, -85.14, 2),
+    ("Detroit", "MI", 42.33, -83.05, 6), ("Southfield", "MI", 42.47, -83.22, 2),
+    ("Grand Rapids", "MI", 42.96, -85.66, 2), ("Columbus", "OH", 39.96, -83.00, 5),
+    ("Cleveland", "OH", 41.50, -81.69, 4), ("Cincinnati", "OH", 39.10, -84.51, 4),
+    ("Akron", "OH", 41.08, -81.52, 2), ("Louisville", "KY", 38.25, -85.76, 3),
+    ("Lexington", "KY", 38.04, -84.50, 2), ("Nashville", "TN", 36.16, -86.78, 5),
+    ("Memphis", "TN", 35.15, -90.05, 3), ("Knoxville", "TN", 35.96, -83.92, 2),
+    ("Atlanta", "GA", 33.75, -84.39, 8), ("Alpharetta", "GA", 34.08, -84.29, 2),
+    ("Savannah", "GA", 32.08, -81.09, 2), ("Birmingham", "AL", 33.52, -86.80, 2),
+    ("Montgomery", "AL", 32.38, -86.31, 1), ("Jackson", "MS", 32.30, -90.18, 1),
+    ("Baton Rouge", "LA", 30.45, -91.15, 2), ("New Orleans", "LA", 29.95, -90.07, 3),
+    ("Little Rock", "AR", 34.75, -92.29, 1), ("Miami", "FL", 25.76, -80.19, 8),
+    ("Orlando", "FL", 28.54, -81.38, 5), ("Tampa", "FL", 27.95, -82.46, 5),
+    ("Jacksonville", "FL", 30.33, -81.66, 3), ("Tallahassee", "FL", 30.44, -84.28, 1),
+    ("Charlotte", "NC", 35.23, -80.84, 5), ("Raleigh", "NC", 35.78, -78.64, 4),
+    ("Columbia", "SC", 34.00, -81.03, 2), ("Charleston", "SC", 32.78, -79.93, 2),
+    ("Richmond", "VA", 37.54, -77.44, 3), ("Ashburn", "VA", 39.04, -77.49, 5),
+    ("Chantilly", "VA", 38.89, -77.43, 2), ("Norfolk", "VA", 36.85, -76.29, 2),
+    ("Washington", "DC", 38.91, -77.04, 7), ("Baltimore", "MD", 39.29, -76.61, 4),
+    ("Wilmington", "DE", 39.75, -75.55, 1), ("Philadelphia", "PA", 39.95, -75.17, 7),
+    ("Pittsburgh", "PA", 40.44, -80.00, 4), ("Johnstown", "PA", 40.33, -78.92, 1),
+    ("Newark", "NJ", 40.74, -74.17, 5), ("Bridgewater", "NJ", 40.59, -74.62, 2),
+    ("Wall Township", "NJ", 40.16, -74.10, 1), ("New York", "NY", 40.71, -74.01, 10),
+    ("Buffalo", "NY", 42.89, -78.88, 3), ("Syracuse", "NY", 43.05, -76.15, 2),
+    ("Albany", "NY", 42.65, -73.76, 2), ("Hartford", "CT", 41.77, -72.67, 3),
+    ("New Haven", "CT", 41.31, -72.92, 2), ("Stamford", "CT", 41.05, -73.54, 2),
+    ("Providence", "RI", 41.82, -71.41, 2), ("Boston", "MA", 42.36, -71.06, 7),
+    ("Westborough", "MA", 42.27, -71.62, 2), ("Worcester", "MA", 42.26, -71.80, 2),
+    ("Springfield MA", "MA", 42.10, -72.59, 2), ("Manchester", "NH", 42.99, -71.46, 2),
+    ("Concord", "NH", 43.21, -71.54, 1), ("Burlington", "VT", 44.48, -73.21, 1),
+    ("Montpelier", "VT", 44.26, -72.58, 1), ("Portland ME", "ME", 43.66, -70.26, 2),
+    ("Bangor", "ME", 44.80, -68.77, 1), ("Charleston WV", "WV", 38.35, -81.63, 1),
+    ("Morgantown", "WV", 39.63, -79.96, 1), ("Redmond", "WA", 47.67, -122.12, 3),
+    ("Hillsboro", "OR", 45.52, -122.99, 2), ("Sunnyvale", "CA", 37.37, -122.04, 4),
+    ("Rocklin", "CA", 38.79, -121.24, 1), ("Troutdale", "OR", 45.54, -122.39, 1),
+]
+
+#: Contiguous-U.S. state adjacency (used to plan shipping itineraries).
+STATE_ADJACENCY: "dict[str, tuple[str, ...]]" = {
+    "WA": ("OR", "ID"), "OR": ("WA", "ID", "CA", "NV"),
+    "CA": ("OR", "NV", "AZ"), "NV": ("OR", "CA", "ID", "UT", "AZ"),
+    "ID": ("WA", "OR", "NV", "UT", "MT", "WY"), "UT": ("NV", "ID", "WY", "CO", "AZ", "NM"),
+    "AZ": ("CA", "NV", "UT", "NM", "CO"), "MT": ("ID", "WY", "ND", "SD"),
+    "WY": ("ID", "MT", "SD", "NE", "CO", "UT"), "CO": ("WY", "NE", "KS", "OK", "NM", "UT", "AZ"),
+    "NM": ("AZ", "UT", "CO", "OK", "TX"), "ND": ("MT", "SD", "MN"),
+    "SD": ("ND", "MT", "WY", "NE", "IA", "MN"), "NE": ("SD", "WY", "CO", "KS", "MO", "IA"),
+    "KS": ("NE", "CO", "OK", "MO"), "OK": ("KS", "CO", "NM", "TX", "AR", "MO"),
+    "TX": ("NM", "OK", "AR", "LA"), "MN": ("ND", "SD", "IA", "WI"),
+    "IA": ("MN", "SD", "NE", "MO", "IL", "WI"), "MO": ("IA", "NE", "KS", "OK", "AR", "TN", "KY", "IL"),
+    "AR": ("MO", "OK", "TX", "LA", "MS", "TN"), "LA": ("TX", "AR", "MS"),
+    "WI": ("MN", "IA", "IL", "MI"), "IL": ("WI", "IA", "MO", "KY", "IN"),
+    "MI": ("WI", "IN", "OH"), "IN": ("IL", "MI", "OH", "KY"),
+    "OH": ("MI", "IN", "KY", "WV", "PA"), "KY": ("IL", "IN", "OH", "WV", "VA", "TN", "MO"),
+    "TN": ("KY", "VA", "NC", "GA", "AL", "MS", "AR", "MO"), "MS": ("LA", "AR", "TN", "AL"),
+    "AL": ("MS", "TN", "GA", "FL"), "GA": ("AL", "TN", "NC", "SC", "FL"),
+    "FL": ("AL", "GA"), "SC": ("GA", "NC"), "NC": ("SC", "GA", "TN", "VA"),
+    "VA": ("NC", "TN", "KY", "WV", "MD", "DC"), "WV": ("OH", "KY", "VA", "MD", "PA"),
+    "MD": ("VA", "WV", "PA", "DE", "DC"), "DC": ("VA", "MD"),
+    "DE": ("MD", "PA", "NJ"), "PA": ("OH", "WV", "MD", "DE", "NJ", "NY"),
+    "NJ": ("DE", "PA", "NY"), "NY": ("PA", "NJ", "CT", "MA", "VT"),
+    "CT": ("NY", "MA", "RI"), "RI": ("CT", "MA"),
+    "MA": ("NY", "CT", "RI", "VT", "NH"), "VT": ("NY", "MA", "NH"),
+    "NH": ("VT", "MA", "ME"), "ME": ("NH",),
+}
+
+#: CLLI city abbreviations matching the ones the paper shows; other
+#: cities get synthesized codes.
+_KNOWN_CLLI = {
+    "San Diego": "SNDG", "Los Angeles": "LSAN", "Nashville": "NSVL",
+    "Santa Cruz": "SNTC", "Vista": "VIST", "Azusa": "AZUS",
+    "Sunnyvale": "SNVA", "Rocklin": "RCKL", "Las Vegas": "LSVK",
+    "Hinsdale": "HCHL", "New Berlin": "NWBL", "Southfield": "SFLD",
+    "St. Louis": "STLS", "Bloomington": "BLTN", "Omaha": "OMAL",
+    "Syracuse": "ESYR", "Aurora": "AURS", "West Jordan": "WJRD",
+    "El Paso": "ELSS", "Houston": "HSTW", "Baton Rouge": "BTRH",
+    "Miami": "MIAM", "Orlando": "ORLH", "Charlotte": "CHRX",
+    "Alpharetta": "ALPS", "Chantilly": "CHNT", "Johnstown": "JHTW",
+    "Wall Township": "WLTP", "Westborough": "WSBO", "Bridgewater": "BBTP",
+    "Redmond": "RDME", "Hillsboro": "HLBO",
+}
+
+_VOWELS = set("AEIOU")
+
+
+def great_circle_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two coordinates, in km (haversine)."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def clli_city_code(city_name: str) -> str:
+    """Synthesize the 4-letter city part of a CLLI code.
+
+    Known metros use the abbreviation the paper shows (e.g. San Diego →
+    ``SNDG``); others get a deterministic consonant-skeleton code.
+    """
+    base = city_name.split(",")[0]
+    known = _KNOWN_CLLI.get(base)
+    if known:
+        return known
+    letters = [c for c in base.upper() if c.isalpha()]
+    if not letters:
+        raise TopologyError(f"cannot derive CLLI from {city_name!r}")
+    skeleton = [letters[0]] + [c for c in letters[1:] if c not in _VOWELS]
+    if len(skeleton) < 4:
+        skeleton += [c for c in letters[1:] if c in _VOWELS]
+    code = "".join(skeleton)[:4]
+    return code.ljust(4, "X")
+
+
+class Geography:
+    """Queryable view over the synthetic U.S. metro database."""
+
+    def __init__(self, cities: "list[City] | None" = None) -> None:
+        self.cities = cities if cities is not None else [
+            City(name, state, lat, lon, weight)
+            for name, state, lat, lon, weight in _CITY_ROWS
+        ]
+        self._by_state: dict[str, list[City]] = {}
+        for city in self.cities:
+            self._by_state.setdefault(city.state, []).append(city)
+        self._by_key = {c.key: c for c in self.cities}
+        self._by_name: dict[str, City] = {}
+        for c in self.cities:
+            self._by_name.setdefault(c.name, c)
+
+    def states(self) -> "list[str]":
+        """All states with at least one metro, sorted."""
+        return sorted(self._by_state)
+
+    def cities_in(self, state: str) -> "list[City]":
+        """Metros in a state, largest first."""
+        try:
+            cities = self._by_state[state]
+        except KeyError as exc:
+            raise TopologyError(f"unknown state {state!r}") from exc
+        return sorted(cities, key=lambda c: (-c.weight, c.name))
+
+    def city(self, name: str, state: "str | None" = None) -> City:
+        """Look up a metro by name (optionally disambiguated by state)."""
+        if state is not None:
+            found = self._by_key.get(f"{name}, {state}")
+        else:
+            found = self._by_name.get(name)
+        if found is None:
+            raise TopologyError(f"unknown city {name!r}")
+        return found
+
+    def distance_km(self, a: City, b: City) -> float:
+        """Great-circle distance between two metros."""
+        return great_circle_km(a.lat, a.lon, b.lat, b.lon)
+
+    def nearest(self, lat: float, lon: float, limit: int = 1) -> "list[City]":
+        """The *limit* metros nearest to a coordinate."""
+        ranked = sorted(
+            self.cities, key=lambda c: great_circle_km(lat, lon, c.lat, c.lon)
+        )
+        return ranked[:limit]
+
+    def clli(self, city: City, building: int = 1) -> str:
+        """Full CLLI-style building code, e.g. ``SNDGCA01``."""
+        return f"{clli_city_code(city.name)}{city.state}{building:02d}"
+
+    def shipping_route(self, origin_state: str, dest_state: str) -> "list[str]":
+        """A truck route between two states: BFS over state adjacency."""
+        if origin_state not in STATE_ADJACENCY:
+            raise TopologyError(f"unknown state {origin_state!r}")
+        if dest_state not in STATE_ADJACENCY:
+            raise TopologyError(f"unknown state {dest_state!r}")
+        if origin_state == dest_state:
+            return [origin_state]
+        frontier = [origin_state]
+        parent: dict[str, str] = {origin_state: ""}
+        while frontier:
+            nxt = []
+            for state in frontier:
+                for neighbor in STATE_ADJACENCY[state]:
+                    if neighbor in parent:
+                        continue
+                    parent[neighbor] = state
+                    if neighbor == dest_state:
+                        path = [neighbor]
+                        while path[-1] != origin_state:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return path
+                    nxt.append(neighbor)
+            frontier = nxt
+        raise TopologyError(f"no land route {origin_state} → {dest_state}")
+
+    def scatter(self, city: City, rng: random.Random, radius_km: float = 15.0) -> "tuple[float, float]":
+        """A random coordinate near a metro (e.g. a restaurant location)."""
+        dist = rng.uniform(0, radius_km)
+        bearing = rng.uniform(0, 2 * math.pi)
+        dlat = (dist / EARTH_RADIUS_KM) * math.cos(bearing)
+        dlon = (dist / EARTH_RADIUS_KM) * math.sin(bearing) / max(
+            math.cos(math.radians(city.lat)), 0.1
+        )
+        return city.lat + math.degrees(dlat), city.lon + math.degrees(dlon)
+
+
+#: A module-level default instance; the database is immutable in practice.
+DEFAULT_GEOGRAPHY = Geography()

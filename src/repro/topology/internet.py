@@ -1,0 +1,307 @@
+"""Assembly of the full simulated internet.
+
+:class:`SimulatedInternet` composes everything the paper's campaigns
+need into one :class:`~repro.net.network.Network`:
+
+* a national transit backbone (the "other ISPs" traffic crosses);
+* three public cloud providers with U.S. regions at real metro
+  locations (the Fig 9 / Fig 10 / Table 2 latency sources);
+* the cable ISPs (§5), the telco (§6), and — held separately because
+  phones attach to them over the air — the mobile carriers (§7);
+* the standard 47-vantage-point set of §5.1 plus Ark/Atlas VPs inside
+  telco regions (§6.1), and a measurement server in San Diego (the
+  target of the §7.3 latency maps).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError, TopologyError
+from repro.net.addresses import Ipv4Allocator
+from repro.net.network import Network
+from repro.net.router import Router
+from repro.measure.vantage import VantagePoint, VantagePointSet, attach_host
+from repro.topology.geography import City, Geography
+
+TRANSIT_CITIES = [
+    ("Seattle", "WA"), ("Sunnyvale", "CA"), ("Los Angeles", "CA"),
+    ("San Diego", "CA"), ("Denver", "CO"), ("Dallas", "TX"),
+    ("Chicago", "IL"), ("Atlanta", "GA"), ("Miami", "FL"),
+    ("New York", "NY"), ("Ashburn", "VA"), ("Boston", "MA"),
+]
+
+#: (provider, region name, metro) — approximate real cloud locations.
+CLOUD_REGIONS = [
+    ("aws", "us-east-1", ("Ashburn", "VA")),
+    ("aws", "us-east-2", ("Columbus", "OH")),
+    ("aws", "us-west-1", ("San Francisco", "CA")),
+    ("aws", "us-west-2", ("Portland", "OR")),
+    ("azure", "eastus", ("Richmond", "VA")),
+    ("azure", "eastus2", ("Ashburn", "VA")),
+    ("azure", "centralus", ("Des Moines", "IA")),
+    ("azure", "westus", ("Sunnyvale", "CA")),
+    ("azure", "southcentralus", ("San Antonio", "TX")),
+    ("gcp", "us-east4", ("Ashburn", "VA")),
+    ("gcp", "us-east1", ("Charleston", "SC")),
+    ("gcp", "us-central1", ("Omaha", "NE")),
+    ("gcp", "us-west1", ("Portland", "OR")),
+    ("gcp", "us-west2", ("Los Angeles", "CA")),
+]
+
+_CLOUD_POOLS = {"aws": "52.0.0.0/11", "azure": "40.64.0.0/11", "gcp": "34.64.0.0/11"}
+
+
+@dataclass
+class CloudRegion:
+    """One cloud provider region: its gateway router and VM factory state."""
+
+    provider: str
+    name: str
+    city: City
+    gateway: Router
+    allocator: Ipv4Allocator
+
+
+class SimulatedInternet:
+    """The composed simulation: transit + clouds + ISPs + VPs."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        include_cable: bool = True,
+        include_telco: bool = True,
+        include_mobile: bool = True,
+        geography: "Geography | None" = None,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(f"internet|{seed}")
+        self.geography = geography or Geography()
+        self.network = Network()
+        self.transit_allocator = Ipv4Allocator("4.0.0.0/11")
+        self.transit_routers: dict[str, Router] = {}
+        self.clouds: dict[tuple[str, str], CloudRegion] = {}
+        self.vps = VantagePointSet()
+        self._build_transit()
+        self._build_clouds()
+
+        self.comcast = self.charter = self.att = None
+        self.mobile_carriers: dict[str, object] = {}
+        if include_cable:
+            from repro.topology.cable import build_charter_like, build_comcast_like
+
+            self.comcast = build_comcast_like(self.network, self.geography, seed)
+            self.charter = build_charter_like(self.network, self.geography, seed)
+            self._peer_isp(self.comcast)
+            self._peer_isp(self.charter)
+        if include_telco:
+            from repro.topology.telco import build_att_like
+
+            self.att = build_att_like(self.network, self.geography, seed)
+            self._peer_isp(self.att)
+        if include_mobile:
+            from repro.topology.mobile import build_mobile_carriers
+
+            self.mobile_carriers = build_mobile_carriers(self.geography, seed)
+        self.server_vp = self._build_server()
+
+    # ------------------------------------------------------------------
+    # Substrate pieces
+    # ------------------------------------------------------------------
+    def _build_transit(self) -> None:
+        """A national transit backbone: ring over metros plus chords."""
+        cities = [self.geography.city(*c) for c in TRANSIT_CITIES]
+        for city in cities:
+            router = Router(f"transit-{city.state}-{city.name.replace(' ', '')}".lower())
+            router.role = "transit"
+            self.network.add_router(router)
+            self.transit_routers[city.key] = router
+        ordered = sorted(cities, key=lambda c: c.lon)
+        pairs = list(zip(ordered, ordered[1:] + ordered[:1]))
+        half = len(ordered) // 2
+        pairs += [(ordered[i], ordered[i + half]) for i in range(half)]
+        seen = set()
+        for a, b in pairs:
+            key = tuple(sorted((a.key, b.key)))
+            if key in seen or a.key == b.key:
+                continue
+            seen.add(key)
+            addr_a, addr_b, _ = self.transit_allocator.allocate_p2p(30)
+            self.network.connect(
+                self.transit_routers[a.key], self.transit_routers[b.key],
+                addr_a, addr_b, prefixlen=30,
+                length_km=1.4 * self.geography.distance_km(a, b),
+            )
+
+    def nearest_transit(self, city: City) -> Router:
+        """The transit router nearest a metro."""
+        best_key = min(
+            self.transit_routers,
+            key=lambda key: self.geography.distance_km(
+                self._transit_city(key), city
+            ),
+        )
+        return self.transit_routers[best_key]
+
+    def _transit_city(self, key: str) -> City:
+        name, state = key.rsplit(", ", 1)
+        return self.geography.city(name, state)
+
+    def _build_clouds(self) -> None:
+        for provider, region_name, (city_name, state) in CLOUD_REGIONS:
+            city = self.geography.city(city_name, state)
+            index = len([c for c in self.clouds.values() if c.provider == provider])
+            pool = list(
+                ipaddress.ip_network(_CLOUD_POOLS[provider]).subnets(new_prefix=16)
+            )[index]
+            allocator = Ipv4Allocator(pool)
+            gateway = Router(f"cloud-{provider}-{region_name}")
+            gateway.role = "cloud"
+            self.network.add_router(gateway)
+            addr_a, addr_b, _ = allocator.allocate_p2p(30)
+            self.network.connect(
+                self.nearest_transit(city), gateway, addr_a, addr_b,
+                prefixlen=30,
+                length_km=1.4 * self.geography.distance_km(city, city) + 15.0,
+            )
+            self.clouds[(provider, region_name)] = CloudRegion(
+                provider, region_name, city, gateway, allocator
+            )
+
+    def _peer_isp(self, isp) -> None:
+        """Connect each of an ISP's backbone PoPs to the nearest transit router."""
+        for pop in isp.backbone_pops.values():
+            transit = self.nearest_transit(pop.city)
+            addr_a, addr_b, _ = self.transit_allocator.allocate_p2p(30)
+            link = self.network.connect(
+                transit, pop.routers[0], addr_a, addr_b, prefixlen=30,
+                length_km=5.0,
+            )
+            name = isp.backbone_rdns_for(
+                pop, pop.routers[0], len(pop.routers[0].interfaces)
+            )
+            if name:
+                self.network.rdns.set(link.b.address, name)
+
+    def _build_server(self) -> VantagePoint:
+        """The San Diego measurement server (§7.3's latency target)."""
+        city = self.geography.city("San Diego", "CA")
+        subnet = self.transit_allocator.allocate_subnet(30)
+        host, addr = attach_host(
+            self.network, self.nearest_transit(city), "sd-server", subnet
+        )
+        vp = VantagePoint("server-sandiego", "server", host, addr, city)
+        self.vps.add(vp)
+        return vp
+
+    # ------------------------------------------------------------------
+    # Vantage points
+    # ------------------------------------------------------------------
+    def cloud_vm(self, provider: str, region_name: str) -> VantagePoint:
+        """Launch (or fetch) a VM in a cloud region and return its VP."""
+        name = f"cloud-{provider}-{region_name}"
+        try:
+            return self.vps.get(name)
+        except MeasurementError:
+            pass
+        try:
+            region = self.clouds[(provider, region_name)]
+        except KeyError as exc:
+            raise TopologyError(
+                f"no cloud region {provider}/{region_name}"
+            ) from exc
+        subnet = region.allocator.allocate_subnet(30)
+        host, addr = attach_host(self.network, region.gateway, name, subnet,
+                                 length_km=0.2)
+        vp = VantagePoint(name, "cloud", host, addr, region.city)
+        return self.vps.add(vp)
+
+    def all_cloud_vms(self) -> "list[VantagePoint]":
+        """One VM in every cloud region (the Fig 9 campaign fleet)."""
+        return [
+            self.cloud_vm(provider, region)
+            for provider, region, _city in CLOUD_REGIONS
+        ]
+
+    def build_standard_vps(self) -> VantagePointSet:
+        """The 47-VP fleet of §5.1: transit, cloud, and access VPs."""
+        fleet = VantagePointSet()
+        for key, router in sorted(self.transit_routers.items()):
+            subnet = self.transit_allocator.allocate_subnet(30)
+            host, addr = attach_host(
+                self.network, router, f"transit-{key.replace(', ', '-').lower()}",
+                subnet,
+            )
+            fleet.add(VantagePoint(
+                f"vp-transit-{key.replace(', ', '-').lower()}", "transit",
+                host, addr, self._transit_city(key),
+            ))
+        for vp in self.all_cloud_vms():
+            fleet.add(vp)
+        # Access VPs: homes behind cable EdgeCOs across both ISPs,
+        # topping the fleet up to the paper's 47 VPs (§5.1).
+        per_isp = {self.comcast: 1, self.charter: 2}
+        for isp, vps_per_region in per_isp.items():
+            if isp is None:
+                continue
+            region_names = sorted(isp.regions)
+            picked = region_names[:: max(1, len(region_names) // 11)][:11]
+            # Keep a home in the San Francisco region: its customers'
+            # outward paths are what reveal the direct Central
+            # California interconnect (§5.2.5).
+            if "sanfrancisco" in region_names and "sanfrancisco" not in picked:
+                picked[-1] = "sanfrancisco"
+            for region_name in picked:
+                region = isp.regions[region_name]
+                edges = region.edge_cos
+                for index in range(min(vps_per_region, len(edges))):
+                    if len(fleet) >= 47:
+                        break
+                    edge = edges[(len(edges) // 2 + index * 3) % len(edges)]
+                    subnet = isp.allocator.allocate_subnet(30)
+                    name = f"access-{isp.name}-{region_name}-{index}"
+                    host, addr = attach_host(
+                        self.network, edge.routers[0], name, subnet,
+                        extra_delay_ms=3.0,
+                    )
+                    fleet.add(VantagePoint(
+                        f"vp-{name}", "access", host, addr, edge.city,
+                    ))
+        return fleet
+
+    def telco_internal_vps(self, per_region: int = 2) -> VantagePointSet:
+        """Ark/Atlas-style VPs inside each telco region (§6.1)."""
+        if self.att is None:
+            raise TopologyError("internet built without the telco")
+        fleet = VantagePointSet()
+        dslam_of_co: dict[int, Router] = {}
+        for router in self.network.routers.values():
+            if router.role == "dslam" and router.co is not None:
+                dslam_of_co[id(router.co)] = router
+        for tag in sorted(self.att.regions):
+            region = self.att.regions[tag]
+            edge_cos = region.edge_cos
+            dslams = [
+                (co, dslam_of_co[id(co)])
+                for co in edge_cos
+                if id(co) in dslam_of_co
+            ]
+            for i, (co, dslam) in enumerate(dslams[:per_region]):
+                subnet = self.att.vp_subnet_for(dslam)
+                kind = "ark" if i % 2 == 0 else "atlas"
+                host, addr = attach_host(
+                    self.network, dslam, f"{kind}-{tag}-{i}", subnet,
+                    extra_delay_ms=4.0,
+                )
+                fleet.add(VantagePoint(
+                    f"vp-{kind}-{tag}-{i}", kind, host, addr, co.city,
+                ))
+        return fleet
+
+
+
+def build_default_internet(seed: int = 0, **kwargs) -> SimulatedInternet:
+    """Build the standard simulated internet used across the benchmarks."""
+    return SimulatedInternet(seed=seed, **kwargs)

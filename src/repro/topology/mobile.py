@@ -1,0 +1,539 @@
+"""Mobile carrier models (the §7 case study).
+
+Mobile access networks are modelled separately from the wireline
+:class:`~repro.net.network.Network` because phones attach to them over
+the air and the paper's mobile analysis consumes only three
+observables: the phone's IPv6 /64, the IPv6 hops of traceroutes out of
+the carrier, and end-to-end latency.  Each carrier synthesizes those
+observables from its ground-truth topology:
+
+* **AT&T-like**: 11 national regions, each one mobile EdgeCO
+  (datacenter) with several packet gateways (PGWs); region encoded in
+  user bits 32–39 and router bits 32–47, PGW in router bits 48–51
+  (Fig 16a, Table 7).
+* **Verizon-like**: 12 backbone regions each aggregating a few wireless
+  EdgeCOs; backbone region in user bits 16–31, EdgeCO in bits 32–39,
+  PGW in bits 40–43; routers under a distinct /32 with EdgeCO hints in
+  bits 64–75 (Fig 16b, Table 8); ``alter.net`` backbone rDNS; per-EdgeCO
+  speedtest servers (``cavt.ost.myvzw.com``).
+* **T-Mobile-like**: many metro sites, each with its own PGW pool and
+  *multiple third-party backbone providers*; PGW in user bits 32–39 and
+  ULA router bits 32–47 (Fig 16c); the Gulf-coast coverage quirk that
+  produced Fig 18c's Florida/Louisiana latency anomaly.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.measure.traceroute import Hop, TraceResult
+from repro.net.addresses import Ipv6FieldCodec
+from repro.topology.geography import City, Geography
+
+#: Road-route inflation over great-circle distance.
+_ROUTE_FACTOR = 1.4
+#: km per ms one-way in fiber.
+_KM_PER_MS = 200.0
+#: Fixed LTE radio-access latency (one way, ms).
+_RAN_ONE_WAY_MS = 15.0
+#: Packet-core processing per direction, ms.
+_CORE_MS = 4.0
+
+
+@dataclass(frozen=True)
+class MobileRegionSpec:
+    """Ground truth for one mobile region / EdgeCO site."""
+
+    name: str
+    city: "tuple[str, str]"
+    pgw_count: int
+    region_bits: int
+    #: Backbone attachment: a metro for single-backbone carriers, or a
+    #: tuple of provider names for multi-backbone (T-Mobile) carriers.
+    backbone: str = ""
+    backbone_city: "tuple[str, str] | None" = None
+    providers: "tuple[str, ...]" = ()
+
+
+@dataclass
+class MobileAttachment:
+    """One registration of a phone with the packet core.
+
+    Re-created every time the phone exits airplane mode; the PGW (and
+    for T-Mobile the backbone provider) may change across attachments
+    while the region follows the phone's location.
+    """
+
+    carrier_name: str
+    region: MobileRegionSpec
+    pgw_index: int
+    user_prefix: ipaddress.IPv6Network
+    cell_lat: float
+    cell_lon: float
+    provider: str = ""
+
+
+class MobileCarrier:
+    """Base class: region selection, attachment cycling, latency."""
+
+    name: str = ""
+
+    def __init__(self, regions: "list[MobileRegionSpec]",
+                 geography: Geography, seed: int = 0) -> None:
+        if not regions:
+            raise TopologyError("a mobile carrier needs at least one region")
+        self.regions = regions
+        self.geography = geography
+        self.rng = random.Random(f"{self.name}|{seed}")
+        self._attach_counters: dict[str, int] = {}
+        self._region_cities = {
+            spec.name: geography.city(*spec.city) for spec in regions
+        }
+        #: State-code overrides for coverage (e.g. T-Mobile's Gulf quirk).
+        self.coverage_overrides: dict[str, str] = {}
+
+    # -- region selection -------------------------------------------------
+    def region_for(self, lat: float, lon: float) -> MobileRegionSpec:
+        """The region serving a coordinate (nearest site, with overrides)."""
+        state = self.geography.nearest(lat, lon, 1)[0].state
+        override = self.coverage_overrides.get(state)
+        if override is not None:
+            return self._region_named(override)
+        best = min(
+            self.regions,
+            key=lambda spec: self._km(lat, lon, self._region_cities[spec.name]),
+        )
+        return best
+
+    def _region_named(self, name: str) -> MobileRegionSpec:
+        for spec in self.regions:
+            if spec.name == name:
+                return spec
+        raise TopologyError(f"{self.name} has no region {name!r}")
+
+    def _km(self, lat: float, lon: float, city: City) -> float:
+        from repro.topology.geography import great_circle_km
+
+        return great_circle_km(lat, lon, city.lat, city.lon)
+
+    # -- attachment --------------------------------------------------------
+    def attach(self, lat: float, lon: float) -> MobileAttachment:
+        """Register with the packet core from a location.
+
+        PGWs are handed out round-robin per region, matching the
+        paper's observation that PGW bits cycle on airplane-mode exits.
+        """
+        region = self.region_for(lat, lon)
+        count = self._attach_counters.get(region.name, 0)
+        self._attach_counters[region.name] = count + 1
+        pgw_index = count % region.pgw_count
+        provider = ""
+        if region.providers:
+            provider = region.providers[count % len(region.providers)]
+        prefix = self.user_prefix_for(region, pgw_index)
+        return MobileAttachment(
+            carrier_name=self.name,
+            region=region,
+            pgw_index=pgw_index,
+            user_prefix=prefix,
+            cell_lat=lat,
+            cell_lon=lon,
+            provider=provider,
+        )
+
+    # -- carrier-specific hooks ---------------------------------------------
+    def user_prefix_for(self, region: MobileRegionSpec, pgw_index: int) -> ipaddress.IPv6Network:
+        raise NotImplementedError
+
+    def carrier_hops(self, attachment: MobileAttachment) -> "list[Hop]":
+        """The in-carrier hops of a traceroute (carrier-specific)."""
+        raise NotImplementedError
+
+    def backbone_city(self, attachment: MobileAttachment) -> City:
+        """Where the carrier hands traffic to the backbone."""
+        spec = attachment.region
+        if spec.backbone_city is not None:
+            return self.geography.city(*spec.backbone_city)
+        return self._region_cities[spec.name]
+
+    # -- measurement -------------------------------------------------------
+    def path_rtt_ms(self, attachment: MobileAttachment, dst_city: City) -> float:
+        """End-to-end RTT from the phone to a host at *dst_city*.
+
+        RAN backhaul from the cell to the serving EdgeCO rides leased
+        regional circuits with per-segment regeneration, so it costs
+        noticeably more per km than long-haul backbone fiber — this is
+        what makes a huge region (AT&T, Fig 18a) hurt: a phone far from
+        its mobile datacenter pays the inflated backhaul both ways.
+        """
+        region_city = self._region_cities[attachment.region.name]
+        bb_city = self.backbone_city(attachment)
+        backhaul_km = self._km(
+            attachment.cell_lat, attachment.cell_lon, region_city
+        )
+        core_km = (
+            self.geography.distance_km(region_city, bb_city)
+            + self.geography.distance_km(bb_city, dst_city)
+        )
+        backhaul_extra_ms = min(25.0, 0.01 * backhaul_km)
+        one_way = (
+            _RAN_ONE_WAY_MS
+            + _CORE_MS
+            + backhaul_extra_ms
+            + (backhaul_km + core_km) * _ROUTE_FACTOR / _KM_PER_MS
+        )
+        return round(2.0 * one_way, 3)
+
+    def traceroute(self, attachment: MobileAttachment, dst_address: str,
+                   dst_city: "City | None" = None) -> TraceResult:
+        """A traceroute from the phone to an external destination.
+
+        Mobile networks block probes to internal infrastructure, so
+        destinations must be outside the carrier (§7.1.1); the in-
+        carrier hops are what the IPv6 analysis consumes.
+        """
+        hops = list(self.carrier_hops(attachment))
+        total_rtt = (
+            self.path_rtt_ms(attachment, dst_city)
+            if dst_city is not None
+            else 2 * (_RAN_ONE_WAY_MS + _CORE_MS) + 40.0
+        )
+        # Spread hop RTTs monotonically toward the destination RTT.
+        named_seen = 0
+        named_total = sum(1 for h in hops if h.address is not None)
+        for i, hop in enumerate(hops):
+            if hop.address is None:
+                continue
+            named_seen += 1
+            frac = 0.4 + 0.5 * named_seen / (named_total + 1)
+            hops[i] = Hop(hop.index, hop.address, hop.rdns,
+                          round(total_rtt * frac, 3), hop.reply_ttl)
+        final_index = hops[-1].index + 1 if hops else 1
+        hops.append(Hop(final_index, dst_address, None, round(total_rtt, 3), 52))
+        src = str(attachment.user_prefix.network_address)
+        result = TraceResult(src, dst_address, hops, completed=True)
+        result.vp_name = f"phone-{self.name}"
+        return result
+
+    def _iid(self, *key: object) -> int:
+        """A deterministic 48-bit interface-id fragment."""
+        return random.Random("|".join(str(k) for k in key)).getrandbits(48)
+
+
+# ----------------------------------------------------------------------
+# AT&T-like carrier
+# ----------------------------------------------------------------------
+
+ATT_USER_CODEC = Ipv6FieldCodec({"region": (32, 40)})
+ATT_ROUTER_CODEC = Ipv6FieldCodec({"region": (32, 48), "pgw": (48, 52)})
+
+ATT_MOBILE_REGIONS = [
+    # (name, city, pgw count, router region bits) — Table 7.
+    MobileRegionSpec("BTH", ("Seattle", "WA"), 2, 0x2030),
+    MobileRegionSpec("CNC", ("San Francisco", "CA"), 5, 0x2040),
+    MobileRegionSpec("VNN", ("Los Angeles", "CA"), 5, 0x2090),
+    MobileRegionSpec("ALN", ("Dallas", "TX"), 5, 0x2010),
+    MobileRegionSpec("HST", ("Houston", "TX"), 5, 0x20A0),
+    MobileRegionSpec("CHC", ("Chicago", "IL"), 5, 0x20B0),
+    MobileRegionSpec("AKR", ("Akron", "OH"), 3, 0x2000),
+    MobileRegionSpec("ALP", ("Alpharetta", "GA"), 6, 0x2020),
+    MobileRegionSpec("NYC", ("New York", "NY"), 4, 0x2050),
+    MobileRegionSpec("ART", ("Ashburn", "VA"), 3, 0x2070),
+    MobileRegionSpec("GSV", ("Jacksonville", "FL"), 3, 0x2080),
+]
+
+#: Explicit state coverage: phones register with their state's mobile
+#: datacenter even when another is geographically closer, producing the
+#: circuitous high-latency paths of Fig 18a.
+ATT_STATE_COVERAGE = {
+    "WA": "BTH", "OR": "BTH", "ID": "BTH",
+    "NV": "CNC", "UT": "CNC",
+    "CA": "VNN", "AZ": "VNN",
+    "TX": "ALN", "OK": "ALN", "NM": "ALN", "KS": "ALN", "CO": "ALN",
+    "LA": "HST", "AR": "HST", "MS": "HST",
+    "IL": "CHC", "WI": "CHC", "MN": "CHC", "IA": "CHC", "MO": "CHC",
+    "NE": "CHC", "SD": "CHC", "ND": "CHC", "IN": "CHC", "MI": "CHC",
+    # The northern plains backhaul all the way to the Chicago mobile
+    # datacenter — the circuitous paths behind Fig 18a's dark hexes.
+    "MT": "CHC", "WY": "CHC",
+    "OH": "AKR", "KY": "AKR", "WV": "AKR", "PA": "AKR",
+    "GA": "ALP", "AL": "ALP", "TN": "ALP", "SC": "ALP", "NC": "ALP",
+    "FL": "GSV",
+    "NY": "NYC", "NJ": "NYC", "CT": "NYC", "MA": "NYC", "RI": "NYC",
+    "VT": "NYC", "NH": "NYC", "ME": "NYC",
+    "VA": "ART", "MD": "ART", "DE": "ART", "DC": "ART",
+}
+
+#: User-address region byte per region (the /40 hint of Fig 16a).
+ATT_USER_REGION_BYTE = {
+    spec.name: byte
+    for spec, byte in zip(
+        ATT_MOBILE_REGIONS,
+        [0x61, 0x62, 0x6C, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A],
+    )
+}
+
+
+class AttMobileCarrier(MobileCarrier):
+    """AT&T-like: 11 regions, one mobile EdgeCO each, own backbone."""
+
+    name = "att-mobile"
+
+    def __init__(self, geography: Geography, seed: int = 0) -> None:
+        super().__init__(ATT_MOBILE_REGIONS, geography, seed)
+        self.coverage_overrides = dict(ATT_STATE_COVERAGE)
+
+    def user_prefix_for(self, region, pgw_index):
+        base = ATT_USER_CODEC.encode(
+            "2600:380::", region=ATT_USER_REGION_BYTE[region.name]
+        )
+        subnet = random.Random(
+            f"att-sub|{region.name}|{pgw_index}|"
+            f"{self._attach_counters.get(region.name, 0)}"
+        ).getrandbits(24)
+        value = int(base) | (subnet << (128 - 64))
+        return ipaddress.IPv6Network((value, 64))
+
+    def carrier_hops(self, attachment):
+        region = attachment.region
+        gw = attachment.user_prefix.network_address + self._iid(
+            "att-gw", region.name
+        )
+        router_base = ATT_ROUTER_CODEC.encode(
+            "2600:300::", region=region.region_bits, pgw=attachment.pgw_index
+        )
+        r1 = ipaddress.IPv6Address(int(router_base) | (0x0B0E << 64) | 1)
+        r2 = ipaddress.IPv6Address(int(router_base) | (0x0B20 << 64) | 1)
+        return [
+            Hop(1, str(gw), None, None, 64),
+            Hop(2, None),
+            Hop(3, str(r1), None, None, 254),
+            Hop(4, str(r2), None, None, 253),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Verizon-like carrier
+# ----------------------------------------------------------------------
+
+VZ_USER_CODEC = Ipv6FieldCodec(
+    {"backbone": (16, 32), "edgeco": (32, 40), "pgw": (40, 44)}
+)
+#: Router-address fields (used by the analyzer; addresses themselves
+#: are assembled hextet-wise in :meth:`VerizonLikeCarrier._router`).
+VZ_ROUTER_CODEC = Ipv6FieldCodec({"family": (32, 48), "edgeco_hint": (64, 80)})
+
+#: (name, city, backbone name, backbone city, bits "XXXX:bY", pgws) — Table 8.
+_VZ_ROWS = [
+    ("RDMEWA", ("Redmond", "WA"), "SEA", ("Seattle", "WA"), (0x100F, 0xB0), 1),
+    ("HLBOOR", ("Hillsboro", "OR"), "SEA", ("Seattle", "WA"), (0x100F, 0xB1), 1),
+    ("SNVACA", ("Sunnyvale", "CA"), "SJC", ("Sunnyvale", "CA"), (0x1010, 0xB0), 2),
+    ("RCKLCA", ("Rocklin", "CA"), "SJC", ("Sunnyvale", "CA"), (0x1010, 0xB1), 2),
+    ("LSVKNV", ("Las Vegas", "NV"), "SJC", ("Sunnyvale", "CA"), (0x1011, 0xB0), 2),
+    ("AZUSCA", ("Azusa", "CA"), "LAX", ("Los Angeles", "CA"), (0x1012, 0xB0), 2),
+    ("VISTCA", ("Vista", "CA"), "LAX", ("Los Angeles", "CA"), (0x1012, 0xB1), 3),
+    ("HCHLIL", ("Hinsdale", "IL"), "CHI", ("Chicago", "IL"), (0x1008, 0xB0), 2),
+    ("NWBLWI", ("New Berlin", "WI"), "CHI", ("Chicago", "IL"), (0x1008, 0xB1), 2),
+    ("SFLDMI", ("Southfield", "MI"), "CHI", ("Chicago", "IL"), (0x1009, 0xB1), 1),
+    ("STLSMO", ("St. Louis", "MO"), "CHI", ("Chicago", "IL"), (0x100A, 0xB0), 1),
+    ("BLTNMN", ("Bloomington", "MN"), "CHI", ("Chicago", "IL"), (0x1014, 0xB1), 3),
+    ("OMALNE", ("Omaha", "NE"), "CHI", ("Chicago", "IL"), (0x1014, 0xB0), 2),
+    ("ESYRNY", ("Syracuse", "NY"), "NYC", ("New York", "NY"), (0x1002, 0xB1), 1),
+    ("AURSCO", ("Aurora", "CO"), "DEN", ("Denver", "CO"), (0x100E, 0xB0), 2),
+    ("WJRDUT", ("West Jordan", "UT"), "DEN", ("Denver", "CO"), (0x100E, 0xB1), 2),
+    ("ELSSTX", ("El Paso", "TX"), "DLLSTX", ("Dallas", "TX"), (0x100C, 0xB2), 1),
+    ("HSTWTX", ("Houston", "TX"), "DLLSTX", ("Dallas", "TX"), (0x100D, 0xB0), 2),
+    ("BTRHLA", ("Baton Rouge", "LA"), "DLLSTX", ("Dallas", "TX"), (0x100D, 0xB1), 2),
+    ("MIAMFL", ("Miami", "FL"), "MIA", ("Miami", "FL"), (0x100B, 0xB0), 2),
+    ("ORLHFL", ("Orlando", "FL"), "MIA", ("Miami", "FL"), (0x100B, 0xB1), 2),
+    ("CHRXNC", ("Charlotte", "NC"), "ATL", ("Atlanta", "GA"), (0x1004, 0xB0), 4),
+    ("WHCKTN", ("Nashville", "TN"), "ATL", ("Atlanta", "GA"), (0x1004, 0xB1), 2),
+    ("ALPSGA", ("Alpharetta", "GA"), "ATL", ("Atlanta", "GA"), (0x1005, 0xB0), 2),
+    ("CHNTVA", ("Chantilly", "VA"), "IAD", ("Ashburn", "VA"), (0x1003, 0xB0), 2),
+    ("JHTWPA", ("Johnstown", "PA"), "IAD", ("Ashburn", "VA"), (0x1003, 0xB1), 1),
+    ("WLTPNJ", ("Wall Township", "NJ"), "NYC", ("New York", "NY"), (0x1017, 0xB0), 2),
+    ("WSBOMA", ("Westborough", "MA"), "BOS", ("Boston", "MA"), (0x1000, 0xB0), 2),
+    ("BBTPNJ", ("Bridgewater", "NJ"), "NYC", ("New York", "NY"), (0x1000, 0xB1), 1),
+    ("PHLAPA", ("Philadelphia", "PA"), "PHIL", ("Philadelphia", "PA"), (0x1015, 0xB0), 2),
+    ("ATLNGA", ("Savannah", "GA"), "ATL", ("Atlanta", "GA"), (0x1005, 0xB1), 1),
+    ("SANTTX", ("San Antonio", "TX"), "DLLSTX", ("Dallas", "TX"), (0x100C, 0xB0), 2),
+]
+
+VERIZON_REGIONS = [
+    MobileRegionSpec(
+        name, city, pgws, (bits[0] << 8) | bits[1],
+        backbone=bb_name, backbone_city=bb_city,
+    )
+    for name, city, bb_name, bb_city, bits, pgws in _VZ_ROWS
+]
+
+
+class VerizonLikeCarrier(MobileCarrier):
+    """Verizon-like: EdgeCOs grouped under shared backbone regions."""
+
+    name = "verizon"
+
+    def user_prefix_for(self, region, pgw_index):
+        backbone_bits = region.region_bits >> 8
+        edgeco_bits = region.region_bits & 0xFF
+        base = VZ_USER_CODEC.encode(
+            "2600::", backbone=backbone_bits, edgeco=edgeco_bits, pgw=pgw_index
+        )
+        subnet = random.Random(
+            f"vz-sub|{region.name}|{pgw_index}|"
+            f"{self._attach_counters.get(region.name, 0)}"
+        ).getrandbits(20)
+        value = int(base) | (subnet << (128 - 64))
+        return ipaddress.IPv6Network((value, 64))
+
+    def _router(self, family: int, region: MobileRegionSpec, site_bits: int) -> str:
+        """A packet-core router address shaped like Fig 16b's hops.
+
+        Hextet layout: ``2001:4888:<family>:<site>:<62X hint>:1::`` —
+        the family hextet (0x65/0x6f) sits in bits 32–47, the per-EdgeCO
+        hint in bits 64–79, matching the fields the paper's analysis
+        keys on.
+        """
+        hint = 0x620 + self.regions.index(region)
+        value = (
+            (0x20014888 << 96)
+            | (family << 80)
+            | (site_bits << 64)
+            | (hint << 48)
+            | (1 << 32)
+        )
+        return str(ipaddress.IPv6Address(value))
+
+    def carrier_hops(self, attachment):
+        region = attachment.region
+        gw = attachment.user_prefix.network_address + self._iid(
+            "vz-gw", region.name, attachment.pgw_index
+        )
+        site = region.region_bits & 0xFFF
+        bb_city = self.geography.city(*region.backbone_city)
+        bb_code = "".join(c for c in bb_city.name.upper() if c.isalpha())[:3]
+        alter_addr = str(
+            ipaddress.IPv6Address(
+                int(ipaddress.IPv6Address("2001:4888:F000::"))
+                | (region.region_bits << 64)
+            )
+        )
+        hops = [
+            Hop(1, str(gw), None, None, 64),
+            Hop(2, None), Hop(3, None), Hop(4, None), Hop(5, None),
+            Hop(6, self._router(0x65, region, 0x200 + site % 0xE), None, None, 250),
+            Hop(7, None),
+            Hop(8, self._router(0x6F, region, 0x300 + site % 0x91), None, None, 249),
+            Hop(9, self._router(0x6F, region, 0x300 + site % 0x91), None, None, 248),
+            Hop(10, self._router(0x65, region, 0x100 + site % 0x20), None, None, 247),
+            Hop(11, alter_addr,
+                f"0.ae2.br2.{bb_code.lower()}{bb_city.state.lower()}.alter.net",
+                None, 246),
+        ]
+        return hops
+
+    def speedtest_hostname(self, region: MobileRegionSpec) -> str:
+        """The per-EdgeCO speedtest server name (``cavt.ost.myvzw.com``)."""
+        code = region.name[:4].lower()
+        return f"{code}.ost.myvzw.com"
+
+
+# ----------------------------------------------------------------------
+# T-Mobile-like carrier
+# ----------------------------------------------------------------------
+
+TMO_USER_CODEC = Ipv6FieldCodec({"pgw": (32, 40)})
+TMO_ROUTER_CODEC = Ipv6FieldCodec({"pgw": (32, 48)})
+
+_TMO_SITES = [
+    ("Seattle", "WA"), ("Portland", "OR"), ("Sacramento", "CA"),
+    ("Los Angeles", "CA"), ("Las Vegas", "NV"), ("Salt Lake City", "UT"),
+    ("Denver", "CO"), ("Dallas", "TX"), ("Houston", "TX"),
+    ("Minneapolis", "MN"), ("Chicago", "IL"), ("St. Louis", "MO"),
+    ("Detroit", "MI"), ("Atlanta", "GA"), ("Columbia", "SC"),
+    ("Orlando", "FL"), ("Philadelphia", "PA"), ("New York", "NY"),
+    ("Boston", "MA"), ("Ashburn", "VA"),
+]
+
+_TMO_PROVIDERS = ("zayo", "lumen", "vzb")
+
+TMOBILE_REGIONS = [
+    MobileRegionSpec(
+        f"TMO-{city.replace(' ', '').upper()[:5]}{state}",
+        (city, state),
+        pgw_count=2 + i % 2,
+        region_bits=0x40 + i * 2,
+        providers=tuple(
+            _TMO_PROVIDERS[j % 3] for j in range(i, i + 2 + i % 2)
+        ),
+    )
+    for i, (city, state) in enumerate(_TMO_SITES)
+]
+
+
+class TMobileLikeCarrier(MobileCarrier):
+    """T-Mobile-like: distributed sites, multiple backbone providers."""
+
+    name = "tmobile"
+
+    def __init__(self, geography: Geography, seed: int = 0) -> None:
+        super().__init__(TMOBILE_REGIONS, geography, seed)
+        # The Gulf-coast quirk behind Fig 18c: phones in MS/AL register
+        # with the distant Columbia, SC site.
+        self.coverage_overrides = {"MS": "TMO-COLUMSC", "AL": "TMO-COLUMSC"}
+
+    def user_prefix_for(self, region, pgw_index):
+        pgw_byte = (region.region_bits + pgw_index) & 0xFF
+        base = TMO_USER_CODEC.encode("2607:fb90::", pgw=pgw_byte)
+        subnet = random.Random(
+            f"tmo-sub|{region.name}|{pgw_index}|"
+            f"{self._attach_counters.get(region.name, 0)}"
+        ).getrandbits(20)
+        value = int(base) | (subnet << (128 - 64))
+        return ipaddress.IPv6Network((value, 64))
+
+    def carrier_hops(self, attachment):
+        region = attachment.region
+        gw = attachment.user_prefix.network_address + self._iid(
+            "tmo-gw", region.name, attachment.pgw_index
+        )
+        pgw16 = 0x1400 + ((region.region_bits + attachment.pgw_index) & 0xFF)
+        core1 = ipaddress.IPv6Address(
+            int(ipaddress.IPv6Address("fc00:420:81::1")) | (pgw16 << 64)
+        )
+        core2 = ipaddress.IPv6Address(
+            int(ipaddress.IPv6Address("fc00:420:81::1")) | ((pgw16 ^ 0x1F00) << 64)
+        )
+        edge = TMO_ROUTER_CODEC.encode("fd00:976a::", pgw=pgw16)
+        edge_addr = ipaddress.IPv6Address(int(edge) | (0x9001 << 64) | 1)
+        provider_hop = Hop(
+            5,
+            str(ipaddress.IPv6Address(int(edge) | (0xFF00 << 64) | 2)),
+            f"xe-1-1.cr1.{attachment.provider}.net",
+            None,
+            245,
+        )
+        return [
+            Hop(1, str(gw), None, None, 64),
+            Hop(2, str(core1), None, None, 253),
+            Hop(3, str(core2), None, None, 252),
+            Hop(4, str(edge_addr), None, None, 251),
+            provider_hop,
+        ]
+
+    def backbone_city(self, attachment: MobileAttachment) -> City:
+        # Third-party backbones interconnect at the site itself —
+        # T-Mobile's "distributed" design (§7.2.3).
+        return self._region_cities[attachment.region.name]
+
+
+def build_mobile_carriers(geography: "Geography | None" = None, seed: int = 0) -> "dict[str, MobileCarrier]":
+    """Build all three carriers keyed by name."""
+    geo = geography or Geography()
+    att = AttMobileCarrier(geo, seed)
+    verizon = VerizonLikeCarrier(VERIZON_REGIONS, geo, seed)
+    tmobile = TMobileLikeCarrier(geo, seed)
+    return {c.name: c for c in (att, verizon, tmobile)}

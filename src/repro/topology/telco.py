@@ -1,0 +1,361 @@
+"""Telco (AT&T-like) wireline topology generator (the §6 case study).
+
+Architectural features reproduced from the paper:
+
+* one fortified BackboneCO per region housing **two** backbone routers,
+  the only regional routers with rDNS (``cr2.sd2ca.ip.att.net``);
+* four aggregation routers in four AggCOs, fully meshed to both
+  backbone routers, with **no rDNS**;
+* dense EdgeCOs (a legacy of copper loop-length limits), each with two
+  unnamed routers redundantly homed to the sub-region's two agg
+  routers;
+* IP-DSLAM/ONT last-mile devices whose addresses carry
+  ``…lightspeed.<clli6>.sbcglobal.net`` rDNS — the probe targets of
+  Appendix C;
+* EdgeCO/AggCO router interfaces allocated from a handful of /24s per
+  region (Table 6), which is what makes the prefix-discovery step of
+  the inference pipeline possible;
+* an MPLS core that hides agg routers from through traffic but reveals
+  them to probes targeted at infrastructure addresses (DPR, Table 5);
+* ICMP filtering: regional routers only answer probes sourced inside
+  the ISP's address space; last-mile devices additionally refuse
+  *direct* echo from outside (hence the TTL-limited echo trick, §6.3).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.net.addresses import Ipv4Allocator
+from repro.net.network import Network
+from repro.net.router import ReplyPolicy, Router
+from repro.topology.co import CentralOffice, CoKind, Region
+from repro.topology.geography import City, Geography, clli_city_code
+from repro.topology.isp import BaseIsp
+from repro.topology.cable import REGION_METRIC
+
+#: Address space the telco considers "internal" for ICMP filtering.
+TELCO_INTERNAL_PREFIXES = (
+    ipaddress.ip_network("12.0.0.0/8"),
+    ipaddress.ip_network("71.128.0.0/10"),
+    ipaddress.ip_network("75.16.0.0/12"),
+    ipaddress.ip_network("107.128.0.0/9"),
+)
+
+
+@dataclass(frozen=True)
+class TelcoRegionSpec:
+    """Recipe for one telco regional network."""
+
+    anchor: "tuple[str, str]"
+    n_edge: int
+    #: Extra EdgeCO sites at specific distant metros (El Centro /
+    #: Calexico in San Diego — the Table 2 latency outliers).
+    distant_sites: "tuple[tuple[str, str], ...]" = ()
+
+
+class TelcoIsp(BaseIsp):
+    """An AT&T-like telco built from :class:`TelcoRegionSpec` recipes."""
+
+    def __init__(
+        self,
+        network: Network,
+        geography: "Geography | None" = None,
+        seed: int = 0,
+        name: str = "att",
+        asn: int = 7018,
+    ) -> None:
+        super().__init__(
+            name, asn, pool="12.0.0.0/10", network=network,
+            geography=geography, seed=seed,
+        )
+        self.infra_allocator = Ipv4Allocator("71.128.0.0/10")
+        self.agg_allocator = Ipv4Allocator("75.16.0.0/12")
+        self.lastmile_allocator = Ipv4Allocator("107.128.0.0/9")
+        #: Region tag (clli6, e.g. ``sndgca``) -> Region.
+        self.region_tags: dict[str, str] = {}
+        #: Ground truth for Table 6: region -> {"edge": [...], "agg": [...]}.
+        self.router_prefixes: dict[str, dict[str, list]] = {}
+        self._used_clli_telco: set[str] = set()
+        #: Per-DSLAM allocators over the upper half of its lspgw /24,
+        #: used to number measurement hosts (WiFi hotspots, Ark/Atlas
+        #: probes) like any other lightspeed customer.
+        self._dslam_host_allocs: dict[str, Ipv4Allocator] = {}
+        #: role == "dslam" routers per region, for VP placement.
+        self.dslams_by_region: dict[str, list[Router]] = {}
+        #: Stand-in for the M-Lab NDT dataset: per-region residential
+        #: addresses a third party could learn from speed-test logs.
+        self.ndt_dataset: dict[str, list[str]] = {}
+        for city_name, state in [
+            ("Los Angeles", "CA"), ("San Francisco", "CA"), ("Dallas", "TX"),
+            ("Chicago", "IL"), ("Atlanta", "GA"), ("New York", "NY"),
+            ("Denver", "CO"), ("Seattle", "WA"),
+        ]:
+            self.add_backbone_pop(self.geography.city(city_name, state))
+        self.mesh_backbone(extra_chords=3)
+
+    def ndt_customer_addresses(self, region_tag: str) -> "list[str]":
+        """Residential customer addresses "seen in NDT tests" (§6.3)."""
+        return list(self.ndt_dataset.get(region_tag, []))
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def backbone_rdns_for(self, pop, router, iface_index):
+        code = clli_city_code(pop.city.name).lower()
+        return f"cr{iface_index % 4 + 1}.{code[0]}{code[2]}1{pop.city.state.lower()}.ip.{self.name}.net"
+
+    @staticmethod
+    def region_tag_for(city: City) -> str:
+        """The clli6 region tag (``sndgca`` for San Diego, CA)."""
+        return (clli_city_code(city.name) + city.state).lower()
+
+    @staticmethod
+    def backbone_tag_for(city: City) -> str:
+        """The short backbone-router tag (``sd2ca`` style)."""
+        code = clli_city_code(city.name).lower()
+        return f"{code[0]}{code[2]}2{city.state.lower()}"
+
+    def lspgw_hostname(self, address, region_tag: str) -> str:
+        """The lightspeed gateway rDNS name for a last-mile address."""
+        dashed = str(address).replace(".", "-")
+        return f"{dashed}.lightspeed.{region_tag}.sbcglobal.net"
+
+    # ------------------------------------------------------------------
+    # Region construction
+    # ------------------------------------------------------------------
+    def build_region(self, spec: TelcoRegionSpec) -> Region:
+        """Build one telco regional network."""
+        anchor = self.geography.city(*spec.anchor)
+        tag = self.region_tag_for(anchor)
+        if tag in self.regions:
+            raise TopologyError(f"telco region {tag!r} already built")
+        region = Region(tag, self.name)
+        region.agg_type = "two"  # one BackboneCO, two agg pairs (Fig 13b)
+        self.regions[tag] = region
+        self.region_tags[tag] = tag
+
+        internal = ReplyPolicy(internal_only=TELCO_INTERNAL_PREFIXES)
+        # Agg routers reply from their loopback (in the agg /24), which
+        # is why the paper's DPR traces show interior hops inside one
+        # AggCO prefix (Table 5 / Table 6).
+        agg_policy = ReplyPolicy(
+            reply_from="loopback", internal_only=TELCO_INTERNAL_PREFIXES
+        )
+        bb_policy = ReplyPolicy(reply_from="loopback")
+        lastmile = ReplyPolicy(echo_internal_only=TELCO_INTERNAL_PREFIXES)
+
+        # --- BackboneCO: one building, two always-responding routers.
+        bb_co = self.new_co(region, CoKind.BACKBONE, anchor,
+                            self._region_clli(anchor), level=0)
+        bb_tag = self.backbone_tag_for(anchor)
+        bb_routers = []
+        bb_block = self.allocator.allocate_subnet(24)
+        bb_alloc = Ipv4Allocator(bb_block)
+        for i in (1, 2):
+            router = self.new_router(role="backbone", region_name=tag,
+                                     policy=bb_policy)
+            bb_co.add_router(router)
+            loop = bb_alloc.allocate_host()
+            iface = self.network.add_interface(router, loop, 32)
+            router.loopback = iface.address
+            self.network.rdns.set(
+                iface.address, f"cr{i}.{bb_tag}.ip.{self.name}.net"
+            )
+            bb_routers.append(router)
+        self._bb_interconnect(bb_routers, bb_alloc)
+
+        # --- Four agg routers in four AggCOs, split into two pairs.
+        agg_block = self.agg_allocator.allocate_subnet(24)
+        agg_alloc = Ipv4Allocator(agg_block)
+        agg_pairs: "list[list[tuple[CentralOffice, Router]]]" = [[], []]
+        for i in range(4):
+            site = self._agg_site(anchor, i)
+            agg_co = self.new_co(region, CoKind.AGG, site,
+                                 self._region_clli(site), level=1)
+            router = self.new_router(role="agg", region_name=tag,
+                                     policy=agg_policy)
+            agg_co.add_router(router)
+            loop = agg_alloc.allocate_host()
+            loop_iface = self.network.add_interface(router, loop, 32)
+            router.loopback = loop_iface.address
+            agg_pairs[i // 2].append((agg_co, router))
+            for bb_router in bb_routers:  # full BB<->agg mesh (§6.2)
+                addr_a, addr_b, _ = agg_alloc.allocate_p2p(31)
+                dist = 1.4 * self.geography.distance_km(anchor, site)
+                self.network.connect(bb_router, router, addr_a, addr_b,
+                                     prefixlen=31, length_km=max(dist, 2.0),
+                                     metric=REGION_METRIC)
+                region.add_edge(bb_co, agg_co)
+
+        # --- EdgeCOs: two routers each, homed to one agg pair.
+        # Each EdgeCO consumes ~8 /31 subnets of router-interface space;
+        # ~8 COs fit per /24 (San Diego's 42 EdgeCOs need 6, Table 6).
+        n_edge_prefixes = max(1, -(-spec.n_edge // 8))
+        edge_blocks = [self.infra_allocator.allocate_subnet(24)
+                       for _ in range(n_edge_prefixes)]
+        self.router_prefixes[tag] = {"edge": edge_blocks, "agg": [agg_block]}
+        edge_allocs = [Ipv4Allocator(b) for b in edge_blocks]
+        sites = self._edge_sites(spec, anchor)
+        agg_routers = [r for pair in agg_pairs for _co, r in pair]
+        edge_routers: "list[Router]" = []
+        region_block_targets = []
+        for i, site in enumerate(sites):
+            edge_co = self.new_co(region, CoKind.EDGE, site,
+                                  self._region_clli(site), level=2)
+            pair = agg_pairs[i % 2]
+            ers = []
+            alloc = edge_allocs[i % len(edge_allocs)]
+            for _ in range(2):
+                er = self.new_router(role="edge", region_name=tag,
+                                     policy=internal)
+                edge_co.add_router(er)
+                ers.append(er)
+                edge_routers.append(er)
+                for agg_co, agg_router in pair:
+                    addr_a, addr_b, _ = alloc.allocate_p2p(31)
+                    # Legacy telco fiber rarely runs point to point; a
+                    # 2.2x route factor reflects loops through multiple
+                    # intermediate offices (and produces Table 2's
+                    # latency spread).
+                    dist = 2.2 * self.geography.distance_km(agg_co.city, site)
+                    self.network.connect(agg_router, er, addr_a, addr_b,
+                                         prefixlen=31, length_km=max(dist, 2.0),
+                                         metric=REGION_METRIC)
+                    region.add_edge(agg_co, edge_co)
+            # ER1 <-> ER2 inside the CO.
+            addr_a, addr_b, _ = alloc.allocate_p2p(31)
+            self.network.connect(ers[0], ers[1], addr_a, addr_b,
+                                 prefixlen=31, length_km=0.1,
+                                 metric=REGION_METRIC)
+            self._attach_lastmile(region, tag, edge_co, ers, alloc,
+                                  lastmile, region_block_targets)
+
+        # MPLS: agg routers hidden except for probes to regional infra.
+        infra_routers = bb_routers + agg_routers + edge_routers
+        self.network.mpls.add_lsr_rule(agg_routers, infra_routers)
+
+        # Entries: the BackboneCO homes to the two nearest backbone PoPs.
+        for pop in self.nearest_backbone_pops(anchor, count=2):
+            dist = 1.4 * self.geography.distance_km(pop.city, anchor)
+            for bb_router in bb_routers:
+                self.link_cos(None, pop.routers[0], None, bb_router,
+                              length_km=max(dist, 2.0), p2p_prefixlen=31,
+                              metric=REGION_METRIC)
+            region.add_entry(pop.uid, bb_co)
+        for block in edge_blocks + [agg_block]:
+            self.announce(tag, block)
+        return region
+
+    # -- helpers ---------------------------------------------------------
+    def _region_clli(self, site: City) -> str:
+        base = self.geography.clli(site, 1)
+        bump = 1
+        while base in self._used_clli_telco:
+            bump += 1
+            base = self.geography.clli(site, bump)
+        self._used_clli_telco.add(base)
+        return base
+
+    def _bb_interconnect(self, bb_routers, bb_alloc) -> None:
+        addr_a, addr_b, _ = bb_alloc.allocate_p2p(31)
+        self.network.connect(bb_routers[0], bb_routers[1], addr_a, addr_b,
+                             prefixlen=31, length_km=0.1)
+
+    def _agg_site(self, anchor: City, index: int) -> City:
+        lat, lon = self.geography.scatter(anchor, self.rng, radius_km=20.0)
+        return City(f"{anchor.name} Agg{index + 1}", anchor.state, lat, lon)
+
+    def _edge_sites(self, spec: TelcoRegionSpec, anchor: City) -> "list[City]":
+        sites = []
+        for name, state in spec.distant_sites:
+            sites.append(self.geography.city(name, state))
+        for i in range(spec.n_edge - len(sites)):
+            lat, lon = self.geography.scatter(anchor, self.rng, radius_km=55.0)
+            sites.append(City(f"{anchor.name} E{i + 1:02d}", anchor.state,
+                              lat, lon))
+        return sites
+
+    def _attach_lastmile(self, region, tag, edge_co, edge_routers, alloc,
+                         lastmile_policy, targets) -> None:
+        """Create the CO's IP-DSLAM and sample customer gateways."""
+        dslam = self.new_router(role="dslam", region_name=tag,
+                                policy=lastmile_policy)
+        dslam.co = edge_co
+        self.dslams_by_region.setdefault(tag, []).append(dslam)
+        lspgw_block = self.lastmile_allocator.allocate_subnet(24)
+        base = int(lspgw_block.network_address)
+        # The IP-DSLAM answers on several lightspeed-named gateway
+        # addresses — these are the lspgw probe targets of App. C.
+        for offset in (1, 2, 3, 4):
+            gw_addr = ipaddress.IPv4Address(base + offset)
+            iface = self.network.add_interface(dslam, gw_addr, 24)
+            self.network.rdns.set(
+                iface.address, self.lspgw_hostname(gw_addr, tag)
+            )
+        # The DSLAM dual-homes to both EdgeCO routers (that shared
+        # last-mile link is how §6.2 groups the two routers into a CO).
+        for er in edge_routers:
+            addr_a, addr_b, _ = alloc.allocate_p2p(31)
+            self.network.connect(er, dslam, addr_a, addr_b, prefixlen=31,
+                                 length_km=1.0, extra_delay_ms=0.2,
+                                 metric=REGION_METRIC)
+        self.network.add_prefix_route(lspgw_block, dslam)
+        # Sample residential customers behind the DSLAM.  They answer
+        # echo from anywhere but carry no rDNS — the §6.3 campaign finds
+        # them through the M-Lab NDT dataset instead (see
+        # :meth:`ndt_customer_addresses`).
+        host = self.new_router(role="customer", region_name=tag)
+        host.co = edge_co
+        for offset in (11, 12, 13):
+            addr = ipaddress.IPv4Address(base + offset)
+            self.network.add_interface(host, addr, 24)
+            self.ndt_dataset.setdefault(tag, []).append(str(addr))
+        # The DSL drop to the customer is numbered from the lspgw /24
+        # itself — customer space, not router-infrastructure space.
+        self.network.connect(
+            dslam, host,
+            ipaddress.IPv4Address(base + 8), ipaddress.IPv4Address(base + 9),
+            prefixlen=31, length_km=2.0, extra_delay_ms=2.0,
+        )
+        self.announce(tag, lspgw_block)
+        upper_half = list(lspgw_block.subnets(new_prefix=25))[1]
+        self._dslam_host_allocs[dslam.uid] = Ipv4Allocator(upper_half)
+
+    def vp_subnet_for(self, dslam: Router):
+        """A /30 inside the DSLAM's lspgw /24 for a measurement host.
+
+        Measurement VPs on AT&T last-miles get lightspeed-customer
+        addresses, exactly like the real Ark/Atlas probes and WiFi
+        hotspots the paper used.
+        """
+        try:
+            alloc = self._dslam_host_allocs[dslam.uid]
+        except KeyError as exc:
+            raise TopologyError(f"{dslam.uid} is not a known DSLAM") from exc
+        return alloc.allocate_subnet(30)
+
+
+TELCO_REGION_SPECS = [
+    TelcoRegionSpec(("San Diego", "CA"), 42,
+                    distant_sites=(("El Centro", "CA"), ("Calexico", "CA"),
+                                   ("Vista", "CA"))),
+    TelcoRegionSpec(("Los Angeles", "CA"), 16),
+    TelcoRegionSpec(("Santa Cruz", "CA"), 6),
+    TelcoRegionSpec(("Sacramento", "CA"), 10),
+    TelcoRegionSpec(("Nashville", "TN"), 12),
+    TelcoRegionSpec(("Dallas", "TX"), 14),
+    TelcoRegionSpec(("Houston", "TX"), 12),
+    TelcoRegionSpec(("Atlanta", "GA"), 12),
+]
+
+
+def build_att_like(network: Network, geography: "Geography | None" = None,
+                   seed: int = 0) -> TelcoIsp:
+    """Build the AT&T-like telco with its regional networks."""
+    isp = TelcoIsp(network, geography=geography, seed=seed)
+    for spec in TELCO_REGION_SPECS:
+        isp.build_region(spec)
+    return isp

@@ -1,0 +1,153 @@
+"""Unit and property tests for alias resolution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alias.mercator import MercatorProber
+from repro.alias.midar import MidarProber
+from repro.alias.resolve import AliasResolver, AliasSets, _UnionFind
+from repro.net.network import Network
+from repro.net.router import ReplyPolicy, Router
+
+
+@pytest.fixture()
+def multi_iface_net():
+    """src -- r1 -- r2, where r1 and r2 each have two interfaces."""
+    net = Network()
+    src = net.add_router(Router("src"))
+    r1 = net.add_router(Router("r1"))
+    r2 = net.add_router(Router("r2"))
+    net.connect(src, r1, "10.0.0.1", "10.0.0.2", prefixlen=30)
+    net.connect(r1, r2, "10.0.0.5", "10.0.0.6", prefixlen=30)
+    return net, src, r1, r2
+
+
+class TestMercator:
+    def test_far_side_interface_reveals_alias(self, multi_iface_net):
+        net, src, r1, _r2 = multi_iface_net
+        pair = MercatorProber(net).probe(src, "10.0.0.5")
+        # Probing r1's far interface: the reply comes from the near one.
+        assert pair == ("10.0.0.5", "10.0.0.2")
+
+    def test_near_side_interface_reveals_nothing(self, multi_iface_net):
+        net, src, _r1, _r2 = multi_iface_net
+        assert MercatorProber(net).probe(src, "10.0.0.2") is None
+
+    def test_unresponsive_target(self, multi_iface_net):
+        net, src, r1, _r2 = multi_iface_net
+        r1.policy = ReplyPolicy(respond_prob=0.0)
+        assert MercatorProber(net).probe(src, "10.0.0.5") is None
+
+    def test_unknown_target(self, multi_iface_net):
+        net, src, _r1, _r2 = multi_iface_net
+        assert MercatorProber(net).probe(src, "203.0.113.1") is None
+
+    def test_probe_all_counts(self, multi_iface_net):
+        net, src, _r1, _r2 = multi_iface_net
+        prober = MercatorProber(net)
+        prober.probe_all(src, ["10.0.0.5", "10.0.0.2", "10.0.0.6"])
+        assert prober.probes_sent == 3
+
+
+class TestMidar:
+    def test_same_router_passes_mbt(self, multi_iface_net):
+        net, src, _r1, _r2 = multi_iface_net
+        prober = MidarProber(net)
+        assert prober.test_pair(src, "10.0.0.2", "10.0.0.5")
+
+    def test_different_routers_fail_mbt(self, multi_iface_net):
+        net, src, _r1, _r2 = multi_iface_net
+        prober = MidarProber(net)
+        assert not prober.test_pair(src, "10.0.0.2", "10.0.0.6")
+
+    def test_unresponsive_fails(self, multi_iface_net):
+        net, src, r1, _r2 = multi_iface_net
+        r1.policy = ReplyPolicy(respond_prob=0.0)
+        assert not MidarProber(net).test_pair(src, "10.0.0.2", "10.0.0.5")
+
+    def test_mbt_requires_two_samples_each(self):
+        assert not MidarProber.monotonic_bounds_test([(1, 5)], [(2, 6), (3, 7)])
+
+    def test_mbt_accepts_interleaved_counter(self):
+        a = [(1, 100), (3, 102), (5, 104)]
+        b = [(2, 101), (4, 103), (6, 105)]
+        assert MidarProber.monotonic_bounds_test(a, b)
+
+    def test_mbt_rejects_non_monotonic(self):
+        a = [(1, 100), (3, 102)]
+        b = [(2, 5000), (4, 5002)]
+        assert not MidarProber.monotonic_bounds_test(a, b)
+
+    def test_mbt_allows_wraparound(self):
+        a = [(1, 65530), (3, 65534)]
+        b = [(2, 65532), (4, 2)]
+        assert MidarProber.monotonic_bounds_test(a, b)
+
+    @given(st.integers(min_value=0, max_value=65535),
+           st.integers(min_value=1, max_value=3))
+    def test_mbt_accepts_any_true_shared_counter(self, start, step):
+        counter = start
+        a, b = [], []
+        for clock in range(8):
+            counter = (counter + step) % 65536
+            (a if clock % 2 == 0 else b).append((clock, counter))
+        assert MidarProber.monotonic_bounds_test(a, b)
+
+
+class TestUnionFind:
+    def test_groups(self):
+        uf = _UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.union("x", "y")
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [["a", "b", "c"], ["x", "y"]]
+
+    def test_singletons_excluded(self):
+        uf = _UnionFind()
+        uf.find("alone")
+        assert uf.groups() == []
+
+
+class TestAliasSets:
+    def test_membership(self):
+        sets = AliasSets([{"10.0.0.1", "10.0.0.2"}])
+        assert sets.are_aliases("10.0.0.1", "10.0.0.2")
+        assert not sets.are_aliases("10.0.0.1", "10.0.0.9")
+        assert sets.group_of("10.0.0.9") is None
+
+
+class TestResolver:
+    def test_resolves_toy_router_groups(self, multi_iface_net):
+        net, src, r1, r2 = multi_iface_net
+        resolver = AliasResolver(net)
+        addresses = ["10.0.0.2", "10.0.0.5", "10.0.0.6"]
+        sets = resolver.resolve(src, addresses, include_p2p_peers=False)
+        assert sets.are_aliases("10.0.0.2", "10.0.0.5")
+        assert not sets.are_aliases("10.0.0.5", "10.0.0.6")
+
+    def test_groups_match_ground_truth_on_internet(self, internet, standard_vps):
+        """Property: every produced alias group is a subset of one real
+        router's address set (no false merges)."""
+        net = internet.network
+        vp = standard_vps[0]
+        region = internet.comcast.regions["denver"]
+        addresses = [
+            str(iface.address)
+            for co in region.cos.values()
+            for router in co.routers
+            for iface in router.interfaces
+        ]
+        sets = AliasResolver(net, p2p_prefixlen=30).resolve(
+            vp.host, addresses, src_address=vp.src_address
+        )
+        checked = 0
+        for group in sets.groups:
+            owners = {
+                net.owner_router(address).uid
+                for address in group
+                if net.owner_router(address) is not None
+            }
+            assert len(owners) == 1, group
+            checked += 1
+        assert checked > 5

@@ -1,0 +1,118 @@
+"""Unit tests for CDFs, hex binning, and table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.hexbin import HexBinner
+from repro.analysis.tables import render_table
+from repro.errors import ReproError
+
+
+class TestCdf:
+    def test_fraction_at(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_at(2) == 0.5
+        assert cdf.fraction_at(0) == 0.0
+        assert cdf.fraction_at(9) == 1.0
+
+    def test_fraction_above_complements(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_above(2) == pytest.approx(0.5)
+
+    def test_median(self):
+        assert Cdf([5, 1, 9, 7, 3]).median == 5
+
+    def test_percentile_bounds(self):
+        cdf = Cdf([1, 2, 3])
+        with pytest.raises(ReproError):
+            cdf.percentile(101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Cdf([])
+
+    def test_series_monotonic(self):
+        cdf = Cdf([3, 1, 4, 1, 5, 9, 2, 6])
+        fractions = [f for _v, f in cdf.series(20)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_single_value_series(self):
+        assert Cdf([7, 7]).series() == [(7.0, 1.0)]
+
+    def test_ascii_plot_renders(self):
+        text = Cdf(range(100)).ascii_plot(width=40, height=6, label="ms")
+        assert "#" in text and "ms" in text
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_fraction_at_is_monotone(self, samples):
+        cdf = Cdf(samples)
+        lo, hi = min(samples), max(samples)
+        assert cdf.fraction_at(lo - 1) <= cdf.fraction_at(hi + 1)
+        assert cdf.fraction_at(hi) == 1.0
+
+
+class TestHexBinner:
+    def test_same_point_same_cell(self):
+        binner = HexBinner()
+        assert binner.cell_for(33.0, -117.0) == binner.cell_for(33.0, -117.0)
+
+    def test_distant_points_different_cells(self):
+        binner = HexBinner()
+        assert binner.cell_for(33.0, -117.0) != binner.cell_for(45.0, -90.0)
+
+    def test_bin_min_keeps_minimum(self):
+        binner = HexBinner()
+        binned = binner.bin_min([
+            (33.0, -117.0, 80.0),
+            (33.01, -117.01, 50.0),
+            (45.0, -90.0, 120.0),
+        ])
+        values = sorted(binned.values())
+        assert values == [50.0, 120.0]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ReproError):
+            HexBinner(cell_deg=0)
+
+    def test_ascii_map(self):
+        binner = HexBinner()
+        binned = binner.bin_min([
+            (33.0, -117.0, 45.0), (40.0, -100.0, 95.0), (45.0, -80.0, 170.0),
+        ])
+        art = HexBinner.ascii_map(binned)
+        assert len(art.splitlines()) >= 2
+
+    def test_ascii_map_empty_rejected(self):
+        with pytest.raises(ReproError):
+            HexBinner.ascii_map({})
+
+    @given(st.floats(min_value=25, max_value=49),
+           st.floats(min_value=-124, max_value=-67))
+    def test_cell_center_is_close(self, lat, lon):
+        binner = HexBinner(cell_deg=1.6)
+        cell = binner.cell_for(lat, lon)
+        assert abs(cell.lat - lat) < 4.0
+        assert abs(cell.lon - lon) < 4.0
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([], [])

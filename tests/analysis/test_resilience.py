@@ -1,0 +1,119 @@
+"""Unit tests for the §8 resilience analysis."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.resilience import (
+    FailureImpact,
+    ResilienceAnalyzer,
+    compare_regions,
+)
+from repro.errors import ReproError
+from repro.infer.refine import RegionRefiner
+
+
+def _region(edges):
+    counter = Counter()
+    for a, b in edges:
+        counter[(a, b)] += 3
+    return RegionRefiner().refine("r", counter)
+
+
+@pytest.fixture()
+def dual_star():
+    edges = [("A1", f"E{i}") for i in range(6)]
+    edges += [("A2", f"E{i}") for i in range(6)]
+    return _region(edges)
+
+
+@pytest.fixture()
+def single_star():
+    return _region([("HUB", f"E{i}") for i in range(6)])
+
+
+class TestCoFailure:
+    def test_dual_star_survives_one_agg(self, dual_star):
+        analyzer = ResilienceAnalyzer(dual_star)
+        impact = analyzer.co_failure("A1")
+        assert impact.disconnected_edge_cos == ()
+        assert impact.disconnected_fraction == 0.0
+
+    def test_single_star_hub_is_fatal(self, single_star):
+        analyzer = ResilienceAnalyzer(single_star)
+        impact = analyzer.co_failure("HUB")
+        assert impact.disconnected_fraction == 1.0
+        assert len(impact.disconnected_edge_cos) == 6
+
+    def test_edge_failure_is_local(self, dual_star):
+        analyzer = ResilienceAnalyzer(dual_star)
+        impact = analyzer.co_failure("E0")
+        assert impact.disconnected_edge_cos == ()
+
+    def test_unknown_co_rejected(self, dual_star):
+        with pytest.raises(ReproError):
+            ResilienceAnalyzer(dual_star).co_failure("NOPE")
+
+
+class TestSweep:
+    def test_spof_detection(self, single_star):
+        sweep = ResilienceAnalyzer(single_star).sweep()
+        assert sweep.single_points_of_failure() == ["HUB"]
+        assert sweep.worst_case.failed_co == "HUB"
+
+    def test_dual_star_has_no_spof(self, dual_star):
+        sweep = ResilienceAnalyzer(dual_star).sweep()
+        assert sweep.single_points_of_failure() == []
+        assert sweep.mean_impact == 0.0
+
+    def test_multi_level_spof(self):
+        """A single top AggCO above a redundant lower layer is still a
+        single point of failure (the Nashville shape, §6.3)."""
+        edges = [("TOP", "S1"), ("TOP", "S2")]
+        edges += [("S1", f"E{i}") for i in range(4)]
+        edges += [("S2", f"E{i}") for i in range(4)]
+        region = _region(edges)
+        analyzer = ResilienceAnalyzer(region, entry_cos={"TOP"})
+        sweep = analyzer.sweep()
+        assert "TOP" in sweep.single_points_of_failure()
+        assert ResilienceAnalyzer(region, entry_cos={"TOP"}).co_failure(
+            "S1"
+        ).disconnected_fraction == 0.0
+
+    def test_include_edges_sweeps_everything(self, dual_star):
+        sweep = ResilienceAnalyzer(dual_star).sweep(include_edges=True)
+        assert len(sweep.impacts) == dual_star.graph.number_of_nodes()
+
+
+class TestCompare:
+    def test_ranking(self, dual_star, single_star):
+        worst = compare_regions({"dual": dual_star, "single": single_star})
+        assert worst["single"] == 1.0
+        assert worst["dual"] == 0.0
+
+    def test_empty_region_rejected(self):
+        import networkx as nx
+
+        from repro.infer.refine import RefinedRegion, RefineStats
+
+        empty = RefinedRegion("x", nx.DiGraph(), set(), set(), [], RefineStats())
+        with pytest.raises(ReproError):
+            ResilienceAnalyzer(empty)
+
+
+class TestOnGroundTruthTopology:
+    def test_charter_southeast_is_fragile(self, internet):
+        """The no-redundancy Charter region shows worse single-failure
+        impact than its redundant siblings (built from ground truth)."""
+        worst = {}
+        for name in ("southeast", "socal"):
+            truth = internet.charter.regions[name]
+            counter = Counter()
+            for up, down in truth.edge_pairs():
+                counter[(up, down)] += 3
+            refined = RegionRefiner().refine(name, counter)
+            entries = {local for _outside, local in truth.entries}
+            sweep = ResilienceAnalyzer(refined, entry_cos=entries).sweep()
+            worst[name] = sweep.worst_case.disconnected_fraction
+        assert worst["southeast"] > worst["socal"]
+        assert worst["southeast"] > 0.15

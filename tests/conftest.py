@@ -1,0 +1,90 @@
+"""Shared fixtures.
+
+Unit tests use the small hand-built ``toy_network``; integration tests
+share session-scoped campaign results so the expensive sweeps run once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.router import ReplyPolicy, Router
+
+
+@pytest.fixture()
+def toy_network():
+    """A 6-router diamond with a routed customer prefix.
+
+    ::
+
+        src --- a --- b1 --- dst  (b1/b2 equal-cost: metric 1 each)
+                  \\-- b2 --/
+        dst owns 198.18.5.0/24 via a prefix route.
+    """
+    net = Network()
+    routers = {}
+    for uid in ("src", "a", "b1", "b2", "dst"):
+        routers[uid] = net.add_router(Router(uid))
+    net.connect(routers["src"], routers["a"], "10.0.0.1", "10.0.0.2",
+                prefixlen=30, length_km=10)
+    net.connect(routers["a"], routers["b1"], "10.0.0.5", "10.0.0.6",
+                prefixlen=30, length_km=10, metric=1.0)
+    net.connect(routers["a"], routers["b2"], "10.0.0.9", "10.0.0.10",
+                prefixlen=30, length_km=10, metric=1.0)
+    net.connect(routers["b1"], routers["dst"], "10.0.0.13", "10.0.0.14",
+                prefixlen=30, length_km=10, metric=1.0)
+    net.connect(routers["b2"], routers["dst"], "10.0.0.17", "10.0.0.18",
+                prefixlen=30, length_km=10, metric=1.0)
+    net.add_prefix_route("198.18.5.0/24", routers["dst"])
+    return net, routers
+
+
+@pytest.fixture(scope="session")
+def internet():
+    """A full simulated internet, built once per test session."""
+    from repro.topology.internet import SimulatedInternet
+
+    return SimulatedInternet(seed=3)
+
+
+@pytest.fixture(scope="session")
+def standard_vps(internet):
+    return list(internet.build_standard_vps())
+
+
+@pytest.fixture(scope="session")
+def comcast_result(internet, standard_vps):
+    """One full Comcast-like pipeline run shared by integration tests."""
+    from repro.infer.pipeline import CableInferencePipeline
+
+    pipeline = CableInferencePipeline(
+        internet.network, internet.comcast, standard_vps, sweep_vps=6
+    )
+    return pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def att_topology(internet):
+    """One full AT&T San Diego pipeline run."""
+    from repro.infer.att import AttInferencePipeline
+    from repro.measure.wardriving import McTracerouteCampaign
+
+    internal = list(internet.telco_internal_vps())
+    campaign = McTracerouteCampaign(internet.network, internet.att, seed=3)
+    campaign.place_hotspots(internet.att.regions["sndgca"], count=58)
+    pipeline = AttInferencePipeline(internet.network, internal)
+    return pipeline.run_region(
+        "sndgca", extra_vps=campaign.usable_vps(), dpr_stride=2
+    )
+
+
+@pytest.fixture(scope="session")
+def ship_results(internet):
+    """One full ShipTraceroute campaign over all three carriers."""
+    from repro.measure.shiptraceroute import ShipTracerouteCampaign
+
+    campaign = ShipTracerouteCampaign(
+        internet.mobile_carriers, internet.geography, seed=3
+    )
+    return campaign, campaign.run()

@@ -1,0 +1,80 @@
+"""Additional energy-model paths: wake exclusion, scaling, state table."""
+
+import random
+
+import pytest
+
+from repro.energy.model import (
+    EnergyTrace,
+    PhoneEnergyModel,
+    RadioState,
+    STATE_CURRENT_MA,
+)
+
+
+class TestWakeExclusion:
+    def test_include_wake_false_is_cheaper(self):
+        model = PhoneEnergyModel()
+        with_wake = model.traceroute_round(
+            50, rng=random.Random(1), include_wake=True
+        )
+        without = model.traceroute_round(
+            50, rng=random.Random(1), include_wake=False
+        )
+        assert without.total_mah < with_wake.total_mah
+        assert with_wake.total_mah - without.total_mah >= 1.4  # >= min wake
+
+    def test_wake_duration_accounted(self):
+        model = PhoneEnergyModel()
+        with_wake = model.traceroute_round(
+            10, rng=random.Random(1), include_wake=True
+        )
+        without = model.traceroute_round(
+            10, rng=random.Random(1), include_wake=False
+        )
+        assert with_wake.duration_s > without.duration_s
+
+
+class TestScaling:
+    def test_energy_roughly_linear_in_targets(self):
+        model = PhoneEnergyModel()
+        small = model.traceroute_round(
+            100, rng=random.Random(2), include_wake=False
+        ).total_mah
+        large = model.traceroute_round(
+            400, rng=random.Random(2), include_wake=False
+        ).total_mah
+        assert 3.0 < large / small < 5.0
+
+    def test_larger_batches_save_more(self):
+        slow = PhoneEnergyModel(parallel_batch=2)
+        fast = PhoneEnergyModel(parallel_batch=16)
+        assert fast.round_energy_mah(parallel=True) < slow.round_energy_mah(
+            parallel=True
+        )
+
+    def test_fully_responsive_network_shrinks_the_gap(self):
+        """The saving comes from unresponsive-hop timeouts, so with no
+        loss the two modes converge (the Fig 14 mechanism)."""
+        lossless = PhoneEnergyModel(unresponsive_rate=0.0)
+        lossy = PhoneEnergyModel(unresponsive_rate=0.2)
+
+        def saving(model):
+            old = model.round_energy_mah(parallel=False)
+            new = model.round_energy_mah(parallel=True)
+            return 1 - new / old
+
+        assert saving(lossy) > saving(lossless)
+
+
+class TestStateTable:
+    def test_all_states_have_currents(self):
+        assert set(STATE_CURRENT_MA) == set(RadioState)
+
+    def test_tx_is_the_hungriest(self):
+        assert STATE_CURRENT_MA[RadioState.TX] == max(STATE_CURRENT_MA.values())
+
+    def test_airplane_sleep_is_the_thriftiest(self):
+        assert STATE_CURRENT_MA[RadioState.SLEEP_AIRPLANE] == min(
+            STATE_CURRENT_MA.values()
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the AT&T pipeline's trace segmentation and prefix
+discovery on synthetic traces (no simulated internet)."""
+
+import pytest
+
+from repro.errors import InferenceError, MeasurementError
+from repro.infer.att import AttInferencePipeline
+from repro.measure.traceroute import Hop, TraceResult
+from repro.measure.vantage import VantagePoint
+from repro.net.dns import RdnsStore
+from repro.net.network import Network
+from repro.net.router import Router
+
+
+def _lspgw_name(addr, region):
+    return f"{addr.replace('.', '-')}.lightspeed.{region}.sbcglobal.net"
+
+
+@pytest.fixture()
+def pipeline():
+    net = Network()
+    host = net.add_router(Router("vp-host"))
+    host.add_interface("107.200.0.130", 30)
+    net._addr_owner["107.200.0.130"] = host.interfaces[0]
+    vp = VantagePoint("vp", "ark", host, "107.200.0.130")
+    return AttInferencePipeline(net, [vp]), net
+
+
+def _trace(rows, completed=True):
+    hops = [Hop(i + 1, addr, name) for i, (addr, name) in enumerate(rows)]
+    return TraceResult("107.200.0.130", rows[-1][0], hops, completed=completed)
+
+
+class TestHarvest:
+    def test_needs_vps(self):
+        with pytest.raises(MeasurementError):
+            AttInferencePipeline(Network(), [])
+
+    def test_harvest_groups_by_region(self, pipeline):
+        pipe, net = pipeline
+        net.rdns.set("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca"))
+        net.rdns.set("107.201.0.1", _lspgw_name("107.201.0.1", "nsvltn"))
+        net.rdns.set("4.4.4.4", "cr1.sd2ca.ip.att.net")  # not a lspgw
+        harvested = pipe.harvest_lspgw_targets()
+        assert harvested == {
+            "sndgca": ["107.200.0.1"],
+            "nsvltn": ["107.201.0.1"],
+        }
+
+    def test_unknown_region_raises(self, pipeline):
+        pipe, _net = pipeline
+        with pytest.raises(InferenceError):
+            pipe.run_region("nowhere")
+
+
+class TestSegmentation:
+    def test_intra_region_trace(self, pipeline):
+        pipe, _net = pipeline
+        trace = _trace([
+            ("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca")),
+            ("71.128.0.10", None),
+            ("107.200.1.1", _lspgw_name("107.200.1.1", "sndgca")),
+        ])
+        segments = pipe._segment_regions(trace)
+        assert segments[1] == ("71.128.0.10", "sndgca")
+
+    def test_inter_region_trace_split_at_backbone(self, pipeline):
+        pipe, _net = pipeline
+        trace = _trace([
+            ("107.201.0.1", _lspgw_name("107.201.0.1", "nsvltn")),
+            ("71.129.0.10", None),                      # VP-side router
+            ("12.0.0.1", "cr1.nv2tn.ip.att.net"),       # backbone
+            ("12.0.1.1", "cr1.sd2ca.ip.att.net"),       # backbone
+            ("71.128.0.10", None),                      # target-side router
+            ("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca")),
+        ])
+        segments = dict(pipe._segment_regions(trace))
+        assert segments["71.129.0.10"] == "nsvltn"
+        assert segments["71.128.0.10"] == "sndgca"
+        assert segments["12.0.0.1"] == ""
+
+    def test_prefix_discovery_filters_by_region(self, pipeline):
+        pipe, _net = pipeline
+        lspgws = ["107.200.0.1", "107.200.1.1"]
+        traces = [
+            _trace([
+                ("107.201.0.1", _lspgw_name("107.201.0.1", "nsvltn")),
+                ("71.129.0.10", None),
+                ("12.0.1.1", "cr1.sd2ca.ip.att.net"),
+                ("71.128.0.10", None),
+                ("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca")),
+            ])
+        ] * 2
+        prefixes = pipe.discover_router_prefixes(traces, lspgws, "sndgca")
+        assert prefixes == {"71.128.0.0/24"}
+
+    def test_lspgw_slash24s_excluded(self, pipeline):
+        pipe, _net = pipeline
+        lspgws = ["107.200.0.1"]
+        traces = [_trace([
+            ("107.200.0.9", None),   # unnamed hop inside a lspgw /24
+            ("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca")),
+        ])]
+        prefixes = pipe.discover_router_prefixes(traces, lspgws, "sndgca")
+        assert prefixes == set()
+
+    def test_extend_prefixes_from_dpr(self, pipeline):
+        pipe, _net = pipeline
+        dpr = [_trace([
+            ("107.200.0.1", _lspgw_name("107.200.0.1", "sndgca")),
+            ("71.128.0.10", None),
+            ("75.16.0.3", None),      # the revealed agg hop
+            ("71.128.0.44", None),
+        ], completed=True)]
+        extended = pipe.extend_prefixes_from_dpr(
+            dpr, {"71.128.0.0/24"}, ["107.200.0.1"]
+        )
+        assert "75.16.0.0/24" in extended
+        assert "71.128.0.0/24" in extended

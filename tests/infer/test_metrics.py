@@ -1,0 +1,110 @@
+"""Unit tests for ground-truth scoring."""
+
+from collections import Counter
+
+import pytest
+
+from repro.infer.metrics import (
+    edge_to_agg_ratio,
+    score_region,
+    single_upstream_fraction,
+)
+from repro.infer.refine import RegionRefiner
+from repro.topology.co import CentralOffice, CoKind, Region
+from repro.topology.geography import City
+
+
+def _truth_region():
+    region = Region("r", "isp")
+    city = City("Testville", "CA", 33.0, -117.0)
+    agg = region.add_co(CentralOffice("AGG", CoKind.AGG, city, "AGG"))
+    edges = [
+        region.add_co(CentralOffice(f"E{i}", CoKind.EDGE, city, f"E{i}"))
+        for i in range(3)
+    ]
+    for edge in edges:
+        region.add_edge(agg, edge)
+    return region
+
+
+def _refined(pairs):
+    counter = Counter()
+    for a, b in pairs:
+        counter[(a, b)] += 3
+    return RegionRefiner().refine("r", counter)
+
+
+TAGS = {"AGG": "agg.ca", "E0": "e0.ca", "E1": "e1.ca", "E2": "e2.ca"}
+
+
+class TestScoreRegion:
+    def test_perfect_recovery(self):
+        truth = _truth_region()
+        inferred = _refined([
+            ("agg.ca", "e0.ca"), ("agg.ca", "e1.ca"), ("agg.ca", "e2.ca"),
+        ])
+        score = score_region(inferred, truth, TAGS)
+        assert score.edge_precision == 1.0
+        assert score.edge_recall == 1.0
+        assert score.edge_f1 == 1.0
+        assert score.co_recall == 1.0
+
+    def test_missing_edge_lowers_recall(self):
+        truth = _truth_region()
+        inferred = _refined([("agg.ca", "e0.ca"), ("agg.ca", "e1.ca")])
+        score = score_region(inferred, truth, TAGS)
+        assert score.edge_recall == pytest.approx(2 / 3)
+        assert score.edge_precision == 1.0
+
+    def test_false_edge_lowers_precision(self):
+        truth = _truth_region()
+        inferred = _refined([
+            ("agg.ca", "e0.ca"), ("agg.ca", "e1.ca"), ("agg.ca", "e2.ca"),
+            ("agg.ca", "ghost.ca"),
+        ])
+        score = score_region(inferred, truth, TAGS)
+        assert score.edge_precision == pytest.approx(3 / 4)
+
+    def test_empty_inference(self):
+        import networkx as nx
+
+        from repro.infer.refine import RefinedRegion, RefineStats
+
+        truth = _truth_region()
+        empty = RefinedRegion("r", nx.DiGraph(), set(), set(), [], RefineStats())
+        score = score_region(empty, truth, TAGS)
+        assert score.edge_recall == 0.0
+        assert score.edge_precision == 1.0  # vacuous
+        assert score.edge_f1 == 0.0
+
+
+class TestAggregateMetrics:
+    def test_single_upstream(self):
+        refiner = RegionRefiner(complete_rings=False)
+        counter = Counter()
+        for edge in ("E0", "E1", "E2"):
+            counter[("A1", edge)] = 3
+            counter[("A2", edge)] = 3
+        counter[("A1", "E3")] = 3  # single-homed EdgeCO
+        region = refiner.refine("r", counter)
+        # E0-E2 dual-homed, E3 single: 25 %.
+        assert single_upstream_fraction([region]) == pytest.approx(0.25)
+
+    def test_single_upstream_exclude(self):
+        region = _refined([("A1", "E0")])
+        assert single_upstream_fraction([region], exclude={"r"}) == 0.0
+
+    def test_edge_to_agg_ratio_definition(self):
+        """Any CO with an outgoing edge counts as an AggCO (§5.3)."""
+        region = _refined([
+            ("A1", "E0"), ("A1", "E1"), ("A1", "E2"), ("A1", "E3"),
+        ])
+        assert edge_to_agg_ratio([region]) == pytest.approx(4.0)
+
+    def test_ratio_empty(self):
+        import networkx as nx
+
+        from repro.infer.refine import RefinedRegion, RefineStats
+
+        empty = RefinedRegion("r", nx.DiGraph(), set(), set(), [], RefineStats())
+        assert edge_to_agg_ratio([empty]) == 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for the IPv6 bit-field analyzer on a synthetic corpus."""
+
+import ipaddress
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.infer.mobile_ipv6 import BitFieldReport, MobileIPv6Analyzer, _nibble
+from repro.measure.cellular import CellDatabase
+from repro.measure.shiptraceroute import ShipCampaignResult, ShipRound
+from repro.measure.traceroute import Hop, TraceResult
+from repro.topology.mobile import MobileAttachment, MobileRegionSpec
+
+
+def _round(hour, lat, lon, user_prefix, hops, celldb):
+    cell = celldb.serving_cell(lat, lon)
+    region = MobileRegionSpec("R", ("San Diego", "CA"), 2, 0)
+    attachment = MobileAttachment(
+        carrier_name="toy", region=region, pgw_index=0,
+        user_prefix=ipaddress.IPv6Network(user_prefix),
+        cell_lat=cell.lat, cell_lon=cell.lon,
+    )
+    trace = TraceResult("src", "203.0.113.1", hops + [
+        Hop(len(hops) + 1, "203.0.113.1", None, 50.0, 52)
+    ], completed=True)
+    return ShipRound(hour, lat, lon, "CA", True, cellid=cell.cellid,
+                     attachment=attachment, trace=trace,
+                     min_rtt_to_server_ms=50.0)
+
+
+def _corpus():
+    """Two locations; region byte at bits 32-39; pgw nibble at 40-43;
+    subscriber bits 44-63 random-ish; one IPv6 router hop."""
+    celldb = CellDatabase()
+    rounds = []
+    subscriber = 0x11111
+    for hour in range(8):
+        location = (32.7, -117.1) if hour < 4 else (40.7, -74.0)
+        region_byte = 0xAA if hour < 4 else 0xBB
+        pgw = hour % 2
+        subscriber = (subscriber * 29 + hour * 7919) % (1 << 20)
+        prefix_int = (
+            (0x26000380 << 96)
+            | (region_byte << (128 - 40))
+            | (pgw << (128 - 44))
+            | (subscriber << 64)
+        )
+        prefix = ipaddress.IPv6Network((prefix_int, 64))
+        hop_addr = ipaddress.IPv6Address(
+            (0x26000300 << 96) | (region_byte << (128 - 48)) | (pgw << (128 - 52)) | 1
+        )
+        hops = [Hop(1, str(prefix.network_address + 5), None, 20.0, 64),
+                Hop(2, str(hop_addr), None, 25.0, 254)]
+        rounds.append(_round(hour, *location, prefix, hops, celldb))
+    result = ShipCampaignResult("toy")
+    result.rounds = rounds
+    return celldb, result
+
+
+class TestNibbles:
+    def test_nibble_extraction(self):
+        assert _nibble(0xABCDEF0000000000, 0) == 0xA
+        assert _nibble(0xABCDEF0000000000, 5) == 0xF
+
+
+class TestClassification:
+    def test_user_fields(self):
+        celldb, result = _corpus()
+        report = MobileIPv6Analyzer(celldb).analyze_user_addresses(result)
+        assert report.prefix_bits == 32
+        assert (32, 40) in report.geo_fields
+        assert any(start <= 40 < end for start, end in report.cycling_fields)
+
+    def test_hop_fields(self):
+        celldb, result = _corpus()
+        report = MobileIPv6Analyzer(celldb).analyze_hop(result, 1)
+        assert report is not None
+        assert (40, 48) in report.geo_fields  # region byte at bits 40-47
+
+    def test_missing_hop_returns_none(self):
+        celldb, result = _corpus()
+        assert MobileIPv6Analyzer(celldb).analyze_hop(result, 9) is None
+
+    def test_region_count(self):
+        celldb, result = _corpus()
+        assert MobileIPv6Analyzer(celldb).count_regions(result) == 2
+
+    def test_pgw_counts(self):
+        celldb, result = _corpus()
+        counts = MobileIPv6Analyzer(celldb).pgw_counts(result)
+        assert set(counts.values()) == {2}
+
+    def test_describe_renders(self):
+        celldb, result = _corpus()
+        report = MobileIPv6Analyzer(celldb).analyze_user_addresses(result)
+        text = "\n".join(report.describe())
+        assert "carrier prefix" in text and "geography" in text
+
+    def test_empty_corpus_raises(self):
+        result = ShipCampaignResult("toy")
+        with pytest.raises(InferenceError):
+            MobileIPv6Analyzer().analyze_user_addresses(result)
+
+
+class TestTopologyClassification:
+    def test_multi_provider_detection(self):
+        celldb, result = _corpus()
+        for round_ in result.rounds[:2]:
+            hops = list(round_.trace.hops)
+            hops.insert(-1, Hop(9, "fd00::1", "xe-1.cr1.zayo.net", 30.0, 250))
+            round_.trace.hops = hops
+        for round_ in result.rounds[2:4]:
+            hops = list(round_.trace.hops)
+            hops.insert(-1, Hop(9, "fd00::2", "xe-1.cr1.lumen.net", 30.0, 250))
+            round_.trace.hops = hops
+        analyzer = MobileIPv6Analyzer(celldb)
+        assert analyzer.classify_topology(result) == "distributed-multi-backbone"
+
+    def test_single_geo_field_is_single_edgeco(self):
+        celldb, result = _corpus()
+        analyzer = MobileIPv6Analyzer(celldb)
+        assert analyzer.classify_topology(result) == "single-edgeco-per-region"

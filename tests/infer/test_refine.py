@@ -1,0 +1,134 @@
+"""Unit tests for graph refinement on hand-built region graphs."""
+
+from collections import Counter
+
+import pytest
+
+from repro.infer.aggtype import classify_aggregation, count_types
+from repro.infer.refine import RegionRefiner
+
+
+def _adjacencies(edges):
+    counter = Counter()
+    for a, b in edges:
+        counter[(a, b)] += 3
+    return counter
+
+
+@pytest.fixture()
+def refiner():
+    return RegionRefiner()
+
+
+class TestAggIdentification:
+    def test_dual_star(self, refiner):
+        edges = [("A1", f"E{i}") for i in range(8)]
+        edges += [("A2", f"E{i}") for i in range(8)]
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert refined.agg_cos == {"A1", "A2"}
+        assert refined.edge_cos == {f"E{i}" for i in range(8)}
+
+    def test_single_hub_fallback(self, refiner):
+        edges = [("HUB", "E1"), ("HUB", "E2"), ("HUB", "E3")]
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert refined.agg_cos == {"HUB"}
+
+
+class TestFalseEdgeRemoval:
+    def test_stale_edge_between_edges_removed(self, refiner):
+        """The 9 -> 12 style edge of Fig 6a disappears."""
+        edges = [("A1", f"E{i}") for i in range(6)]
+        edges.append(("E2", "E3"))  # stale rDNS artifact
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert not refined.graph.has_edge("E2", "E3")
+        assert refined.stats.removed_edge_edges == 1
+
+    def test_small_aggco_exception_kept(self, refiner):
+        """A CO feeding several otherwise-unconnected COs is a small
+        AggCO in disguise and keeps its edges (App. B.3)."""
+        edges = [("A1", f"E{i}") for i in range(6)]
+        edges += [("E0", "X1"), ("E0", "X2")]  # X1/X2 only via E0
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert refined.graph.has_edge("E0", "X1")
+        assert refined.graph.has_edge("E0", "X2")
+
+
+class TestRingCompletion:
+    def test_missing_edge_added(self, refiner):
+        """Fig 6's missing AggCO1 -> node16 edge is restored."""
+        shared = [f"E{i}" for i in range(8)]
+        edges = [("A1", e) for e in shared]
+        edges += [("A2", e) for e in shared[:-1]]  # A2 misses E7
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert refined.graph.has_edge("A2", "E7")
+        assert refined.stats.added_ring_edges == 1
+        assert refined.graph["A2"]["E7"].get("inferred")
+
+    def test_unrelated_aggs_not_completed(self, refiner):
+        """Two AggCOs with disjoint EdgeCO sets are different rings."""
+        edges = [("A1", f"L{i}") for i in range(6)]
+        edges += [("A2", f"R{i}") for i in range(6)]
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert refined.stats.added_ring_edges == 0
+        assert len(refined.agg_groups) == 2
+
+    def test_overlap_threshold_respected(self, refiner):
+        """Below-3/4 overlap must not trigger pairing (App. B.3)."""
+        edges = [("A1", f"E{i}") for i in range(8)]
+        edges += [("A2", f"E{i}") for i in range(4)]      # 50 % of A1's set
+        edges += [("A2", f"X{i}") for i in range(4)]
+        refined = refiner.refine("r", _adjacencies(edges))
+        assert not refined.graph.has_edge("A1", "X0")
+
+
+class TestStats:
+    def test_fraction_properties(self, refiner):
+        edges = [("A1", f"E{i}") for i in range(4)] + [("E0", "E1")]
+        refined = refiner.refine("r", _adjacencies(edges))
+        stats = refined.stats
+        assert stats.initial_edges == 5
+        assert 0 <= stats.removed_fraction <= 1
+        assert stats.final_edges == stats.initial_edges - stats.removed_edge_edges + stats.added_ring_edges
+
+    def test_empty_stats_safe(self):
+        from repro.infer.refine import RefineStats
+
+        stats = RefineStats()
+        assert stats.removed_fraction == 0.0
+        assert stats.added_fraction == 0.0
+
+
+class TestAggTypeClassification:
+    def _refined(self, refiner, edges):
+        return refiner.refine("r", _adjacencies(edges))
+
+    def test_single(self, refiner):
+        refined = self._refined(refiner, [("A", f"E{i}") for i in range(5)])
+        assert classify_aggregation(refined) == "single"
+
+    def test_two(self, refiner):
+        edges = [("A1", f"E{i}") for i in range(5)]
+        edges += [("A2", f"E{i}") for i in range(5)]
+        assert classify_aggregation(self._refined(refiner, edges)) == "two"
+
+    def test_multi_via_agg_feeding_agg(self, refiner):
+        edges = [("TOP1", "SUB1"), ("TOP1", "SUB2"), ("TOP1", "E9"), ("TOP1", "E8")]
+        edges += [("SUB1", f"E{i}") for i in range(4)]
+        edges += [("SUB2", f"E{i}") for i in range(4)]
+        assert classify_aggregation(self._refined(refiner, edges)) == "multi"
+
+    def test_multi_via_many_ring_groups(self, refiner):
+        edges = [("A1", f"L{i}") for i in range(5)]
+        edges += [("A2", f"L{i}") for i in range(5)]
+        edges += [("A3", f"R{i}") for i in range(5)]
+        edges += [("A4", f"R{i}") for i in range(5)]
+        assert classify_aggregation(self._refined(refiner, edges)) == "multi"
+
+    def test_count_types(self, refiner):
+        regions = [
+            self._refined(refiner, [("A", "E1"), ("A", "E2"), ("A", "E3")]),
+            self._refined(refiner, [("A1", "E1"), ("A1", "E2"), ("A1", "E3"),
+                                    ("A2", "E1"), ("A2", "E2"), ("A2", "E3")]),
+        ]
+        counts = count_types(regions)
+        assert counts["single"] == 1 and counts["two"] == 1

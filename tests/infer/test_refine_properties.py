@@ -1,0 +1,84 @@
+"""Property-based tests of the refinement invariants (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.infer.refine import RegionRefiner
+
+
+@st.composite
+def region_adjacencies(draw):
+    """Random dual-star-ish regions with noise edges."""
+    n_aggs = draw(st.integers(min_value=1, max_value=3))
+    n_edges = draw(st.integers(min_value=3, max_value=12))
+    counter = Counter()
+    aggs = [f"A{i}" for i in range(n_aggs)]
+    edges = [f"E{i}" for i in range(n_edges)]
+    for edge in edges:
+        homes = draw(st.integers(min_value=1, max_value=n_aggs))
+        for agg in aggs[:homes]:
+            counter[(agg, edge)] = draw(st.integers(min_value=2, max_value=9))
+    # Optional noise edges between EdgeCOs.
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        a = draw(st.sampled_from(edges))
+        b = draw(st.sampled_from(edges))
+        if a != b:
+            counter[(a, b)] = draw(st.integers(min_value=2, max_value=5))
+    return counter
+
+
+@settings(max_examples=60, deadline=None)
+@given(region_adjacencies())
+def test_refinement_invariants(adjacencies):
+    refined = RegionRefiner().refine("prop", Counter(adjacencies))
+    graph = refined.graph
+    # 1. Roles partition the nodes.
+    assert refined.agg_cos | refined.edge_cos == set(graph.nodes)
+    assert not (refined.agg_cos & refined.edge_cos)
+    # 2. Every ring group is a subset of the AggCO set.
+    for group in refined.agg_groups:
+        assert group <= refined.agg_cos
+    # 3. Ring completion: within a multi-member group, all members have
+    #    identical non-agg successor sets.
+    for group in refined.agg_groups:
+        if len(group) < 2:
+            continue
+        successor_sets = [
+            {d for d in graph.successors(agg) if d not in refined.agg_cos}
+            for agg in sorted(group)
+        ]
+        assert all(s == successor_sets[0] for s in successor_sets)
+    # 4. Stats arithmetic holds.
+    stats = refined.stats
+    assert stats.final_edges == (
+        stats.initial_edges - stats.removed_edge_edges + stats.added_ring_edges
+    )
+    # 5. Surviving EdgeCO->EdgeCO edges only via the small-AggCO rule:
+    #    their source must feed >= 2 otherwise-unreachable COs.
+    agg_connected = {
+        node for node in graph.nodes
+        if any(p in refined.agg_cos for p in graph.predecessors(node))
+    }
+    for a, b in graph.edges:
+        if a in refined.agg_cos:
+            continue
+        orphans = [
+            d for d in graph.successors(a)
+            if d not in refined.agg_cos and d not in agg_connected
+        ]
+        assert len(orphans) >= 2, (a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(region_adjacencies())
+def test_refinement_idempotent_on_its_own_output(adjacencies):
+    """Refining a refined graph must not change its structure."""
+    refiner = RegionRefiner()
+    first = refiner.refine("prop", Counter(adjacencies))
+    second_input = Counter()
+    for a, b, data in first.graph.edges(data=True):
+        second_input[(a, b)] = max(2, int(data.get("weight") or 2))
+    second = refiner.refine("prop", second_input)
+    assert set(second.graph.edges) == set(first.graph.edges)
+    assert second.agg_cos == first.agg_cos

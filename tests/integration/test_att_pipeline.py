@@ -1,0 +1,67 @@
+"""Integration: the full §6 pipeline against AT&T's San Diego region."""
+
+import ipaddress
+
+import pytest
+
+
+class TestFig13RouterLevel:
+    def test_two_backbone_routers(self, att_topology):
+        assert len(att_topology.backbone_routers) == 2
+
+    def test_four_agg_routers(self, att_topology):
+        assert len(att_topology.agg_routers) == 4
+
+    def test_edge_router_count(self, att_topology):
+        assert len(att_topology.edge_routers) == 84
+
+
+class TestFig13CoLevel:
+    def test_single_backbone_co_via_full_mesh(self, att_topology):
+        assert att_topology.backbone_fully_meshed
+        assert att_topology.backbone_co_count == 1
+
+    def test_forty_two_edge_cos(self, att_topology):
+        assert len(att_topology.edge_cos) == 42
+
+    def test_two_routers_per_edge_co(self, att_topology):
+        assert att_topology.routers_per_edge_co == pytest.approx(2.0)
+
+
+class TestTable6Prefixes:
+    def test_six_edge_prefixes(self, att_topology):
+        assert len(att_topology.edge_prefixes) == 6
+
+    def test_one_agg_prefix_in_separate_block(self, att_topology):
+        assert len(att_topology.agg_prefixes) == 1
+        agg_prefix = ipaddress.ip_network(next(iter(att_topology.agg_prefixes)))
+        edge_pool = ipaddress.ip_network("71.128.0.0/10")
+        assert not agg_prefix.subnet_of(edge_pool)
+
+    def test_prefixes_match_ground_truth(self, internet, att_topology):
+        truth = internet.att.router_prefixes["sndgca"]
+        assert att_topology.edge_prefixes == {str(p) for p in truth["edge"]}
+        assert att_topology.agg_prefixes == {str(p) for p in truth["agg"]}
+
+
+class TestRouterGrouping:
+    def test_alias_groups_match_real_routers(self, internet, att_topology):
+        net = internet.network
+        for group in att_topology.edge_routers:
+            owners = {
+                net.owner_router(addr).uid
+                for addr in group
+                if net.owner_router(addr) is not None
+            }
+            assert len(owners) == 1
+
+    def test_edge_cos_group_real_co_mates(self, internet, att_topology):
+        """Routers grouped into one EdgeCO share a ground-truth CO."""
+        net = internet.network
+        for co_group in att_topology.edge_cos:
+            true_cos = set()
+            for rep in co_group:
+                router = net.owner_router(rep)
+                if router is not None and router.co is not None:
+                    true_cos.add(router.co.uid)
+            assert len(true_cos) == 1, co_group

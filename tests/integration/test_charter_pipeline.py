@@ -1,0 +1,92 @@
+"""Integration: the §5 pipeline against the Charter-like ISP.
+
+Charter exercises the pipeline pieces Comcast does not: /31
+point-to-point subnets, CLLI-style rDNS tags, MPLS tunnels in one
+region, and a no-redundancy region (App. B.4).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.infer.entries import EntryInferrer
+from repro.infer.metrics import single_upstream_fraction
+
+
+@pytest.fixture(scope="module")
+def charter_result(internet, standard_vps):
+    from repro.infer.pipeline import CableInferencePipeline
+
+    pipeline = CableInferencePipeline(
+        internet.network, internet.charter, standard_vps, sweep_vps=6
+    )
+    return pipeline.run()
+
+
+class TestCharterShape:
+    def test_six_regions_all_multi(self, charter_result):
+        types = charter_result.aggregation_types()
+        assert len(types) == 6
+        assert Counter(types.values()) == Counter({"multi": 6})
+
+    def test_regions_are_vast(self, charter_result):
+        sizes = sorted(
+            r.graph.number_of_nodes()
+            for r in charter_result.regions.values()
+        )
+        assert sizes[-1] > 90  # the midwest-style giant
+
+    def test_every_region_two_backbone_cos(self, charter_result):
+        per_region = EntryInferrer.backbone_cos_per_region(
+            charter_result.entries
+        )
+        assert all(n >= 2 for n in per_region.values())
+
+    def test_no_inter_region_entries(self, charter_result):
+        """The paper observed no direct inter-region connections in
+        Charter (§5.2.5)."""
+        inter = [e for e in charter_result.entries if not e.is_backbone]
+        assert inter == []
+
+
+class TestCharterMpls:
+    def test_midwest_mpls_pruning_fired(self, charter_result):
+        assert charter_result.adjacencies.stats.mpls_ip > 0
+
+    def test_midwest_top_aggs_not_connected_to_all_edges(
+        self, internet, charter_result
+    ):
+        """Before pruning, MPLS made top AggCOs look adjacent to nearly
+        every EdgeCO; after pruning the midwest graph keeps its layers."""
+        midwest = charter_result.regions["midwest"]
+        edge_count = len(midwest.edge_cos)
+        top_out_degrees = sorted(
+            (midwest.graph.out_degree(agg) for agg in midwest.agg_cos),
+            reverse=True,
+        )
+        # No AggCO connects to even half of the region's EdgeCOs.
+        assert top_out_degrees[0] < 0.5 * edge_count
+
+
+class TestCharterRedundancy:
+    def test_single_upstream_exceeds_comcast_band(self, charter_result):
+        fraction = single_upstream_fraction(
+            list(charter_result.regions.values())
+        )
+        assert 0.15 < fraction < 0.5
+
+    def test_southeast_least_redundant(self, charter_result):
+        per_region = {
+            name: single_upstream_fraction([region])
+            for name, region in charter_result.regions.items()
+        }
+        assert per_region["southeast"] == max(per_region.values())
+
+    def test_rdns_tags_are_clli_style(self, charter_result):
+        from repro.rdns.clli import parse_clli
+
+        some_region = charter_result.regions["socal"]
+        parsed = [
+            parse_clli(tag[:6]) for tag in list(some_region.graph.nodes)[:20]
+        ]
+        assert sum(1 for p in parsed if p is not None) > 10

@@ -1,0 +1,84 @@
+"""§7.2.2's controlled experiments validating the Verizon inference.
+
+The paper drove from San Diego north to Irvine tracerouting to the
+per-EdgeCO speedtest servers: when the nearest server switched from
+Vista, CA to Azusa, CA, the EdgeCO bits in the addresses switched at
+the same time.  A long stationary experiment showed the bits stable at
+one location over days.
+"""
+
+import pytest
+
+from repro.net.addresses import Ipv6FieldCodec
+from repro.topology.geography import great_circle_km
+
+#: Waypoints of the drive: San Diego -> Oceanside -> Irvine.
+DRIVE_POINTS = [
+    (32.72, -117.16),
+    (32.95, -117.22),
+    (33.20, -117.30),   # nearest Vista here
+    (33.45, -117.60),
+    (33.68, -117.83),   # Irvine: Azusa's turf
+]
+
+_FIELDS = Ipv6FieldCodec({"backbone": (16, 32), "edgeco": (32, 40)})
+
+
+class TestDriveExperiment:
+    def test_edgeco_bits_switch_with_nearest_speedtest(self, internet):
+        verizon = internet.mobile_carriers["verizon"]
+        observed = []
+        for lat, lon in DRIVE_POINTS:
+            attachment = verizon.attach(lat, lon)
+            fields = _FIELDS.decode(attachment.user_prefix.network_address)
+            # The nearest speedtest server (by rDNS) names the EdgeCO.
+            nearest = min(
+                verizon.regions,
+                key=lambda spec: great_circle_km(
+                    lat, lon,
+                    verizon._region_cities[spec.name].lat,
+                    verizon._region_cities[spec.name].lon,
+                ),
+            )
+            observed.append(
+                (verizon.speedtest_hostname(nearest), fields["edgeco"],
+                 attachment.region.name)
+            )
+        # Southern waypoints: Vista; northern: Azusa.
+        assert observed[0][0] == "vist.ost.myvzw.com"
+        assert observed[-1][0] == "azus.ost.myvzw.com"
+        # The EdgeCO bits switch exactly when the speedtest server does.
+        switches_server = [
+            a[0] != b[0] for a, b in zip(observed, observed[1:])
+        ]
+        switches_bits = [
+            a[1] != b[1] for a, b in zip(observed, observed[1:])
+        ]
+        assert switches_server == switches_bits
+        assert any(switches_bits)  # the drive does cross the boundary
+
+    def test_backbone_bits_stable_within_backbone_region(self, internet):
+        """Vista and Azusa share the LAX backbone region, so the /32
+        (backbone) bits stay constant across the switch."""
+        verizon = internet.mobile_carriers["verizon"]
+        backbones = set()
+        for lat, lon in DRIVE_POINTS:
+            attachment = verizon.attach(lat, lon)
+            fields = _FIELDS.decode(attachment.user_prefix.network_address)
+            backbones.add(fields["backbone"])
+        assert len(backbones) == 1
+
+    def test_stationary_bits_stable_across_reattaches(self, internet):
+        """The multi-day stationary experiment: EdgeCO and backbone bits
+        stay put while the PGW bits cycle."""
+        verizon = internet.mobile_carriers["verizon"]
+        codec = Ipv6FieldCodec(
+            {"backbone": (16, 32), "edgeco": (32, 40), "pgw": (40, 44)}
+        )
+        samples = [
+            codec.decode(verizon.attach(32.72, -117.16).user_prefix.network_address)
+            for _ in range(10)
+        ]
+        assert len({s["backbone"] for s in samples}) == 1
+        assert len({s["edgeco"] for s in samples}) == 1
+        assert len({s["pgw"] for s in samples}) > 1  # PGWs cycle

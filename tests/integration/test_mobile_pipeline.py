@@ -1,0 +1,117 @@
+"""Integration: ShipTraceroute corpus + the §7 IPv6 analysis."""
+
+import pytest
+
+from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+
+
+@pytest.fixture(scope="module")
+def analyses(ship_results):
+    campaign, results = ship_results
+    analyzer = MobileIPv6Analyzer(campaign.celldb)
+    return {name: analyzer.analyze(result) for name, result in results.items()}
+
+
+class TestCampaignShape:
+    def test_success_rates_near_paper(self, ship_results):
+        _campaign, results = ship_results
+        assert 0.70 <= results["att-mobile"].success_rate <= 0.92
+        assert 0.75 <= results["verizon"].success_rate <= 0.95
+        assert 0.60 <= results["tmobile"].success_rate <= 0.85
+        assert (
+            results["tmobile"].success_rate
+            < results["verizon"].success_rate
+        )
+
+    def test_broad_state_coverage(self, ship_results):
+        _campaign, results = ship_results
+        for result in results.values():
+            assert len(result.states_covered()) >= 30  # paper: 40
+
+
+class TestFig16Fields:
+    def test_att_region_field(self, analyses):
+        report = analyses["att-mobile"].user_report
+        assert any(start >= 32 and end <= 40 for start, end in report.geo_fields)
+
+    def test_verizon_hierarchical_fields(self, analyses):
+        report = analyses["verizon"].user_report
+        assert len(report.geo_fields) >= 2
+        assert any(start <= 40 < end for start, end in report.cycling_fields)
+
+    def test_tmobile_pgw_byte(self, analyses):
+        report = analyses["tmobile"].user_report
+        assert any(start == 32 for start, end in report.cycling_fields)
+        assert not report.geo_fields
+
+
+class TestTables7And8:
+    def test_att_eleven_regions(self, analyses):
+        assert analyses["att-mobile"].region_count == 11
+
+    def test_att_pgw_counts_match_table7(self, internet, analyses):
+        truth = sorted(
+            spec.pgw_count for spec in internet.mobile_carriers["att-mobile"].regions
+        )
+        inferred = sorted(analyses["att-mobile"].pgw_counts.values())
+        # Every region observed; counts recovered within one PGW.
+        assert len(inferred) == len(truth)
+        matched = sum(1 for a, b in zip(inferred, truth) if abs(a - b) <= 1)
+        assert matched >= len(truth) - 1
+
+    def test_verizon_region_count_near_table8(self, analyses):
+        assert 24 <= analyses["verizon"].region_count <= 32
+
+
+class TestFig17Classification:
+    def test_att_single_edgeco(self, analyses):
+        assert analyses["att-mobile"].topology_class == "single-edgeco-per-region"
+
+    def test_verizon_shared_backbone(self, analyses):
+        assert analyses["verizon"].topology_class == "shared-backbone-multi-edgeco"
+
+    def test_tmobile_multi_backbone(self, analyses):
+        analysis = analyses["tmobile"]
+        assert analysis.topology_class == "distributed-multi-backbone"
+        assert len(analysis.backbone_providers) == 3
+
+
+class TestFig18Latency:
+    def test_att_plains_latency_exceeds_verizon(self, ship_results):
+        """AT&T's 11 huge regions make Montana/North Dakota phones
+        backhaul to Chicago; Verizon's denser EdgeCOs stay closer
+        (Fig 18a vs 18b, §7.3)."""
+        import statistics
+
+        _campaign, results = ship_results
+
+        def plains_mean(result):
+            rtts = [
+                r.min_rtt_to_server_ms
+                for r in result.successful_rounds()
+                if r.state in ("MT", "ND", "SD")
+            ]
+            return statistics.fmean(rtts)
+
+        assert plains_mean(results["att-mobile"]) > 1.1 * plains_mean(
+            results["verizon"]
+        )
+
+    def test_tmobile_gulf_anomaly(self, ship_results):
+        """Rounds near the Gulf coast attach to the distant Columbia SC
+        site and show elevated latency (Fig 18c)."""
+        _campaign, results = ship_results
+        gulf = [
+            r for r in results["tmobile"].successful_rounds()
+            if r.attachment.region.name == "TMO-COLUMSC" and r.state in ("AL", "MS")
+        ]
+        others = [
+            r for r in results["tmobile"].successful_rounds()
+            if r.state in ("TX", "LA") and r.attachment.region.name != "TMO-COLUMSC"
+        ]
+        if gulf and others:
+            import statistics
+
+            assert statistics.fmean(
+                r.min_rtt_to_server_ms for r in gulf
+            ) > statistics.fmean(r.min_rtt_to_server_ms for r in others)

@@ -1,0 +1,56 @@
+"""Resilience sweeps over *inferred* (not ground-truth) topologies.
+
+This is the §8 workflow end to end: map the ISP with the paper's
+pipeline, then reason about failure impact from the inferred graphs —
+the single-AggCO regions of Table 1 are exactly the ones with single
+points of failure.
+"""
+
+import pytest
+
+from repro.analysis.resilience import ResilienceAnalyzer, compare_regions
+from repro.infer.aggtype import classify_aggregation
+
+
+@pytest.fixture(scope="module")
+def sweeps(comcast_result):
+    return {
+        name: ResilienceAnalyzer(region).sweep()
+        for name, region in comcast_result.regions.items()
+    }
+
+
+class TestInferredResilience:
+    def test_single_agg_regions_have_spofs(self, comcast_result, sweeps):
+        for name, region in comcast_result.regions.items():
+            if classify_aggregation(region) == "single":
+                assert sweeps[name].single_points_of_failure(), name
+
+    def test_dual_agg_regions_survive_any_one_co(self, comcast_result, sweeps):
+        fragile = [
+            name
+            for name, region in comcast_result.regions.items()
+            if classify_aggregation(region) == "two"
+            and sweeps[name].single_points_of_failure()
+        ]
+        # Dual-star regions should (almost) never have a fatal CO.
+        assert len(fragile) <= 1, fragile
+
+    def test_compare_regions_ranks_single_worst(self, comcast_result):
+        worst = compare_regions(comcast_result.regions)
+        singles = [
+            worst[name]
+            for name, region in comcast_result.regions.items()
+            if classify_aggregation(region) == "single"
+        ]
+        duals = [
+            worst[name]
+            for name, region in comcast_result.regions.items()
+            if classify_aggregation(region) == "two"
+        ]
+        assert min(singles) > max(duals)
+
+    def test_worst_case_bounded(self, sweeps):
+        for name, sweep in sweeps.items():
+            worst = sweep.worst_case
+            assert 0.0 <= worst.disconnected_fraction <= 1.0, name

@@ -1,0 +1,109 @@
+"""Unit tests for topology serialization."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.errors import ReproError
+from repro.infer.refine import RegionRefiner
+from repro.io.export import (
+    att_topology_to_json,
+    carrier_analysis_to_json,
+    region_from_json,
+    region_to_dot,
+    region_to_json,
+)
+
+
+@pytest.fixture()
+def region():
+    counter = Counter()
+    for i in range(5):
+        counter[("A1", f"E{i}")] = 4
+        counter[("A2", f"E{i}")] = 4
+    return RegionRefiner().refine("testregion", counter)
+
+
+class TestRegionJson:
+    def test_roundtrip(self, region):
+        text = region_to_json(region)
+        restored = region_from_json(text)
+        assert restored.name == region.name
+        assert restored.agg_cos == region.agg_cos
+        assert restored.edge_cos == region.edge_cos
+        assert set(restored.graph.edges) == set(region.graph.edges)
+        assert restored.stats.final_edges == region.stats.final_edges
+
+    def test_document_shape(self, region):
+        payload = json.loads(region_to_json(region))
+        assert payload["schema"] == 1
+        assert payload["kind"] == "cable-region"
+        assert all(
+            {"from", "to", "observations", "inferred"} <= set(e)
+            for e in payload["edges"]
+        )
+
+    def test_wrong_schema_rejected(self, region):
+        payload = json.loads(region_to_json(region))
+        payload["schema"] = 99
+        with pytest.raises(ReproError):
+            region_from_json(json.dumps(payload))
+
+    def test_wrong_kind_rejected(self, region):
+        payload = json.loads(region_to_json(region))
+        payload["kind"] = "something-else"
+        with pytest.raises(ReproError):
+            region_from_json(json.dumps(payload))
+
+    def test_inferred_edges_survive_roundtrip(self):
+        counter = Counter()
+        edges = [f"E{i}" for i in range(6)]
+        for e in edges:
+            counter[("A1", e)] = 4
+        for e in edges[:-1]:
+            counter[("A2", e)] = 4
+        region = RegionRefiner().refine("r", counter)
+        restored = region_from_json(region_to_json(region))
+        assert restored.graph["A2"]["E5"]["inferred"]
+
+
+class TestDot:
+    def test_dot_structure(self, region):
+        dot = region_to_dot(region)
+        assert dot.startswith('digraph "testregion"')
+        assert '"A1" [shape=box' in dot
+        assert '"A1" -> "E0";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_inferred_edges_dashed(self):
+        counter = Counter()
+        edges = [f"E{i}" for i in range(6)]
+        for e in edges:
+            counter[("A1", e)] = 4
+        for e in edges[:-1]:
+            counter[("A2", e)] = 4  # A2 misses E5 -> ring completion
+        region = RegionRefiner().refine("r", counter)
+        dot = region_to_dot(region)
+        assert '"A2" -> "E5" [style=dashed];' in dot
+
+
+class TestAttAndMobileJson:
+    def test_att_topology_document(self, att_topology):
+        payload = json.loads(att_topology_to_json(att_topology))
+        assert payload["kind"] == "telco-region"
+        assert payload["backbone_co_count"] == 1
+        assert len(payload["edge_cos"]) == 42
+        assert len(payload["edge_prefixes"]) == 6
+
+    def test_carrier_analysis_document(self, ship_results):
+        from repro.infer.mobile_ipv6 import MobileIPv6Analyzer
+
+        campaign, results = ship_results
+        analysis = MobileIPv6Analyzer(campaign.celldb).analyze(
+            results["att-mobile"]
+        )
+        payload = json.loads(carrier_analysis_to_json(analysis))
+        assert payload["kind"] == "mobile-carrier"
+        assert payload["region_count"] == 11
+        assert payload["topology_class"] == "single-edgeco-per-region"

@@ -1,0 +1,76 @@
+"""Unit tests for latency-campaign helpers (pure parts)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.infer.pipeline import CableInferenceResult
+from repro.latency.cloud import CloudLatencyCampaign, EdgeCoLatency
+from repro.net.network import Network
+
+
+class TestBuckets:
+    def test_default_buckets(self):
+        latencies = {"a": 3.5, "b": 4.2, "c": 4.9, "d": 9.5, "e": 20.0}
+        buckets = CloudLatencyCampaign.bucket_latencies(latencies)
+        assert buckets["3-4ms"] == 1
+        assert buckets["4-5ms"] == 2
+        assert buckets["9-10ms"] == 1
+        # 20 ms falls outside all buckets (like the paper's table).
+        assert sum(buckets.values()) == 4
+
+    def test_custom_edges(self):
+        buckets = CloudLatencyCampaign.bucket_latencies(
+            {"a": 1.0}, edges=[(0, 2)]
+        )
+        assert buckets == {"0-2ms": 1}
+
+
+class TestClosestVm:
+    def _sample(self, region, co, rtt, vp):
+        return EdgeCoLatency(region, co, "10.0.0.1", rtt, vp)
+
+    def test_majority_winner(self):
+        samples = {
+            "vm-east": [
+                self._sample("r", "co1", 5.0, "vm-east"),
+                self._sample("r", "co2", 5.0, "vm-east"),
+            ],
+            "vm-west": [
+                self._sample("r", "co1", 9.0, "vm-west"),
+                self._sample("r", "co2", 9.0, "vm-west"),
+                self._sample("r", "co3", 2.0, "vm-west"),
+            ],
+        }
+        assert CloudLatencyCampaign.closest_vm_for(samples) == "vm-east"
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            CloudLatencyCampaign.closest_vm_for({})
+
+
+class TestEdgeCoAddresses:
+    def test_requires_mapping(self):
+        campaign = CloudLatencyCampaign(Network())
+        result = CableInferenceResult(isp="x", mapping=None)
+        with pytest.raises(MeasurementError):
+            campaign.edge_co_addresses(result)
+
+    def test_filters_to_edge_cos(self):
+        from collections import Counter
+
+        from repro.infer.ip2co import Ip2CoMapping
+        from repro.infer.refine import RegionRefiner
+
+        counter = Counter({("AGG", "E1"): 3, ("AGG", "E2"): 3})
+        refined = RegionRefiner().refine("r", counter)
+        mapping = Ip2CoMapping(mapping={
+            "10.0.0.1": ("r", "E1"),
+            "10.0.0.2": ("r", "AGG"),
+            "10.0.0.3": ("r", "E2"),
+        })
+        result = CableInferenceResult(
+            isp="x", regions={"r": refined}, mapping=mapping
+        )
+        per_co = CloudLatencyCampaign.edge_co_addresses(result)
+        assert set(per_co) == {("r", "E1"), ("r", "E2")}
+        assert per_co[("r", "E1")] == ["10.0.0.1"]

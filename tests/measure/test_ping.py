@@ -1,0 +1,93 @@
+"""Unit tests for ping and the TTL-limited echo trick."""
+
+import ipaddress
+
+import pytest
+
+from repro.measure.ping import Pinger
+from repro.net.router import ReplyPolicy
+
+
+class TestPing:
+    def test_basic_ping(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ping(routers["src"], "10.0.0.14", count=10)
+        assert result.responded and result.received == 10
+        assert result.min_rtt_ms is not None
+        assert result.min_rtt_ms <= result.median_rtt_ms
+
+    def test_nonexistent_address(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ping(routers["src"], "198.18.5.200", count=5)
+        assert not result.responded
+
+    def test_unroutable_address(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ping(routers["src"], "203.0.113.1", count=5)
+        assert not result.responded
+
+    def test_echo_filter_blocks_external(self, toy_network):
+        net, routers = toy_network
+        routers["dst"].policy = ReplyPolicy(
+            echo_internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        blocked = Pinger(net).ping(
+            routers["src"], "10.0.0.14", src_address="203.0.113.9"
+        )
+        allowed = Pinger(net).ping(
+            routers["src"], "10.0.0.14", src_address="10.0.0.1"
+        )
+        assert not blocked.responded and allowed.responded
+
+    def test_min_rtt_close_to_geometry(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net, jitter_ms=0.0).ping(routers["src"], "10.0.0.14")
+        # 3 links x 10 km => one-way 0.15 ms + 3 hop processing.
+        expected = 2 * (3 * (10 / 200.0 + 0.05)) + 0.1
+        assert result.min_rtt_ms == pytest.approx(expected, abs=0.05)
+
+
+class TestTtlLimitedPing:
+    def test_expires_at_middle_hop(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ttl_limited_ping(
+            routers["src"], "10.0.0.14", ttl=1, count=5
+        )
+        assert result.responded
+        direct = Pinger(net).ping(routers["src"], "10.0.0.14", count=5)
+        assert result.min_rtt_ms < direct.min_rtt_ms
+
+    def test_works_even_when_echo_blocked(self, toy_network):
+        """The §6.3 trick: the penultimate device answers TTL expiry
+        even though it refuses direct echo from outside."""
+        net, routers = toy_network
+        routers["b1"].policy = ReplyPolicy(
+            echo_internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        routers["b2"].policy = routers["b1"].policy
+        external = "203.0.113.9"
+        result = Pinger(net).ttl_limited_ping(
+            routers["src"], "10.0.0.14", ttl=2, src_address=external
+        )
+        assert result.responded
+
+    def test_ttl_at_destination_returns_nothing(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ttl_limited_ping(
+            routers["src"], "10.0.0.14", ttl=3, count=5
+        )
+        assert not result.responded  # expiring at dst is not a transit reply
+
+    def test_ttl_beyond_path(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ttl_limited_ping(
+            routers["src"], "10.0.0.14", ttl=9, count=5
+        )
+        assert not result.responded
+
+    def test_unroutable(self, toy_network):
+        net, routers = toy_network
+        result = Pinger(net).ttl_limited_ping(
+            routers["src"], "203.0.113.1", ttl=1
+        )
+        assert not result.responded

@@ -1,0 +1,94 @@
+"""Unit tests for the scamper façade and the radio energy model."""
+
+import random
+
+import pytest
+
+from repro.energy.model import EnergyTrace, PhoneEnergyModel, RadioState, STATE_CURRENT_MA
+from repro.errors import MeasurementError
+from repro.measure.scamper import Scamper
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PhoneEnergyModel()
+
+    def test_parallel_cheaper_than_sequential(self, model):
+        old = model.round_energy_mah(parallel=False)
+        new = model.round_energy_mah(parallel=True)
+        assert new < old
+
+    def test_saving_matches_fig14(self, model):
+        """The paper reports a 38 % reduction (8.6 -> 5.3 mAh)."""
+        old = model.round_energy_mah(parallel=False)
+        new = model.round_energy_mah(parallel=True)
+        saving = 1 - new / old
+        assert 0.30 < saving < 0.48
+        assert 7.0 < old < 11.0
+        assert 4.0 < new < 7.0
+
+    def test_wake_cost_in_measured_range(self, model):
+        rng = random.Random(3)
+        for _ in range(20):
+            assert 1.4 <= model.wake_energy_mah(rng) <= 2.6
+
+    def test_sleep_airplane_cheaper_than_connected(self, model):
+        airplane = model.sleep_energy_mah(55, airplane=True)
+        connected = model.sleep_energy_mah(55, airplane=False)
+        assert airplane < connected
+        assert airplane == pytest.approx(
+            STATE_CURRENT_MA[RadioState.SLEEP_AIRPLANE] * 55 / 60
+        )
+
+    def test_battery_life_about_twelve_days(self, model):
+        days = model.battery_life_days(parallel=True)
+        assert 10.0 < days < 15.0
+
+    def test_parallel_extends_battery_life(self, model):
+        assert model.battery_life_days(parallel=True) > model.battery_life_days(
+            parallel=False
+        )
+
+    def test_trace_is_cumulative(self, model):
+        trace = model.traceroute_round(20, rng=random.Random(0))
+        energies = [e for _t, e in trace.samples]
+        times = [t for t, _e in trace.samples]
+        assert energies == sorted(energies)
+        assert times == sorted(times)
+
+    def test_more_targets_cost_more(self, model):
+        small = model.round_energy_mah(n_targets=50)
+        large = model.round_energy_mah(n_targets=500)
+        assert large > small
+
+    def test_empty_trace(self):
+        assert EnergyTrace().total_mah == 0.0
+        assert EnergyTrace().duration_s == 0.0
+
+
+class TestScamper:
+    def test_mode_validation(self):
+        with pytest.raises(MeasurementError):
+            Scamper(mode="warp")
+
+    def test_round_energy_by_mode(self):
+        sequential = Scamper(mode="sequential").round_energy(100)
+        parallel = Scamper(mode="parallel").round_energy(100)
+        assert parallel.total_mah < sequential.total_mah
+
+    def test_run_round_needs_network(self):
+        from repro.net.router import Router
+
+        with pytest.raises(MeasurementError):
+            Scamper(mode="parallel").run_round(Router("r"), ["10.0.0.1"])
+
+    def test_run_round_on_toy_network(self, toy_network):
+        net, routers = toy_network
+        scamper = Scamper(network=net, mode="parallel")
+        outcome = scamper.run_round(
+            routers["src"], ["10.0.0.14", "10.0.0.6"]
+        )
+        assert len(outcome.traces) == 2
+        assert outcome.energy_mah > 0
+        assert outcome.mode == "parallel"

@@ -1,0 +1,88 @@
+"""Unit tests for the ShipTraceroute campaign driver."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.shiptraceroute import (
+    DEFAULT_ITINERARY,
+    ShipTracerouteCampaign,
+)
+from repro.topology.geography import Geography
+from repro.topology.mobile import build_mobile_carriers
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    geo = Geography()
+    return ShipTracerouteCampaign(build_mobile_carriers(geo, seed=5), geo, seed=5)
+
+
+class TestRouteGeometry:
+    def test_waypoints_follow_state_chain(self, campaign):
+        waypoints = campaign.leg_waypoints(("San Diego", "CA"), ("Seattle", "WA"))
+        states = [w.state for w in waypoints]
+        assert states[0] == "CA" and states[-1] == "WA"
+        assert "OR" in states
+
+    def test_hourly_positions_cover_leg(self, campaign):
+        waypoints = campaign.leg_waypoints(("San Diego", "CA"), ("Seattle", "WA"))
+        positions = campaign.hourly_positions(waypoints)
+        assert len(positions) > 15  # ~1800 km at 75 km/h plus hub dwell
+        lats = [p[0] for p in positions]
+        assert max(lats) > 45  # reaches the Pacific Northwest
+
+    def test_hub_dwell_repeats_a_position(self, campaign):
+        waypoints = campaign.leg_waypoints(("San Diego", "CA"), ("Phoenix", "AZ"))
+        positions = campaign.hourly_positions(waypoints)
+        from collections import Counter
+
+        most_common = Counter(positions).most_common(1)[0][1]
+        assert most_common >= 12  # the sorting-hub dwell
+
+    def test_itinerary_has_twelve_legs(self):
+        assert len(DEFAULT_ITINERARY) == 12
+
+
+class TestCampaign:
+    def test_requires_carriers(self):
+        with pytest.raises(MeasurementError):
+            ShipTracerouteCampaign({}, Geography())
+
+    def test_run_phone_is_deterministic(self, campaign):
+        carrier = campaign.carriers["verizon"]
+        leg = [DEFAULT_ITINERARY[0]]
+        first = campaign.run_phone(carrier, itinerary=leg)
+        # Reset the carrier's attach counters for a fair replay.
+        carrier._attach_counters.clear()
+        second = campaign.run_phone(carrier, itinerary=leg)
+        assert first.attempted == second.attempted
+        assert [r.success for r in first.rounds] == [r.success for r in second.rounds]
+
+    def test_successful_rounds_have_observables(self, campaign):
+        carrier = campaign.carriers["att-mobile"]
+        result = campaign.run_phone(carrier, itinerary=[DEFAULT_ITINERARY[0]])
+        good = result.successful_rounds()
+        assert good
+        for round_ in good[:5]:
+            assert round_.cellid is not None
+            assert round_.attachment is not None
+            assert round_.trace is not None and round_.trace.completed
+            assert round_.min_rtt_to_server_ms > 0
+
+    def test_failed_rounds_have_no_observables(self, campaign):
+        carrier = campaign.carriers["tmobile"]
+        result = campaign.run_phone(carrier, itinerary=[DEFAULT_ITINERARY[2]])
+        failed = [r for r in result.rounds if not r.success]
+        assert failed  # the ME->FL leg crosses weak-signal stretches
+        for round_ in failed:
+            assert round_.trace is None and round_.cellid is None
+
+    def test_success_rate_bounds(self, campaign):
+        carrier = campaign.carriers["verizon"]
+        result = campaign.run_phone(carrier, itinerary=DEFAULT_ITINERARY[:4])
+        assert 0.5 < result.success_rate <= 1.0
+
+    def test_states_covered_accumulates(self, campaign):
+        carrier = campaign.carriers["att-mobile"]
+        result = campaign.run_phone(carrier, itinerary=DEFAULT_ITINERARY[:2])
+        assert {"CA", "AZ"} <= result.states_covered()

@@ -1,0 +1,68 @@
+"""Traceroute behaviour under reply policies and rDNS epochs."""
+
+import ipaddress
+
+import pytest
+
+from repro.measure.traceroute import Tracerouter
+from repro.net.router import ReplyPolicy
+
+
+class TestInternalOnlyFiltering:
+    def test_filtered_hops_show_stars_for_external_sources(self, toy_network):
+        net, routers = toy_network
+        policy = ReplyPolicy(
+            internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        routers["b1"].policy = policy
+        routers["b2"].policy = policy
+        external = Tracerouter(net).trace(
+            routers["src"], "10.0.0.14", src_address="203.0.113.9"
+        )
+        internal = Tracerouter(net).trace(
+            routers["src"], "10.0.0.14", src_address="10.0.0.1"
+        )
+        assert external.hops[1].address is None
+        assert internal.hops[1].address is not None
+
+    def test_destination_echo_also_filtered(self, toy_network):
+        net, routers = toy_network
+        routers["dst"].policy = ReplyPolicy(
+            internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        external = Tracerouter(net).trace(
+            routers["src"], "10.0.0.14", src_address="203.0.113.9"
+        )
+        assert not external.completed
+
+
+class TestRdnsEpochs:
+    def test_trace_reports_live_zone_not_snapshot(self, toy_network):
+        """Hop rDNS uses dig (the live zone), so a fixed record shows
+        its new name even when the bulk snapshot still has the old one."""
+        net, routers = toy_network
+        net.rdns.set_stale("10.0.0.2", "old-name.example.net", in_dig=False)
+        net.rdns.set("10.0.0.2", "new-name.example.net", snapshot=False)
+        trace = Tracerouter(net).trace(routers["src"], "10.0.0.14")
+        assert trace.hops[0].rdns == "new-name.example.net"
+
+    def test_stale_live_record_is_faithfully_reported(self, toy_network):
+        """The engine reports what DNS says — staleness is the
+        *inference* layer's problem, not the prober's."""
+        net, routers = toy_network
+        net.rdns.set_stale("10.0.0.2", "wrong-co.example.net", in_dig=True)
+        trace = Tracerouter(net).trace(routers["src"], "10.0.0.14")
+        assert trace.hops[0].rdns == "wrong-co.example.net"
+
+
+class TestProbeAccounting:
+    def test_unroutable_still_counts_probe(self, toy_network):
+        net, routers = toy_network
+        tracer = Tracerouter(net)
+        tracer.trace(routers["src"], "203.0.113.1")
+        assert tracer.probes_sent == 1
+
+    def test_source_address_defaults_to_first_interface(self, toy_network):
+        net, routers = toy_network
+        trace = Tracerouter(net).trace(routers["src"], "10.0.0.14")
+        assert trace.src_address == "10.0.0.1"

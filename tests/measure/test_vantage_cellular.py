@@ -1,0 +1,88 @@
+"""Unit tests for vantage points and the cellular substrate."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.cellular import CellDatabase, signal_available
+from repro.measure.vantage import VantagePoint, VantagePointSet, attach_host
+from repro.net.router import Router
+from repro.topology.geography import Geography
+
+
+class TestVantagePoints:
+    def test_kind_validation(self):
+        host = Router("h")
+        with pytest.raises(MeasurementError):
+            VantagePoint("vp", "satellite", host, "10.0.0.1")
+
+    def test_set_rejects_duplicates(self):
+        fleet = VantagePointSet()
+        vp = VantagePoint("vp-1", "ark", Router("h"), "10.0.0.1")
+        fleet.add(vp)
+        with pytest.raises(MeasurementError):
+            fleet.add(VantagePoint("vp-1", "ark", Router("h2"), "10.0.0.2"))
+
+    def test_get_missing(self):
+        with pytest.raises(MeasurementError):
+            VantagePointSet().get("nope")
+
+    def test_of_kind_and_iteration_order(self):
+        fleet = VantagePointSet()
+        fleet.add(VantagePoint("b", "cloud", Router("h1"), "10.0.0.1"))
+        fleet.add(VantagePoint("a", "ark", Router("h2"), "10.0.0.2"))
+        assert [vp.name for vp in fleet] == ["a", "b"]
+        assert len(fleet.of_kind("cloud")) == 1
+
+    def test_attach_host(self, toy_network):
+        net, routers = toy_network
+        host, addr = attach_host(net, routers["dst"], "probe", "198.18.9.0/30")
+        assert net.owner_router(addr) is host
+        path = net.forwarding_path(routers["src"], host)
+        assert path[-1] is host
+
+    def test_attach_host_requires_slash30(self, toy_network):
+        net, routers = toy_network
+        with pytest.raises(MeasurementError):
+            attach_host(net, routers["dst"], "probe", "198.18.9.0/29")
+
+
+class TestCellDatabase:
+    def test_roundtrip(self):
+        db = CellDatabase()
+        tower = db.serving_cell(32.71, -117.16)
+        lat, lon = db.locate(tower.cellid)
+        assert lat == pytest.approx(tower.lat)
+        assert lon == pytest.approx(tower.lon)
+
+    def test_quantization_error_bounded(self):
+        db = CellDatabase(grid_deg=0.2)
+        assert db.quantization_error_km(32.71, -117.16) < 20.0
+
+    def test_same_cell_for_nearby_points(self):
+        db = CellDatabase()
+        a = db.serving_cell(32.70, -117.16)
+        b = db.serving_cell(32.71, -117.15)
+        assert a.cellid == b.cellid
+
+    def test_invalid_grid(self):
+        with pytest.raises(MeasurementError):
+            CellDatabase(grid_deg=0)
+
+
+class TestSignalModel:
+    def test_signal_near_metro(self):
+        geo = Geography()
+        assert signal_available(34.05, -118.24, geo)  # downtown LA
+
+    def test_no_signal_in_the_void(self):
+        geo = Geography()
+        # Middle of Nevada's empty quarter.
+        assert not signal_available(39.5, -116.5, geo, max_km=60)
+
+    def test_coverage_radius_scales_with_max_km(self):
+        geo = Geography()
+        # ~60 km outside Spokane: reachable for a generous radius,
+        # unreachable for a tight one.
+        point = (47.66, -118.2)
+        assert signal_available(*point, geo, max_km=120)
+        assert not signal_available(*point, geo, max_km=40)

@@ -1,0 +1,208 @@
+"""Unit tests for address and prefix utilities."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.net.addresses import (
+    Ipv4Allocator,
+    Ipv6FieldCodec,
+    hosts_in,
+    p2p_peer,
+    parse_ip,
+    same_subnet,
+    usable_p2p_addresses,
+)
+
+
+class TestParseIp:
+    def test_parses_string(self):
+        assert str(parse_ip("192.0.2.1")) == "192.0.2.1"
+
+    def test_parses_int(self):
+        assert str(parse_ip(0xC0000201)) == "192.0.2.1"
+
+    def test_parses_ipv6(self):
+        assert parse_ip("2600:380::1").version == 6
+
+    def test_passthrough_address_object(self):
+        addr = ipaddress.ip_address("10.0.0.1")
+        assert parse_ip(addr) is addr
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            parse_ip("not-an-ip")
+
+
+class TestSameSubnet:
+    def test_same_30(self):
+        assert same_subnet("10.0.0.1", "10.0.0.2", 30)
+
+    def test_different_30(self):
+        assert not same_subnet("10.0.0.1", "10.0.0.5", 30)
+
+    def test_mixed_versions_never_match(self):
+        assert not same_subnet("10.0.0.1", "::1", 8)
+
+
+class TestP2pPeer:
+    def test_slash30_low(self):
+        assert str(p2p_peer("10.0.0.1", 30)) == "10.0.0.2"
+
+    def test_slash30_high(self):
+        assert str(p2p_peer("10.0.0.2", 30)) == "10.0.0.1"
+
+    def test_slash30_network_address_rejected(self):
+        with pytest.raises(AddressError):
+            p2p_peer("10.0.0.0", 30)
+
+    def test_slash31(self):
+        assert str(p2p_peer("10.0.0.4", 31)) == "10.0.0.5"
+        assert str(p2p_peer("10.0.0.5", 31)) == "10.0.0.4"
+
+    def test_rejects_other_prefixlens(self):
+        with pytest.raises(AddressError):
+            p2p_peer("10.0.0.1", 24)
+
+    def test_rejects_ipv6(self):
+        with pytest.raises(AddressError):
+            p2p_peer("2600::1", 31)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_slash31_is_involution(self, value):
+        addr = ipaddress.IPv4Address(value)
+        assert p2p_peer(p2p_peer(addr, 31), 31) == addr
+
+    @given(st.integers(min_value=0, max_value=2**30 - 1))
+    def test_slash30_peer_shares_subnet(self, block):
+        addr = ipaddress.IPv4Address(block * 4 + 1)
+        peer = p2p_peer(addr, 30)
+        assert same_subnet(addr, peer, 30)
+        assert peer != addr
+
+
+class TestUsableP2p:
+    def test_slash30(self):
+        a, b = usable_p2p_addresses("10.0.0.0/30")
+        assert (str(a), str(b)) == ("10.0.0.1", "10.0.0.2")
+
+    def test_slash31(self):
+        a, b = usable_p2p_addresses("10.0.0.6/31")
+        assert (str(a), str(b)) == ("10.0.0.6", "10.0.0.7")
+
+    def test_rejects_slash29(self):
+        with pytest.raises(AddressError):
+            usable_p2p_addresses("10.0.0.0/29")
+
+
+class TestIpv4Allocator:
+    def test_sequential_hosts(self):
+        alloc = Ipv4Allocator("198.18.0.0/24")
+        assert str(alloc.allocate_host()) == "198.18.0.0"
+        assert str(alloc.allocate_host()) == "198.18.0.1"
+
+    def test_subnet_alignment(self):
+        alloc = Ipv4Allocator("198.18.0.0/16")
+        alloc.allocate_host()  # cursor now misaligned for a /24
+        subnet = alloc.allocate_subnet(24)
+        assert subnet == ipaddress.ip_network("198.18.1.0/24")
+
+    def test_p2p_allocation(self):
+        alloc = Ipv4Allocator("198.18.0.0/24")
+        a, b, subnet = alloc.allocate_p2p(30)
+        assert a in subnet.hosts() or subnet.prefixlen == 31
+        assert str(a) == "198.18.0.1"
+        assert str(b) == "198.18.0.2"
+
+    def test_p2p_rejects_bad_prefixlen(self):
+        with pytest.raises(AddressError):
+            Ipv4Allocator("198.18.0.0/24").allocate_p2p(29)
+
+    def test_exhaustion(self):
+        alloc = Ipv4Allocator("198.18.0.0/30")
+        for _ in range(4):
+            alloc.allocate_host()
+        with pytest.raises(AddressError):
+            alloc.allocate_host()
+
+    def test_cannot_allocate_larger_than_pool(self):
+        with pytest.raises(AddressError):
+            Ipv4Allocator("198.18.0.0/24").allocate_subnet(16)
+
+    def test_remaining_decreases(self):
+        alloc = Ipv4Allocator("198.18.0.0/24")
+        before = alloc.remaining
+        alloc.allocate_subnet(26)
+        assert alloc.remaining == before - 64
+
+    def test_ipv6_pool_rejected(self):
+        with pytest.raises(AddressError):
+            Ipv4Allocator(ipaddress.ip_network("2600::/32"))  # type: ignore[arg-type]
+
+    def test_allocations_never_overlap(self):
+        alloc = Ipv4Allocator("198.18.0.0/20")
+        seen = set()
+        for prefixlen in (24, 26, 30, 24, 31, 25):
+            subnet = alloc.allocate_subnet(prefixlen)
+            for other in seen:
+                assert not subnet.overlaps(other)
+            seen.add(subnet)
+
+
+class TestIpv6FieldCodec:
+    def test_encode_decode_roundtrip(self):
+        codec = Ipv6FieldCodec({"region": (32, 40), "pgw": (48, 52)})
+        addr = codec.encode("2600:380::", region=0x6C, pgw=5)
+        assert codec.decode(addr) == {"region": 0x6C, "pgw": 5}
+
+    def test_encode_matches_paper_layout(self):
+        codec = Ipv6FieldCodec({"region": (32, 48)})
+        addr = codec.encode("2600:300::", region=0x2090)
+        assert str(addr).startswith("2600:300:2090:")
+
+    def test_value_too_large(self):
+        codec = Ipv6FieldCodec({"nibble": (48, 52)})
+        with pytest.raises(AddressError):
+            codec.encode("::", nibble=16)
+
+    def test_unknown_field(self):
+        codec = Ipv6FieldCodec({"a": (0, 8)})
+        with pytest.raises(AddressError):
+            codec.encode("::", b=1)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(AddressError):
+            Ipv6FieldCodec({"bad": (8, 8)})
+        with pytest.raises(AddressError):
+            Ipv6FieldCodec({"bad": (120, 130)})
+
+    def test_extract_bits(self):
+        value = Ipv6FieldCodec.extract_bits("2600:1012:b12e::", 24, 32)
+        assert value == 0x12
+
+    def test_extract_bits_bad_range(self):
+        with pytest.raises(AddressError):
+            Ipv6FieldCodec.extract_bits("::", 10, 5)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFF),
+        st.integers(min_value=0, max_value=0xF),
+    )
+    def test_fields_do_not_interfere(self, region, pgw):
+        codec = Ipv6FieldCodec({"region": (32, 40), "pgw": (48, 52)})
+        addr = codec.encode("2600:380::", region=region, pgw=pgw)
+        decoded = codec.decode(addr)
+        assert decoded["region"] == region
+        assert decoded["pgw"] == pgw
+
+
+class TestHostsIn:
+    def test_limit(self):
+        hosts = list(hosts_in("198.18.0.0/24", limit=5))
+        assert len(hosts) == 5
+        assert str(hosts[0]) == "198.18.0.1"
+
+    def test_no_limit_slash30(self):
+        assert len(list(hosts_in("198.18.0.0/30"))) == 2

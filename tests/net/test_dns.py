@@ -1,0 +1,70 @@
+"""Unit tests for the rDNS store."""
+
+import re
+
+from repro.net.dns import RdnsStore
+
+
+class TestBasicRecords:
+    def test_set_and_lookup(self):
+        store = RdnsStore()
+        store.set("10.0.0.1", "r1.example.net")
+        assert store.dig("10.0.0.1") == "r1.example.net"
+        assert store.snapshot_lookup("10.0.0.1") == "r1.example.net"
+        assert store.lookup("10.0.0.1") == "r1.example.net"
+
+    def test_missing_returns_none(self):
+        store = RdnsStore()
+        assert store.lookup("10.0.0.1") is None
+
+    def test_remove(self):
+        store = RdnsStore()
+        store.set("10.0.0.1", "r1.example.net")
+        store.remove("10.0.0.1")
+        assert store.lookup("10.0.0.1") is None
+        assert len(store) == 0
+
+    def test_len_counts_union_of_epochs(self):
+        store = RdnsStore()
+        store.set("10.0.0.1", "a")
+        store.set_stale("10.0.0.2", "b", in_dig=False)
+        assert len(store) == 2
+
+
+class TestStaleness:
+    def test_dig_preferred_over_snapshot(self):
+        store = RdnsStore()
+        store.set_stale("10.0.0.1", "old-name", in_dig=False)
+        store.set("10.0.0.1", "new-name", snapshot=False)
+        # The live zone has the fix; the bulk snapshot is outdated.
+        assert store.dig("10.0.0.1") == "new-name"
+        assert store.snapshot_lookup("10.0.0.1") == "old-name"
+        assert store.lookup("10.0.0.1") == "new-name"
+
+    def test_stale_in_dig(self):
+        store = RdnsStore()
+        store.set_stale("10.0.0.1", "wrong-co", in_dig=True)
+        assert store.lookup("10.0.0.1") == "wrong-co"
+        assert store.is_stale("10.0.0.1")
+
+    def test_stale_count(self):
+        store = RdnsStore()
+        store.set("10.0.0.1", "good")
+        store.set_stale("10.0.0.2", "bad")
+        assert store.stale_count == 1
+        assert not store.is_stale("10.0.0.1")
+
+
+class TestSnapshotScans:
+    def test_snapshot_items_sorted(self):
+        store = RdnsStore()
+        store.set("10.0.0.2", "b")
+        store.set("10.0.0.1", "a")
+        assert [a for a, _n in store.snapshot_items()] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_addresses_matching(self):
+        store = RdnsStore()
+        store.set("10.0.0.1", "agg1.sndgcaaa01r.socal.rr.com")
+        store.set("10.0.0.2", "cr1.sd2ca.ip.att.net")
+        matches = store.addresses_matching(re.compile(r"\.rr\.com$"))
+        assert matches == ["10.0.0.1"]

@@ -1,0 +1,62 @@
+"""Unit tests for links: delay, routing metric, topology errors."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.link import FIBER_KM_PER_MS, PER_HOP_PROCESSING_MS, Link
+from repro.net.router import Interface, Router
+
+
+def _link(length_km=200.0, **kwargs) -> Link:
+    a = Router("a").add_interface("10.0.0.1", 30)
+    b = Router("b").add_interface("10.0.0.2", 30)
+    return Link(a, b, length_km=length_km, **kwargs)
+
+
+class TestDelay:
+    def test_propagation_speed(self):
+        link = _link(length_km=200.0)
+        assert link.delay_ms == pytest.approx(1.0)
+
+    def test_extra_delay_adds(self):
+        link = _link(length_km=200.0, extra_delay_ms=3.0)
+        assert link.delay_ms == pytest.approx(4.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TopologyError):
+            _link(length_km=-5.0)
+
+
+class TestRoutingWeight:
+    def test_defaults_to_delay_plus_processing(self):
+        link = _link(length_km=200.0)
+        assert link.routing_weight == pytest.approx(1.0 + PER_HOP_PROCESSING_MS)
+
+    def test_configured_metric_wins(self):
+        link = _link(length_km=200.0, metric=10.0)
+        assert link.routing_weight == 10.0
+        # ...but the physical delay is untouched.
+        assert link.delay_ms == pytest.approx(1.0)
+
+
+class TestEndpoints:
+    def test_other(self):
+        link = _link()
+        assert link.other(link.a) is link.b
+        assert link.other(link.b) is link.a
+
+    def test_other_rejects_foreign_interface(self):
+        link = _link()
+        foreign = Router("c").add_interface("10.0.0.9", 30)
+        with pytest.raises(TopologyError):
+            link.other(foreign)
+
+    def test_routers(self):
+        link = _link()
+        uids = [r.uid for r in link.routers()]
+        assert uids == ["a", "b"]
+
+    def test_interfaces_back_reference_link(self):
+        link = _link()
+        assert link.a.link is link
+        assert link.b.neighbor() is link.a

@@ -1,0 +1,115 @@
+"""Unit tests for MPLS visibility: tunnels, DPR, LSR rules."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.mpls import MplsDomain, MplsTunnel
+from repro.net.router import Router
+
+
+@pytest.fixture()
+def chain():
+    """ingress -> mid1 -> mid2 -> egress -> beyond."""
+    routers = {uid: Router(uid) for uid in ("ingress", "mid1", "mid2", "egress", "beyond")}
+    return routers
+
+
+class TestMplsTunnel:
+    def test_rejects_same_endpoints(self, chain):
+        with pytest.raises(TopologyError):
+            MplsTunnel(chain["ingress"], chain["ingress"])
+
+    def test_rejects_endpoint_in_interior(self, chain):
+        with pytest.raises(TopologyError):
+            MplsTunnel(
+                chain["ingress"], chain["egress"],
+                interior=(chain["egress"],),
+            )
+
+    def test_hides_interior_for_through_traffic(self, chain):
+        tunnel = MplsTunnel(
+            chain["ingress"], chain["egress"],
+            interior=(chain["mid1"], chain["mid2"]),
+        )
+        assert tunnel.hides(chain["mid1"], chain["beyond"])
+
+    def test_dpr_reveals_for_egress_destination(self, chain):
+        tunnel = MplsTunnel(
+            chain["ingress"], chain["egress"],
+            interior=(chain["mid1"],),
+        )
+        assert not tunnel.hides(chain["mid1"], chain["egress"])
+
+    def test_dpr_reveals_for_interior_destination(self, chain):
+        tunnel = MplsTunnel(
+            chain["ingress"], chain["egress"],
+            interior=(chain["mid1"], chain["mid2"]),
+        )
+        assert not tunnel.hides(chain["mid1"], chain["mid2"])
+
+    def test_ttl_propagate_never_hides(self, chain):
+        tunnel = MplsTunnel(
+            chain["ingress"], chain["egress"],
+            interior=(chain["mid1"],), ttl_propagate=True,
+        )
+        assert not tunnel.hides(chain["mid1"], chain["beyond"])
+
+    def test_non_interior_never_hidden(self, chain):
+        tunnel = MplsTunnel(
+            chain["ingress"], chain["egress"], interior=(chain["mid1"],)
+        )
+        assert not tunnel.hides(chain["egress"], chain["beyond"])
+
+
+class TestMplsDomain:
+    def _domain(self, chain) -> MplsDomain:
+        domain = MplsDomain()
+        domain.add(MplsTunnel(
+            chain["ingress"], chain["egress"],
+            interior=(chain["mid1"], chain["mid2"]),
+        ))
+        return domain
+
+    def test_visible_path_hides_interior(self, chain):
+        domain = self._domain(chain)
+        path = [chain[u] for u in ("ingress", "mid1", "mid2", "egress", "beyond")]
+        visible = domain.visible_path(path, chain["beyond"])
+        assert [r.uid for r in visible] == ["ingress", "egress", "beyond"]
+
+    def test_visible_path_dpr(self, chain):
+        domain = self._domain(chain)
+        path = [chain[u] for u in ("ingress", "mid1", "mid2", "egress")]
+        visible = domain.visible_path(path, chain["egress"])
+        assert [r.uid for r in visible] == ["ingress", "mid1", "mid2", "egress"]
+
+    def test_tunnel_not_on_path_is_ignored(self, chain):
+        domain = self._domain(chain)
+        path = [chain["mid1"], chain["mid2"]]  # ingress/egress absent
+        visible = domain.visible_path(path, chain["mid2"])
+        assert len(visible) == 2
+
+    def test_tunnel_wrong_order_is_ignored(self, chain):
+        domain = self._domain(chain)
+        # egress before ingress on the path: not a tunnel traversal.
+        path = [chain[u] for u in ("egress", "mid1", "ingress")]
+        visible = domain.visible_path(path, chain["ingress"])
+        assert len(visible) == 3
+
+
+class TestLsrRules:
+    def test_rule_hides_unless_destination_in_reveal_set(self, chain):
+        domain = MplsDomain()
+        infra = [chain["ingress"], chain["mid1"], chain["egress"]]
+        domain.add_lsr_rule([chain["mid1"]], infra)
+        path = [chain[u] for u in ("ingress", "mid1", "egress", "beyond")]
+        hidden = domain.visible_path(path, chain["beyond"])
+        assert [r.uid for r in hidden] == ["ingress", "egress", "beyond"]
+        revealed = domain.visible_path(path[:3], chain["egress"])
+        assert [r.uid for r in revealed] == ["ingress", "mid1", "egress"]
+
+    def test_rule_never_hides_the_destination_itself(self, chain):
+        domain = MplsDomain()
+        domain.add_lsr_rule([chain["mid1"]], [chain["ingress"]])
+        path = [chain["ingress"], chain["mid1"]]
+        visible = domain.visible_path(path, chain["mid1"])
+        assert chain["mid1"] in visible

@@ -1,0 +1,147 @@
+"""Unit and property tests for the forwarding substrate."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.network import Network
+from repro.net.router import Router
+
+
+class TestConstruction:
+    def test_duplicate_router_uid_rejected(self, toy_network):
+        net, _routers = toy_network
+        with pytest.raises(TopologyError):
+            net.add_router(Router("src"))
+
+    def test_duplicate_address_rejected(self, toy_network):
+        net, routers = toy_network
+        with pytest.raises(TopologyError):
+            net.add_interface(routers["src"], "10.0.0.1", 30)
+
+    def test_owner_lookup(self, toy_network):
+        net, routers = toy_network
+        assert net.owner_router("10.0.0.6") is routers["b1"]
+        assert net.owner_interface("203.0.113.1") is None
+
+    def test_loopback_owner_lookup(self, toy_network):
+        net, routers = toy_network
+        routers["a"].loopback = ipaddress.ip_address("192.0.2.77")
+        assert net.owner_router("192.0.2.77") is routers["a"]
+
+
+class TestRouteTarget:
+    def test_existing_interface(self, toy_network):
+        net, routers = toy_network
+        router, exists = net.route_target("10.0.0.14")
+        assert router is routers["dst"] and exists
+
+    def test_prefix_routed_nonexistent(self, toy_network):
+        net, routers = toy_network
+        router, exists = net.route_target("198.18.5.77")
+        assert router is routers["dst"] and not exists
+
+    def test_unroutable(self, toy_network):
+        net, _ = toy_network
+        router, exists = net.route_target("203.0.113.1")
+        assert router is None and not exists
+
+    def test_longest_prefix_wins(self, toy_network):
+        net, routers = toy_network
+        net.add_prefix_route("198.18.5.128/25", routers["b1"])
+        assert net.route_target("198.18.5.200")[0] is routers["b1"]
+        assert net.route_target("198.18.5.10")[0] is routers["dst"]
+
+
+class TestForwarding:
+    def test_path_endpoints(self, toy_network):
+        net, routers = toy_network
+        path = net.forwarding_path(routers["src"], routers["dst"])
+        assert path[0] is routers["src"] and path[-1] is routers["dst"]
+        assert len(path) == 4  # src, a, b1|b2, dst
+
+    def test_no_route_raises(self, toy_network):
+        net, routers = toy_network
+        island = net.add_router(Router("island"))
+        with pytest.raises(RoutingError):
+            net.forwarding_path(routers["src"], island)
+
+    def test_flow_pinning_is_stable(self, toy_network):
+        net, routers = toy_network
+        paths = {
+            tuple(r.uid for r in net.forwarding_path(
+                routers["src"], routers["dst"], flow_id="flow-1"
+            ))
+            for _ in range(5)
+        }
+        assert len(paths) == 1
+
+    def test_ecmp_flows_diverge(self, toy_network):
+        net, routers = toy_network
+        middles = {
+            net.forwarding_path(routers["src"], routers["dst"], flow_id=f"f{i}")[2].uid
+            for i in range(64)
+        }
+        assert middles == {"b1", "b2"}
+
+    def test_inbound_interfaces(self, toy_network):
+        net, routers = toy_network
+        path = net.forwarding_path(routers["src"], routers["dst"], flow_id="x")
+        inbound = net.inbound_interfaces(path)
+        assert inbound[0] is None
+        for router, iface in zip(path[1:], inbound[1:]):
+            assert iface.router is router
+
+    def test_path_delays_monotonic(self, toy_network):
+        net, routers = toy_network
+        path = net.forwarding_path(routers["src"], routers["dst"])
+        delays = net.path_delays_ms(path)
+        assert delays[0] == 0.0
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+
+    def test_metric_routing_vs_physical_delay(self):
+        """Routing follows metrics; latency follows fiber length."""
+        net = Network()
+        a, b, c = (net.add_router(Router(u)) for u in "abc")
+        # Short fiber but terrible metric...
+        net.connect(a, b, "10.0.0.1", "10.0.0.2", length_km=10, metric=100.0)
+        # ...vs long fiber with a great metric via c.
+        net.connect(a, c, "10.0.1.1", "10.0.1.2", length_km=2000, metric=1.0)
+        net.connect(c, b, "10.0.2.1", "10.0.2.2", length_km=2000, metric=1.0)
+        path = net.forwarding_path(a, b)
+        assert [r.uid for r in path] == ["a", "c", "b"]
+        assert net.path_delay_ms(a, b) > 10.0  # 4000 km of fiber
+
+    def test_degree_and_neighbors(self, toy_network):
+        net, routers = toy_network
+        assert net.degree(routers["a"]) == 3
+        assert {r.uid for r in net.neighbors(routers["dst"])} == {"b1", "b2"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                min_size=1, max_size=20))
+def test_random_graphs_route_or_raise(edges):
+    """Property: on random small graphs every reachable pair routes, and
+    the returned path is a real walk over existing links."""
+    net = Network()
+    routers = [net.add_router(Router(f"n{i}")) for i in range(10)]
+    seen = set()
+    base = 0
+    for a, b in edges:
+        if a == b or (min(a, b), max(a, b)) in seen:
+            continue
+        seen.add((min(a, b), max(a, b)))
+        net.connect(
+            routers[a], routers[b],
+            f"10.{base // 250}.{base % 250}.1", f"10.{base // 250}.{base % 250}.2",
+            prefixlen=30, length_km=1 + a + b,
+        )
+        base += 1
+    for a, b in seen:
+        path = net.forwarding_path(routers[a], routers[b], flow_id="t")
+        assert path[0].uid == f"n{a}" and path[-1].uid == f"n{b}"
+        for prev, cur in zip(path, path[1:]):
+            assert cur in net.neighbors(prev)

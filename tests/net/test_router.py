@@ -1,0 +1,106 @@
+"""Unit tests for the router model and reply policies."""
+
+import ipaddress
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.router import Interface, ReplyPolicy, Router
+
+
+def _router_with_ifaces(uid="r1", addrs=("10.0.0.1", "10.0.0.5")) -> Router:
+    router = Router(uid)
+    for addr in addrs:
+        router.add_interface(addr, 30)
+    return router
+
+
+class TestRouterBasics:
+    def test_addresses_include_loopback(self):
+        router = _router_with_ifaces()
+        router.loopback = ipaddress.ip_address("192.0.2.1")
+        assert "192.0.2.1" in {str(a) for a in router.addresses()}
+
+    def test_owns(self):
+        router = _router_with_ifaces()
+        assert router.owns("10.0.0.1")
+        assert not router.owns("10.0.0.9")
+
+    def test_interface_for_missing_raises(self):
+        router = _router_with_ifaces()
+        with pytest.raises(TopologyError):
+            router.interface_for("203.0.113.1")
+
+    def test_ipid_monotonic_mod_wrap(self):
+        router = Router("r", ipid_seed=65530, ipid_step=3)
+        values = [router.next_ipid() for _ in range(5)]
+        for prev, cur in zip(values, values[1:]):
+            assert (cur - prev) % 65536 == 3
+
+    def test_ipid_seed_deterministic(self):
+        assert Router("same").next_ipid() == Router("same").next_ipid()
+        assert Router("a").next_ipid() != Router("b").next_ipid() or True  # may collide
+
+
+class TestReplyAddress:
+    def test_inbound_mode(self):
+        router = _router_with_ifaces()
+        inbound = router.interfaces[1]
+        assert router.reply_address(inbound, "10.0.0.1") == inbound.address
+
+    def test_loopback_mode(self):
+        router = _router_with_ifaces()
+        router.policy = ReplyPolicy(reply_from="loopback")
+        router.loopback = ipaddress.ip_address("192.0.2.9")
+        assert str(router.reply_address(router.interfaces[0], "10.0.0.1")) == "192.0.2.9"
+
+    def test_probed_mode_falls_back_to_owned(self):
+        router = _router_with_ifaces()
+        router.policy = ReplyPolicy(reply_from="probed")
+        assert str(router.reply_address(None, "10.0.0.5")) == "10.0.0.5"
+
+    def test_no_interfaces_raises(self):
+        router = Router("empty")
+        router.policy = ReplyPolicy(reply_from="probed")
+        with pytest.raises(TopologyError):
+            router.reply_address(None, "203.0.113.9")
+
+
+class TestReplyPolicy:
+    def test_default_always_responds(self):
+        policy = ReplyPolicy()
+        assert policy.responds_to(ipaddress.ip_address("203.0.113.1"), "k")
+
+    def test_internal_only_blocks_external(self):
+        policy = ReplyPolicy(
+            internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        assert policy.responds_to(ipaddress.ip_address("10.1.2.3"), "k")
+        assert not policy.responds_to(ipaddress.ip_address("203.0.113.1"), "k")
+
+    def test_zero_probability_never_responds(self):
+        policy = ReplyPolicy(respond_prob=0.0)
+        assert not policy.responds_to(ipaddress.ip_address("10.0.0.1"), "k")
+
+    def test_partial_probability_is_deterministic_per_probe(self):
+        policy = ReplyPolicy(respond_prob=0.5)
+        source = ipaddress.ip_address("10.0.0.1")
+        first = [policy.responds_to(source, f"probe-{i}") for i in range(50)]
+        second = [policy.responds_to(source, f"probe-{i}") for i in range(50)]
+        assert first == second
+        assert 5 < sum(first) < 45  # roughly half respond
+
+    def test_echo_internal_only_blocks_only_echo(self):
+        policy = ReplyPolicy(
+            echo_internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        outside = ipaddress.ip_address("203.0.113.1")
+        assert policy.responds_to(outside, "k")  # TTL expiry still works
+        assert not policy.answers_echo(outside, "k")
+        assert policy.answers_echo(ipaddress.ip_address("10.2.3.4"), "k")
+
+    def test_answers_echo_respects_internal_only_too(self):
+        policy = ReplyPolicy(
+            internal_only=(ipaddress.ip_network("10.0.0.0/8"),)
+        )
+        assert not policy.answers_echo(ipaddress.ip_address("203.0.113.1"), "k")

@@ -1,0 +1,122 @@
+"""Unit tests for hostname parsing and CLLI handling."""
+
+import pytest
+
+from repro.rdns.clli import Clli, clli_state, parse_clli
+from repro.rdns.regexes import CABLE_PATTERNS, HostnameParser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return HostnameParser()
+
+
+class TestPaperHostnames:
+    """The exact hostnames shown in the paper's figures must parse."""
+
+    def test_fig5a_charter_backbone(self, parser):
+        parsed = parser.parse("bu-ether15.lsancarc0yw-bcr00.tbone.rr.com")
+        assert parsed.isp == "charter" and parsed.role == "backbone"
+        assert parsed.co_tag == "lsancarc0yw"
+
+    def test_fig5a_charter_regional(self, parser):
+        parsed = parser.parse("agg1.sndhcaax01r.socal.rr.com")
+        assert parsed.region == "socal"
+        assert parsed.co_tag == "sndhcaax01"
+        assert parsed.role == "agg"
+
+    def test_fig5a_charter_edge_letter(self, parser):
+        parsed = parser.parse("agg1.sndgcaxk02m.socal.rr.com")
+        assert parsed.role == "edge"
+
+    def test_fig5b_comcast_backbone(self, parser):
+        parsed = parser.parse("be-1102-cr02.sunnyvale.ca.ibone.comcast.net")
+        assert parsed.role == "backbone"
+        assert parsed.co_tag == "sunnyvale.ca"
+
+    def test_fig5b_comcast_regional(self, parser):
+        parsed = parser.parse("po-1-1-cbr01.troutdale.or.bverton.comcast.net")
+        assert parsed.region == "bverton"
+        assert parsed.co_tag == "troutdale.or"
+        assert parsed.role == "edge"
+
+    def test_fig5b_comcast_agg(self, parser):
+        parsed = parser.parse("ae-72-ar01.beaverton.or.bverton.comcast.net")
+        assert parsed.role == "agg"
+
+    def test_fig12_att_backbone(self, parser):
+        parsed = parser.parse("cr2.sd2ca.ip.att.net")
+        assert parsed.isp == "att" and parsed.role == "backbone"
+        assert parsed.region == "sd2ca"
+
+    def test_fig12_att_lspgw(self, parser):
+        parsed = parser.parse(
+            "107-200-91-1.lightspeed.sndgca.sbcglobal.net"
+        )
+        assert parsed.role == "lspgw" and parsed.region == "sndgca"
+
+    def test_verizon_speedtest(self, parser):
+        parsed = parser.parse("cavt.ost.myvzw.com")
+        assert parsed.isp == "verizon" and parsed.role == "edge"
+        assert parsed.co_tag == "cavt"
+
+    def test_verizon_alter_net(self, parser):
+        parsed = parser.parse("0.ae2.br2.lax.alter.net")
+        assert parsed.isp == "verizon" and parsed.role == "backbone"
+
+
+class TestRejects:
+    def test_none(self, parser):
+        assert parser.parse(None) is None
+
+    def test_empty(self, parser):
+        assert parser.parse("") is None
+
+    def test_unrelated(self, parser):
+        assert parser.parse("www.example.com") is None
+
+    def test_lookalike_wrong_tld(self, parser):
+        assert parser.parse("agg1.sndhcaax01r.socal.rr.org") is None
+
+
+class TestHelpers:
+    def test_regional_co_filters_isp(self, parser):
+        name = "ae-1-ar01.denver.co.denver.comcast.net"
+        assert parser.regional_co(name, "comcast") == ("denver", "denver.co")
+        assert parser.regional_co(name, "charter") is None
+
+    def test_regional_co_excludes_backbone(self, parser):
+        name = "be-1102-cr02.sunnyvale.ca.ibone.comcast.net"
+        assert parser.regional_co(name, "comcast") is None
+
+    def test_is_backbone(self, parser):
+        assert parser.is_backbone("cr1.sd2ca.ip.att.net")
+        assert parser.is_backbone("cr1.sd2ca.ip.att.net", isp="att")
+        assert not parser.is_backbone("cr1.sd2ca.ip.att.net", isp="comcast")
+        assert not parser.is_backbone("agg1.sndhcaax01r.socal.rr.com")
+
+    def test_harvest_patterns(self):
+        assert CABLE_PATTERNS["att-lspgw"].search(
+            "107-200-91-1.lightspeed.sndgca.sbcglobal.net"
+        )
+        assert not CABLE_PATTERNS["att-lspgw"].search("cr2.sd2ca.ip.att.net")
+
+
+class TestClli:
+    def test_parse_full(self):
+        parsed = parse_clli("SNDGCA02")
+        assert parsed == Clli("SNDG", "CA", "02")
+        assert parsed.place == "SNDGCA"
+
+    def test_parse_lowercase(self):
+        assert parse_clli("sndgca").state == "CA"
+
+    def test_invalid_state_rejected(self):
+        assert parse_clli("SNDGXX02") is None
+
+    def test_short_string_rejected(self):
+        assert parse_clli("SND") is None
+
+    def test_clli_state_helper(self):
+        assert clli_state("NSVLTN") == "TN"
+        assert clli_state("garbage!") is None

@@ -1,0 +1,82 @@
+"""Tests for the CLI and the package's public API surface."""
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_exports_resolve(self):
+        assert repro.CableInferencePipeline.__name__ == "CableInferencePipeline"
+        assert repro.AttInferencePipeline.__name__ == "AttInferencePipeline"
+        assert repro.MobileIPv6Analyzer.__name__ == "MobileIPv6Analyzer"
+        assert repro.SimulatedInternet.__name__ == "SimulatedInternet"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.NotAThing
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            AddressError,
+            InferenceError,
+            MeasurementError,
+            ReproError,
+            RoutingError,
+            TopologyError,
+        )
+
+        for exc in (AddressError, InferenceError, MeasurementError,
+                    RoutingError, TopologyError):
+            assert issubclass(exc, ReproError)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_cable_args(self):
+        args = build_parser().parse_args(
+            ["map-cable", "comcast", "--sweep-vps", "4"]
+        )
+        assert args.isp == "comcast" and args.sweep_vps == 4
+
+    def test_bad_isp_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map-cable", "frontier"])
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "9", "energy"])
+        assert args.seed == 9
+
+
+class TestEnergyCommand:
+    def test_prints_comparison(self, capsys):
+        assert main(["energy", "--targets", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "saving:" in out and "battery life" in out
+
+
+class TestShipCommand:
+    def test_runs_and_exports(self, tmp_path, capsys):
+        assert main(["--seed", "5", "ship", "--json-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "att-mobile" in out and "verizon" in out
+        documents = sorted(tmp_path.glob("*.json"))
+        assert len(documents) == 3
+        payload = json.loads(documents[0].read_text())
+        assert payload["kind"] == "mobile-carrier"
+
+
+class TestMapAttCommand:
+    def test_unknown_region_fails_cleanly(self, capsys):
+        code = main(["map-att", "nowhere"])
+        assert code == 2
+        assert "unknown region" in capsys.readouterr().err

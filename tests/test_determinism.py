@@ -1,0 +1,70 @@
+"""Determinism regression: everything is seeded, nothing reads global
+RNG state, so same seed ⇒ same world and same measurements."""
+
+from repro.measure.traceroute import Tracerouter
+from repro.net.network import Network
+from repro.topology.cable import build_comcast_like
+from repro.topology.geography import Geography
+from repro.topology.mobile import build_mobile_carriers
+
+
+def _build():
+    net = Network()
+    return net, build_comcast_like(net, Geography(), seed=42)
+
+
+class TestSameSeedSameWorld:
+    def test_identical_address_plan(self):
+        net_a, _ = _build()
+        net_b, _ = _build()
+        assert sorted(net_a.all_addresses()) == sorted(net_b.all_addresses())
+
+    def test_identical_rdns(self):
+        net_a, _ = _build()
+        net_b, _ = _build()
+        assert list(net_a.rdns.snapshot_items()) == list(net_b.rdns.snapshot_items())
+
+    def test_identical_co_tags(self):
+        _net_a, isp_a = _build()
+        _net_b, isp_b = _build()
+        tags_a = sorted(
+            isp_a.co_tag(co)
+            for region in isp_a.regions.values()
+            for co in region.cos.values()
+        )
+        tags_b = sorted(
+            isp_b.co_tag(co)
+            for region in isp_b.regions.values()
+            for co in region.cos.values()
+        )
+        assert tags_a == tags_b
+
+    def test_identical_traceroutes(self):
+        results = []
+        for _ in range(2):
+            net, isp = _build()
+            src = isp.regions["seattle"].edge_cos[0].routers[0]
+            dst = str(
+                isp.regions["denver"].edge_cos[0].routers[0].interfaces[0].address
+            )
+            trace = Tracerouter(net).trace(src, dst, flow_id=7)
+            results.append([(h.address, h.rtt_ms) for h in trace.hops])
+        assert results[0] == results[1]
+
+    def test_identical_mobile_attachments(self):
+        prefixes = []
+        for _ in range(2):
+            carriers = build_mobile_carriers(Geography(), seed=42)
+            attachment = carriers["verizon"].attach(40.7, -74.0)
+            prefixes.append(str(attachment.user_prefix))
+        assert prefixes[0] == prefixes[1]
+
+    def test_different_seeds_differ(self):
+        nets = []
+        for seed in (1, 2):
+            net = Network()
+            build_comcast_like(net, Geography(), seed=seed)
+            nets.append(sorted(
+                name for _a, name in net.rdns.snapshot_items()
+            ))
+        assert nets[0] != nets[1]

@@ -1,0 +1,79 @@
+"""Unit tests for the synthetic AS-relationship dataset (App. D)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.asrel import (
+    CARRIER_ASNS,
+    NEIGHBOR_COUNTS,
+    AsRelationshipDataset,
+    reduced_target,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return AsRelationshipDataset(seed=1)
+
+
+class TestNeighborSets:
+    def test_paper_counts(self, dataset):
+        for carrier, asn in CARRIER_ASNS.items():
+            assert len(dataset.neighbors_of(asn)) == NEIGHBOR_COUNTS[carrier]
+
+    def test_deterministic(self):
+        first = AsRelationshipDataset(seed=1)
+        second = AsRelationshipDataset(seed=1)
+        asn = CARRIER_ASNS["verizon"]
+        assert first.neighbors_of(asn) == second.neighbors_of(asn)
+
+    def test_unknown_asn(self, dataset):
+        with pytest.raises(TopologyError):
+            dataset.neighbors_of(99)
+
+    def test_relationship_kinds(self, dataset):
+        kinds = {rel.kind for rel in dataset.relationships()}
+        assert kinds == {"p2c", "p2p"}
+
+    def test_carriers_not_own_neighbors(self, dataset):
+        for asn in CARRIER_ASNS.values():
+            assert asn not in dataset.neighbors_of(asn)
+
+
+class TestTargets:
+    def test_one_pair_per_neighbor(self, dataset):
+        targets = dataset.targets_for("att-mobile")
+        assert len(targets) == 266
+        v4s = {v4 for v4, _ in targets}
+        assert len(v4s) == 266  # unique per neighbour
+
+    def test_target_families(self, dataset):
+        v4, v6 = dataset.targets_for("tmobile")[0]
+        assert "." in v4 and ":" in v6
+
+    def test_unknown_carrier(self, dataset):
+        with pytest.raises(TopologyError):
+            dataset.targets_for("sprint")
+
+
+class TestReduction:
+    def test_identical_paths_reduce(self, dataset):
+        target = reduced_target(dataset, "verizon", probe=lambda t: "same-path")
+        assert target == dataset.targets_for("verizon")[0][0]
+
+    def test_divergent_paths_refuse(self, dataset):
+        with pytest.raises(TopologyError):
+            reduced_target(dataset, "verizon", probe=lambda t: t)
+
+    def test_reduction_against_real_carrier(self, dataset, internet):
+        """The §7.1.1 pilot: all neighbour targets share one in-carrier
+        path, so the campaign keeps a single destination."""
+        carrier = internet.mobile_carriers["verizon"]
+        attachment = carrier.attach(32.7, -117.1)
+
+        def probe(target):
+            hops = carrier.carrier_hops(attachment)
+            return tuple(h.address for h in hops if h.address)
+
+        target = reduced_target(dataset, "verizon", probe)
+        assert target

@@ -1,0 +1,185 @@
+"""Generator invariants for the cable ISPs (ground-truth side of §5)."""
+
+import collections
+import ipaddress
+
+import pytest
+
+from repro.net.network import Network
+from repro.topology.cable import (
+    CHARTER_REGION_SPECS,
+    COMCAST_REGION_SPECS,
+    build_charter_like,
+    build_comcast_like,
+)
+from repro.topology.co import CoKind
+from repro.topology.geography import Geography
+
+
+@pytest.fixture(scope="module")
+def cable():
+    net = Network()
+    geo = Geography()
+    comcast = build_comcast_like(net, geo, seed=11)
+    charter = build_charter_like(net, geo, seed=11)
+    return net, comcast, charter
+
+
+class TestRegionInventory:
+    def test_region_counts_match_paper(self, cable):
+        _net, comcast, charter = cable
+        assert len(comcast.regions) == 28
+        assert len(charter.regions) == 6
+
+    def test_comcast_aggregation_type_mix(self, cable):
+        _net, comcast, _charter = cable
+        counts = collections.Counter(
+            r.agg_type for r in comcast.regions.values()
+        )
+        assert counts == {"single": 5, "two": 11, "multi": 12}
+
+    def test_charter_regions_all_multi(self, cable):
+        _net, _comcast, charter = cable
+        assert all(r.agg_type == "multi" for r in charter.regions.values())
+
+    def test_charter_regions_are_larger(self, cable):
+        _net, comcast, charter = cable
+        import statistics
+
+        comcast_sizes = [len(r.cos) for r in comcast.regions.values()]
+        charter_sizes = [len(r.cos) for r in charter.regions.values()]
+        assert min(charter_sizes) > statistics.median(comcast_sizes)
+        assert max(charter_sizes) > max(comcast_sizes)
+
+
+class TestGroundTruthStructure:
+    def test_every_region_has_entries(self, cable):
+        _net, comcast, charter = cable
+        for isp in (comcast, charter):
+            for region in isp.regions.values():
+                assert region.entries, region.name
+
+    def test_most_regions_have_two_backbone_entries(self, cable):
+        _net, comcast, _charter = cable
+        for name, region in comcast.regions.items():
+            if name == "connecticut":
+                continue  # enters via New England (§5.5)
+            backbone_cos = {
+                outside for outside, _local in region.entries
+                if ":bb:" in outside
+            }
+            assert len(backbone_cos) >= 2, name
+
+    def test_connecticut_enters_via_newengland(self, cable):
+        _net, comcast, _charter = cable
+        ct = comcast.regions["connecticut"]
+        assert all(":bb:" not in outside for outside, _ in ct.entries)
+        newengland_uids = set(comcast.regions["newengland"].cos)
+        assert all(outside in newengland_uids for outside, _ in ct.entries)
+
+    def test_southeast_has_no_redundancy(self, cable):
+        _net, _comcast, charter = cable
+        southeast = charter.regions["southeast"]
+        for edge in southeast.edge_cos:
+            assert len(southeast.upstreams_of(edge)) <= 1
+
+    def test_single_upstream_fractions_match_paper(self, cable):
+        _net, comcast, charter = cable
+
+        def fraction(isp, exclude=()):
+            single = total = 0
+            for name, region in isp.regions.items():
+                if name in exclude:
+                    continue
+                for edge in region.edge_cos:
+                    ups = region.upstreams_of(edge)
+                    if not ups:
+                        continue
+                    total += 1
+                    single += len(ups) == 1
+            return single / total
+
+        assert fraction(comcast) < 0.2          # paper: 11.4 % measured
+        assert 0.3 < fraction(charter) < 0.5    # paper: 37.7 %
+        assert fraction(charter) > 2 * fraction(comcast)
+
+    def test_every_edge_co_has_customer_prefix_route(self, cable):
+        net, comcast, _charter = cable
+        region = comcast.regions["seattle"]
+        for edge in region.edge_cos:
+            router = edge.routers[0]
+            prefixes = [
+                prefix for prefix, owner in net._prefix_routes.items()
+                if owner is router
+            ]
+            assert prefixes, edge.uid
+
+
+class TestNaming:
+    def test_co_tags_unique_per_isp(self, cable):
+        _net, comcast, charter = cable
+        for isp in (comcast, charter):
+            tags = [
+                isp.co_tag(co)
+                for region in isp.regions.values()
+                for co in region.cos.values()
+            ]
+            assert len(tags) == len(set(tags))
+
+    def test_comcast_tag_contains_state(self, cable):
+        _net, comcast, _charter = cable
+        region = comcast.regions["bverton"]
+        for co in region.cos.values():
+            assert comcast.co_tag(co).endswith(".or")
+
+    def test_charter_tags_look_like_clli(self, cable):
+        _net, _comcast, charter = cable
+        region = charter.regions["socal"]
+        for co in region.cos.values():
+            tag = charter.co_tag(co)
+            assert len(tag) == 10 and tag[-2:].isdigit()
+
+    def test_rdns_parseable_by_own_regexes(self, cable):
+        from repro.rdns.regexes import HostnameParser
+
+        net, comcast, charter = cable
+        parser = HostnameParser()
+        parsed = recognized = 0
+        for _addr, name in net.rdns.snapshot_items():
+            parsed += 1
+            if parser.parse(name) is not None:
+                recognized += 1
+        assert recognized / parsed > 0.95
+
+    def test_stale_rate_in_expected_band(self, cable):
+        net, _comcast, _charter = cable
+        assert 0.0 < net.rdns.stale_count / len(net.rdns) < 0.10
+
+
+class TestMpls:
+    def test_only_one_charter_region_uses_mpls(self):
+        mpls_specs = [s for s in CHARTER_REGION_SPECS if s.uses_mpls]
+        assert len(mpls_specs) == 1 and mpls_specs[0].name == "midwest"
+        assert not any(s.uses_mpls for s in COMCAST_REGION_SPECS)
+
+    def test_midwest_tunnels_exist(self, cable):
+        net, _comcast, _charter = cable
+        assert len(net.mpls.tunnels) > 0
+
+
+class TestAddressing:
+    def test_region_prefixes_disjoint(self, cable):
+        _net, comcast, _charter = cable
+        prefixes = [
+            prefix
+            for plist in comcast.region_prefixes.values()
+            for prefix in plist
+        ]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_p2p_prefix_lengths(self, cable):
+        _net, comcast, charter = cable
+        assert comcast.p2p_prefixlen == 30
+        assert charter.p2p_prefixlen == 31

@@ -1,0 +1,105 @@
+"""Unit tests for fiber rings and CO/region bookkeeping."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.co import CentralOffice, CoKind, Region
+from repro.topology.fiber import FiberRing
+from repro.topology.geography import City, Geography
+
+
+def _co(uid, name, state="CA", lat=33.0, lon=-117.0, kind=CoKind.EDGE):
+    return CentralOffice(
+        uid=uid, kind=kind, city=City(name, state, lat, lon), clli=uid
+    )
+
+
+@pytest.fixture()
+def ring():
+    members = [
+        _co("AGGA", "AggTown", lat=33.0, lon=-117.0, kind=CoKind.AGG),
+        _co("E1", "EdgeOne", lat=33.2, lon=-117.1),
+        _co("E2", "EdgeTwo", lat=33.4, lon=-117.0),
+        _co("AGGB", "AggVille", lat=33.3, lon=-116.8, kind=CoKind.AGG),
+        _co("E3", "EdgeThree", lat=33.1, lon=-116.9),
+    ]
+    return FiberRing("test-ring", members, Geography())
+
+
+class TestFiberRing:
+    def test_needs_two_members(self):
+        with pytest.raises(TopologyError):
+            FiberRing("tiny", [_co("X", "X Town")], Geography())
+
+    def test_rejects_duplicates(self):
+        co = _co("X", "X Town")
+        with pytest.raises(TopologyError):
+            FiberRing("dup", [co, co], Geography())
+
+    def test_arc_is_at_most_half_circumference(self, ring):
+        half = ring.circumference_km() / 2
+        for a in ring.members:
+            for b in ring.members:
+                assert ring.arc_km(a, b) <= half + 1e-9
+
+    def test_arc_symmetry(self, ring):
+        a, b = ring.members[0], ring.members[3]
+        assert ring.arc_km(a, b) == pytest.approx(ring.arc_km(b, a))
+
+    def test_arc_zero_for_self(self, ring):
+        assert ring.arc_km(ring.members[0], ring.members[0]) == 0.0
+
+    def test_arc_rejects_non_member(self, ring):
+        with pytest.raises(TopologyError):
+            ring.arc_km(ring.members[0], _co("ZZ", "Elsewhere"))
+
+    def test_star_links_cover_all_leaves(self, ring):
+        hubs = [ring.members[0], ring.members[3]]
+        links = ring.star_links(hubs)
+        leaves = {co.uid for _h, co, _d in links}
+        assert leaves == {"E1", "E2", "E3"}
+        assert len(links) == 6  # each leaf to each hub
+
+    def test_star_links_rejects_off_ring_hub(self, ring):
+        with pytest.raises(TopologyError):
+            ring.star_links([_co("ZZ", "Elsewhere")])
+
+
+class TestRegion:
+    def test_add_and_query(self):
+        region = Region("r1", "isp")
+        agg = region.add_co(_co("AGG", "Agg Town", kind=CoKind.AGG))
+        edge = region.add_co(_co("EDGE", "Edge Town"))
+        region.add_edge(agg, edge)
+        assert region.upstreams_of(edge) == ["AGG"]
+        assert region.edge_count() == 1
+        assert list(region.edge_pairs()) == [("AGG", "EDGE")]
+        assert region.agg_cos == [agg]
+        assert region.edge_cos == [edge]
+
+    def test_duplicate_co_rejected(self):
+        region = Region("r1", "isp")
+        region.add_co(_co("X", "X Town"))
+        with pytest.raises(TopologyError):
+            region.add_co(_co("X", "X Town"))
+
+    def test_edge_requires_membership(self):
+        region = Region("r1", "isp")
+        inside = region.add_co(_co("IN", "In Town"))
+        outside = _co("OUT", "Out Town")
+        with pytest.raises(TopologyError):
+            region.add_edge(inside, outside)
+
+    def test_entry_requires_membership(self):
+        region = Region("r1", "isp")
+        with pytest.raises(TopologyError):
+            region.add_entry("bb", _co("OUT", "Out Town"))
+
+    def test_router_annotation(self):
+        from repro.net.router import Router
+
+        co = _co("X", "X Town")
+        router = Router("r")
+        co.add_router(router)
+        assert router.co is co
+        assert co.routers == [router]

@@ -1,0 +1,126 @@
+"""Unit and property tests for the synthetic geography."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.geography import (
+    STATE_ADJACENCY,
+    Geography,
+    City,
+    clli_city_code,
+    great_circle_km,
+)
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return Geography()
+
+
+class TestDistances:
+    def test_known_distance(self, geo):
+        la = geo.city("Los Angeles", "CA")
+        sd = geo.city("San Diego", "CA")
+        assert 150 < geo.distance_km(la, sd) < 220
+
+    def test_zero_distance(self, geo):
+        city = geo.city("Chicago", "IL")
+        assert geo.distance_km(city, city) == 0.0
+
+    @given(
+        st.floats(min_value=25, max_value=49),
+        st.floats(min_value=-124, max_value=-67),
+        st.floats(min_value=25, max_value=49),
+        st.floats(min_value=-124, max_value=-67),
+    )
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        forward = great_circle_km(lat1, lon1, lat2, lon2)
+        backward = great_circle_km(lat2, lon2, lat1, lon1)
+        assert forward == pytest.approx(backward)
+        assert forward >= 0
+
+
+class TestLookups:
+    def test_city_by_name_and_state(self, geo):
+        assert geo.city("Portland", "OR").state == "OR"
+        assert geo.city("Portland ME", "ME").state == "ME"
+
+    def test_unknown_city_raises(self, geo):
+        with pytest.raises(TopologyError):
+            geo.city("Atlantis")
+
+    def test_unknown_state_raises(self, geo):
+        with pytest.raises(TopologyError):
+            geo.cities_in("ZZ")
+
+    def test_cities_sorted_by_weight(self, geo):
+        cities = geo.cities_in("CA")
+        weights = [c.weight for c in cities]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_nearest(self, geo):
+        nearest = geo.nearest(32.7, -117.15, 1)[0]
+        assert nearest.name == "San Diego"
+
+    def test_every_contiguous_state_has_a_city(self, geo):
+        missing = set(STATE_ADJACENCY) - set(geo.states())
+        assert not missing
+
+
+class TestClli:
+    def test_paper_codes(self):
+        assert clli_city_code("San Diego") == "SNDG"
+        assert clli_city_code("Los Angeles") == "LSAN"
+        assert clli_city_code("Nashville") == "NSVL"
+
+    def test_synthesized_code_shape(self):
+        code = clli_city_code("Tulsa")
+        assert len(code) == 4 and code.isupper()
+
+    def test_full_clli(self, geo):
+        city = geo.city("San Diego", "CA")
+        assert geo.clli(city, 2) == "SNDGCA02"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            clli_city_code("123")
+
+
+class TestShippingRoutes:
+    def test_simple_route(self, geo):
+        assert geo.shipping_route("CA", "WA") in (["CA", "OR", "WA"],)
+
+    def test_same_state(self, geo):
+        assert geo.shipping_route("TX", "TX") == ["TX"]
+
+    def test_route_is_connected(self, geo):
+        route = geo.shipping_route("WA", "FL")
+        for a, b in zip(route, route[1:]):
+            assert b in STATE_ADJACENCY[a]
+
+    def test_unknown_state(self, geo):
+        with pytest.raises(TopologyError):
+            geo.shipping_route("CA", "PR")
+
+    def test_adjacency_is_symmetric(self):
+        for state, neighbors in STATE_ADJACENCY.items():
+            for neighbor in neighbors:
+                assert state in STATE_ADJACENCY[neighbor], (state, neighbor)
+
+
+class TestScatter:
+    def test_scatter_stays_near(self, geo):
+        rng = random.Random(1)
+        city = geo.city("Denver", "CO")
+        for _ in range(30):
+            lat, lon = geo.scatter(city, rng, radius_km=15.0)
+            assert great_circle_km(city.lat, city.lon, lat, lon) < 25.0
+
+    def test_scatter_deterministic_with_seed(self, geo):
+        city = geo.city("Denver", "CO")
+        first = geo.scatter(city, random.Random(5))
+        second = geo.scatter(city, random.Random(5))
+        assert first == second

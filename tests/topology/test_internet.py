@@ -1,0 +1,81 @@
+"""Assembly invariants for the composed simulated internet."""
+
+import ipaddress
+
+import pytest
+
+from repro.errors import TopologyError
+
+
+class TestAssembly:
+    def test_component_inventory(self, internet):
+        assert internet.comcast is not None
+        assert internet.charter is not None
+        assert internet.att is not None
+        assert set(internet.mobile_carriers) == {
+            "att-mobile", "verizon", "tmobile",
+        }
+
+    def test_transit_backbone_connected(self, internet):
+        routers = list(internet.transit_routers.values())
+        for router in routers[1:]:
+            path = internet.network.forwarding_path(routers[0], router)
+            assert path[-1] is router
+
+    def test_isp_pops_reachable_from_transit(self, internet):
+        transit = next(iter(internet.transit_routers.values()))
+        for isp in (internet.comcast, internet.charter, internet.att):
+            for pop in isp.backbone_pops.values():
+                path = internet.network.forwarding_path(transit, pop.routers[0])
+                assert path[-1] is pop.routers[0]
+
+    def test_server_vp_exists(self, internet):
+        assert internet.server_vp.city.name == "San Diego"
+
+
+class TestCloudVms:
+    def test_cloud_vm_idempotent(self, internet):
+        first = internet.cloud_vm("aws", "us-east-1")
+        second = internet.cloud_vm("aws", "us-east-1")
+        assert first is second
+
+    def test_unknown_region_rejected(self, internet):
+        with pytest.raises(TopologyError):
+            internet.cloud_vm("aws", "mars-central-1")
+
+    def test_all_cloud_vms(self, internet):
+        vms = internet.all_cloud_vms()
+        assert len(vms) == 14
+        providers = {vp.name.split("-")[1] for vp in vms}
+        assert providers == {"aws", "azure", "gcp"}
+
+
+class TestStandardVps:
+    def test_forty_seven_vps(self, standard_vps):
+        assert len(standard_vps) == 47
+
+    def test_vp_kind_mix(self, standard_vps):
+        kinds = {vp.kind for vp in standard_vps}
+        assert {"transit", "cloud", "access"} <= kinds
+
+    def test_includes_sanfrancisco_home(self, standard_vps):
+        assert any(
+            "sanfrancisco" in vp.name and "comcast" in vp.name
+            for vp in standard_vps
+        )
+
+    def test_vps_have_routable_sources(self, internet, standard_vps):
+        for vp in standard_vps[:10]:
+            owner = internet.network.owner_router(vp.src_address)
+            assert owner is vp.host
+
+
+class TestTelcoInternalVps:
+    def test_two_per_region(self, internet):
+        fleet = internet.telco_internal_vps(per_region=2)
+        assert len(fleet) == 2 * len(internet.att.regions)
+
+    def test_sources_inside_att_lastmile(self, internet):
+        pool = ipaddress.ip_network("107.128.0.0/9")
+        for vp in internet.telco_internal_vps(per_region=1):
+            assert ipaddress.ip_address(vp.src_address) in pool

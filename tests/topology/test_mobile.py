@@ -1,0 +1,163 @@
+"""Generator invariants for the mobile carriers (ground truth of §7)."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.addresses import Ipv6FieldCodec
+from repro.topology.geography import Geography
+from repro.topology.mobile import (
+    ATT_MOBILE_REGIONS,
+    ATT_STATE_COVERAGE,
+    VERIZON_REGIONS,
+    AttMobileCarrier,
+    TMobileLikeCarrier,
+    VerizonLikeCarrier,
+    build_mobile_carriers,
+)
+
+
+@pytest.fixture(scope="module")
+def carriers():
+    return build_mobile_carriers(Geography(), seed=11)
+
+
+class TestRegionTables:
+    def test_att_has_eleven_regions(self):
+        assert len(ATT_MOBILE_REGIONS) == 11
+
+    def test_att_pgw_counts_match_table7(self):
+        by_name = {r.name: r.pgw_count for r in ATT_MOBILE_REGIONS}
+        assert by_name["BTH"] == 2
+        assert by_name["ALP"] == 6
+        assert by_name["VNN"] == 5
+
+    def test_att_coverage_spans_contiguous_us(self):
+        from repro.topology.geography import STATE_ADJACENCY
+
+        assert set(ATT_STATE_COVERAGE) == set(STATE_ADJACENCY)
+
+    def test_verizon_region_bits_unique(self):
+        bits = [r.region_bits for r in VERIZON_REGIONS]
+        assert len(bits) == len(set(bits))
+
+    def test_verizon_backbone_grouping(self):
+        lax = [r for r in VERIZON_REGIONS if r.backbone == "LAX"]
+        assert {r.name for r in lax} == {"AZUSCA", "VISTCA"}
+
+
+class TestAttachment:
+    def test_att_region_follows_state_coverage(self, carriers):
+        att = carriers["att-mobile"]
+        attachment = att.attach(46.8, -110.0)  # Montana -> Chicago DC
+        assert attachment.region.name == "CHC"
+        assert att.attach(47.6, -122.3).region.name == "BTH"  # Seattle
+
+    def test_verizon_picks_nearest_site(self, carriers):
+        vz = carriers["verizon"]
+        assert vz.attach(33.2, -117.2).region.name == "VISTCA"
+
+    def test_pgw_cycles_on_reattach(self, carriers):
+        vz = carriers["verizon"]
+        pgws = [vz.attach(33.2, -117.2).pgw_index for _ in range(6)]
+        assert set(pgws) == {0, 1, 2}  # VISTCA has 3 PGWs (Table 8)
+
+    def test_tmobile_gulf_quirk(self, carriers):
+        tmo = carriers["tmobile"]
+        attachment = tmo.attach(32.4, -86.3)  # Montgomery, AL
+        assert attachment.region.name == "TMO-COLUMSC"
+
+    def test_tmobile_provider_rotates(self, carriers):
+        tmo = carriers["tmobile"]
+        providers = {tmo.attach(41.9, -87.6).provider for _ in range(6)}
+        assert len(providers) >= 2
+
+
+class TestAddressEncodings:
+    def test_att_user_prefix_carries_region_byte(self, carriers):
+        att = carriers["att-mobile"]
+        attachment = att.attach(34.0, -118.2)  # LA -> VNN
+        value = int(attachment.user_prefix.network_address)
+        region_byte = (value >> (128 - 40)) & 0xFF
+        assert region_byte == 0x6C  # the paper's example region
+
+    def test_verizon_user_prefix_fields(self, carriers):
+        vz = carriers["verizon"]
+        attachment = vz.attach(33.2, -117.2)  # VISTCA
+        fields = Ipv6FieldCodec(
+            {"backbone": (16, 32), "edgeco": (32, 40), "pgw": (40, 44)}
+        ).decode(attachment.user_prefix.network_address)
+        assert fields["backbone"] == 0x1012
+        assert fields["edgeco"] == 0xB1
+        assert fields["pgw"] == attachment.pgw_index
+
+    def test_tmobile_user_prefix_pgw_byte(self, carriers):
+        tmo = carriers["tmobile"]
+        attachment = tmo.attach(40.7, -74.0)
+        value = int(attachment.user_prefix.network_address)
+        pgw_byte = (value >> (128 - 40)) & 0xFF
+        expected = (attachment.region.region_bits + attachment.pgw_index) & 0xFF
+        assert pgw_byte == expected
+
+    def test_all_user_prefixes_are_64s(self, carriers):
+        for carrier in carriers.values():
+            attachment = carrier.attach(39.7, -105.0)
+            assert attachment.user_prefix.prefixlen == 64
+
+
+class TestTraceroutes:
+    def test_att_hops_match_fig16a_shape(self, carriers):
+        att = carriers["att-mobile"]
+        attachment = att.attach(34.0, -118.2)
+        hops = att.carrier_hops(attachment)
+        assert hops[0].address.startswith("2600:380:")
+        assert hops[1].address is None  # the silent hop 2
+        assert hops[2].address.startswith("2600:300:2090:")
+
+    def test_verizon_hops_include_alter_net(self, carriers):
+        vz = carriers["verizon"]
+        attachment = vz.attach(33.2, -117.2)
+        trace = vz.traceroute(attachment, "203.0.113.9")
+        rdns = [h.rdns for h in trace.hops if h.rdns]
+        assert any("alter.net" in name for name in rdns)
+
+    def test_tmobile_hops_use_ula_and_provider(self, carriers):
+        tmo = carriers["tmobile"]
+        attachment = tmo.attach(41.9, -87.6)
+        hops = tmo.carrier_hops(attachment)
+        assert hops[1].address.startswith("fc00:")
+        assert hops[3].address.startswith("fd00:976a:")
+        assert attachment.provider in hops[4].rdns
+
+    def test_trace_rtts_monotonic(self, carriers):
+        vz = carriers["verizon"]
+        geo = Geography()
+        attachment = vz.attach(33.2, -117.2)
+        trace = vz.traceroute(attachment, "203.0.113.9",
+                              dst_city=geo.city("San Diego", "CA"))
+        rtts = [h.rtt_ms for h in trace.hops if h.rtt_ms is not None]
+        assert rtts == sorted(rtts)
+        assert trace.completed
+
+
+class TestLatencyModel:
+    def test_detour_increases_rtt(self, carriers):
+        geo = Geography()
+        att = carriers["att-mobile"]
+        san_diego = geo.city("San Diego", "CA")
+        montana = att.attach(46.8, -110.0)      # detours via Seattle
+        local = att.attach(34.0, -118.2)        # LA datacenter
+        assert att.path_rtt_ms(montana, san_diego) > 1.4 * att.path_rtt_ms(local, san_diego)
+
+    def test_tmobile_gulf_anomaly_is_slower(self, carriers):
+        geo = Geography()
+        tmo = carriers["tmobile"]
+        san_diego = geo.city("San Diego", "CA")
+        gulf = tmo.attach(32.4, -86.3)          # -> Columbia SC
+        texan = tmo.attach(29.8, -95.4)         # -> Houston
+        assert tmo.path_rtt_ms(gulf, san_diego) > tmo.path_rtt_ms(texan, san_diego)
+
+    def test_speedtest_hostname_format(self, carriers):
+        vz = carriers["verizon"]
+        region = next(r for r in vz.regions if r.name == "VISTCA")
+        assert vz.speedtest_hostname(region) == "vist.ost.myvzw.com"

@@ -1,0 +1,144 @@
+"""Generator invariants for the AT&T-like telco (ground truth of §6)."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.network import Network
+from repro.topology.co import CoKind
+from repro.topology.geography import Geography
+from repro.topology.telco import (
+    TELCO_INTERNAL_PREFIXES,
+    TelcoIsp,
+    TelcoRegionSpec,
+    build_att_like,
+)
+
+
+@pytest.fixture(scope="module")
+def telco():
+    net = Network()
+    isp = build_att_like(net, Geography(), seed=11)
+    return net, isp
+
+
+class TestRegionStructure:
+    def test_san_diego_shape_matches_fig13(self, telco):
+        _net, isp = telco
+        region = isp.regions["sndgca"]
+        assert len(region.cos_of_kind(CoKind.BACKBONE)) == 1
+        assert len(region.agg_cos) == 4
+        assert len(region.edge_cos) == 42
+        bb = region.cos_of_kind(CoKind.BACKBONE)[0]
+        assert len(bb.routers) == 2
+        for edge in region.edge_cos:
+            assert len(edge.routers) == 2
+
+    def test_edge_cos_dual_homed_to_agg_pair(self, telco):
+        _net, isp = telco
+        region = isp.regions["sndgca"]
+        for edge in region.edge_cos:
+            assert len(region.upstreams_of(edge)) == 2
+
+    def test_aggs_feed_from_backbone(self, telco):
+        _net, isp = telco
+        region = isp.regions["sndgca"]
+        bb = region.cos_of_kind(CoKind.BACKBONE)[0]
+        for agg in region.agg_cos:
+            assert bb.uid in region.upstreams_of(agg)
+
+    def test_distant_sites_present(self, telco):
+        _net, isp = telco
+        cities = {co.city.name for co in isp.regions["sndgca"].edge_cos}
+        assert {"El Centro", "Calexico", "Vista"} <= cities
+
+    def test_region_tags(self, telco):
+        _net, isp = telco
+        assert "sndgca" in isp.regions
+        assert "nsvltn" in isp.regions
+
+
+class TestNamingAndFiltering:
+    def test_backbone_routers_have_cr_rdns(self, telco):
+        net, isp = telco
+        region = isp.regions["sndgca"]
+        bb = region.cos_of_kind(CoKind.BACKBONE)[0]
+        names = {net.rdns.lookup(str(r.loopback)) for r in bb.routers}
+        assert names == {"cr1.sd2ca.ip.att.net", "cr2.sd2ca.ip.att.net"}
+
+    def test_edge_and_agg_routers_unnamed(self, telco):
+        net, isp = telco
+        region = isp.regions["sndgca"]
+        for co in region.agg_cos + region.edge_cos:
+            for router in co.routers:
+                for iface in router.interfaces:
+                    assert net.rdns.lookup(iface.address) is None
+
+    def test_lspgw_rdns_format(self, telco):
+        net, isp = telco
+        import re
+
+        pattern = re.compile(
+            r"^[\d-]+-\d+\.lightspeed\.sndgca\.sbcglobal\.net$"
+        )
+        matches = [
+            name for _a, name in net.rdns.snapshot_items()
+            if "sndgca" in name
+        ]
+        assert matches and all(pattern.match(m) for m in matches)
+
+    def test_regional_routers_filter_external_probes(self, telco):
+        _net, isp = telco
+        region = isp.regions["sndgca"]
+        agg_router = region.agg_cos[0].routers[0]
+        external = ipaddress.ip_address("34.64.0.5")
+        internal = ipaddress.ip_address("107.200.1.5")
+        assert not agg_router.policy.responds_to(external, "k")
+        assert agg_router.policy.responds_to(internal, "k")
+
+    def test_dslam_refuses_external_echo_only(self, telco):
+        _net, isp = telco
+        dslam = isp.dslams_by_region["sndgca"][0]
+        external = ipaddress.ip_address("34.64.0.5")
+        assert dslam.policy.responds_to(external, "k")
+        assert not dslam.policy.answers_echo(external, "k")
+
+
+class TestAddressPlan:
+    def test_san_diego_prefix_counts_match_table6(self, telco):
+        _net, isp = telco
+        prefixes = isp.router_prefixes["sndgca"]
+        assert len(prefixes["edge"]) == 6
+        assert len(prefixes["agg"]) == 1
+
+    def test_edge_prefixes_inside_infra_pool(self, telco):
+        _net, isp = telco
+        pool = ipaddress.ip_network("71.128.0.0/10")
+        for block in isp.router_prefixes["sndgca"]["edge"]:
+            assert block.subnet_of(pool)
+
+    def test_internal_prefixes_cover_lastmile(self, telco):
+        lastmile = ipaddress.ip_address("107.200.91.1")
+        assert any(lastmile in net for net in TELCO_INTERNAL_PREFIXES)
+
+    def test_vp_subnet_lives_inside_lspgw_block(self, telco):
+        net, isp = telco
+        dslam = isp.dslams_by_region["sndgca"][0]
+        subnet = isp.vp_subnet_for(dslam)
+        gw_block = ipaddress.ip_network(
+            f"{dslam.interfaces[-1].address}/24", strict=False
+        )
+        assert subnet.subnet_of(gw_block)
+
+    def test_ndt_dataset_populated(self, telco):
+        _net, isp = telco
+        customers = isp.ndt_customer_addresses("sndgca")
+        assert len(customers) == 42 * 3
+        assert isp.ndt_customer_addresses("nowhere") == []
+
+
+class TestMplsRules:
+    def test_duplicate_region_rejected(self, telco):
+        _net, isp = telco
+        with pytest.raises(Exception):
+            isp.build_region(TelcoRegionSpec(("San Diego", "CA"), 4))
