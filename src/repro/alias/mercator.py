@@ -14,11 +14,18 @@ from repro.net.router import Router
 
 
 class MercatorProber:
-    """Common-source-address alias probing against a :class:`Network`."""
+    """Common-source-address alias probing against a :class:`Network`.
 
-    def __init__(self, network: Network) -> None:
+    ``attempts`` retries unanswered probes with fresh probe identities,
+    recovering targets whose first probe was lost or rate-limited under
+    fault injection; the first attempt keeps the historical identity.
+    """
+
+    def __init__(self, network: Network, attempts: int = 1) -> None:
         self.network = network
+        self.attempts = max(1, attempts)
         self.probes_sent = 0
+        self.probes_retried = 0
 
     def probe(self, src: Router, target_address: str,
               src_address: "str | None" = None) -> "tuple[str, str] | None":
@@ -28,16 +35,28 @@ class MercatorProber:
         different address than the one probed, ``None`` otherwise
         (including when the target does not answer).
         """
-        self.probes_sent += 1
         source = src_address or (
             str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
         )
         target = str(parse_ip(target_address))
         owner = self.network.owner_router(target)
         if owner is None:
+            self.probes_sent += 1
             return None
-        key = (source, target, "mercator")
-        if not owner.policy.responds_to(parse_ip(source), key):
+        faults = self.network.faults
+        base_key = (source, target, "mercator")
+        answered = False
+        for attempt in range(self.attempts):
+            key = base_key if attempt == 0 else (*base_key, f"a{attempt}")
+            self.probes_sent += 1
+            if attempt:
+                self.probes_retried += 1
+            if faults is not None and faults.probe_lost(key):
+                continue
+            if owner.probe_response(source, key, faults=faults):
+                answered = True
+                break
+        if not answered:
             return None
         from repro.errors import RoutingError
 

@@ -27,10 +27,13 @@ _WRAP = 65536
 class MidarProber:
     """Interleaved IP-ID sampling and the Monotonic Bounds Test."""
 
-    def __init__(self, network: Network, samples_per_round: int = 4) -> None:
+    def __init__(self, network: Network, samples_per_round: int = 4,
+                 attempts: int = 1) -> None:
         self.network = network
         self.samples_per_round = samples_per_round
+        self.attempts = max(1, attempts)
         self.probes_sent = 0
+        self.probes_retried = 0
 
     def sample(self, src: Router, addresses,
                src_address: "str | None" = None) -> "dict[str, list[tuple[int, int]]]":
@@ -43,23 +46,30 @@ class MidarProber:
         source = src_address or (
             str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
         )
-        src_ip = parse_ip(source)
         series: "dict[str, list[tuple[int, int]]]" = {
             str(parse_ip(a)): [] for a in addresses
         }
+        faults = self.network.faults
         clock = 0
         for round_index in range(self.samples_per_round):
             for address in series:
                 clock += 1
-                self.probes_sent += 1
                 owner = self.network.owner_router(address)
                 if owner is None:
+                    self.probes_sent += 1
                     continue
-                if not owner.policy.responds_to(
-                    src_ip, (source, address, "midar", round_index)
-                ):
-                    continue
-                series[address].append((clock, owner.next_ipid()))
+                base_key = (source, address, "midar", round_index)
+                for attempt in range(self.attempts):
+                    key = base_key if attempt == 0 else (*base_key, f"a{attempt}")
+                    self.probes_sent += 1
+                    if attempt:
+                        self.probes_retried += 1
+                    if faults is not None and faults.probe_lost(key):
+                        continue
+                    if not owner.probe_response(source, key, faults=faults):
+                        continue
+                    series[address].append((clock, owner.next_ipid()))
+                    break
         return series
 
     @staticmethod

@@ -73,10 +73,11 @@ class AliasSets:
 class AliasResolver:
     """Mercator seeding + structural candidates + MIDAR confirmation."""
 
-    def __init__(self, network: Network, p2p_prefixlen: int = 30) -> None:
+    def __init__(self, network: Network, p2p_prefixlen: int = 30,
+                 attempts: int = 1) -> None:
         self.network = network
-        self.mercator = MercatorProber(network)
-        self.midar = MidarProber(network)
+        self.mercator = MercatorProber(network, attempts=attempts)
+        self.midar = MidarProber(network, attempts=attempts)
         self.p2p_prefixlen = p2p_prefixlen
 
     def candidate_pairs(self, addresses: "list[str]") -> "list[tuple[str, str]]":

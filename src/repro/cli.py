@@ -48,15 +48,31 @@ def cmd_build(args) -> int:
 
 def cmd_map_cable(args) -> int:
     """Run the §5 pipeline against a cable ISP, optionally exporting."""
+    from repro.faults import FaultPlan
     from repro.infer.pipeline import CableInferencePipeline
     from repro.io.export import region_to_dot, region_to_json
 
     internet = _build_internet(args, include_telco=False, include_mobile=False)
     isp = getattr(internet, args.isp)
     fleet = list(internet.build_standard_vps())
+    faults = None
+    if args.faults or args.vp_dropouts:
+        faults = FaultPlan(
+            seed=args.fault_seed,
+            probe_loss=args.faults,
+            vp_dropout=args.vp_dropouts,
+            vp_dropout_after=args.vp_dropout_after,
+        )
     result = CableInferencePipeline(
-        internet.network, isp, fleet, sweep_vps=args.sweep_vps
+        internet.network, isp, fleet, sweep_vps=args.sweep_vps,
+        attempts=args.attempts, faults=faults,
+        checkpoint_path=args.resume or args.checkpoint,
+        resume=bool(args.resume), min_vps=args.min_vps,
     ).run()
+    if result.health is not None and (
+        faults is not None or args.resume or args.attempts > 1
+    ):
+        print(f"campaign health: {result.health.summary()}")
     types = Counter(result.aggregation_types().values())
     print(f"{args.isp}: {len(result.regions)} regions inferred "
           f"({types['single']} single / {types['two']} two / "
@@ -202,6 +218,30 @@ def build_parser() -> argparse.ArgumentParser:
     map_cable.add_argument("--sweep-vps", type=int, default=8)
     map_cable.add_argument("--json-dir")
     map_cable.add_argument("--dot-dir")
+    map_cable.add_argument(
+        "--attempts", type=int, default=1,
+        help="per-hop probe attempts (scamper -q; default 1)")
+    map_cable.add_argument(
+        "--faults", type=float, default=0.0, metavar="RATE",
+        help="inject this probe-loss rate (0..1)")
+    map_cable.add_argument(
+        "--vp-dropouts", type=int, default=0, metavar="N",
+        help="inject N mid-campaign vantage point dropouts")
+    map_cable.add_argument(
+        "--vp-dropout-after", type=int, default=5000, metavar="PROBES",
+        help="probes a doomed VP sends before dying (default 5000)")
+    map_cable.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan (default 0)")
+    map_cable.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write campaign checkpoints to PATH")
+    map_cable.add_argument(
+        "--resume", metavar="PATH",
+        help="resume a campaign from the checkpoint at PATH")
+    map_cable.add_argument(
+        "--min-vps", type=int, default=1,
+        help="degrade (skip remaining jobs) below this many live VPs")
 
     map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
     map_att.add_argument("region", nargs="?", default="sndgca")

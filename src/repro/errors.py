@@ -21,5 +21,21 @@ class MeasurementError(ReproError):
     """A measurement campaign was configured inconsistently."""
 
 
+class CampaignError(MeasurementError):
+    """A campaign could not make progress (fleet exhausted, bad state)."""
+
+
+class VantagePointLost(CampaignError):
+    """A vantage point disappeared mid-campaign (dropout or flap)."""
+
+
+class CampaignInterrupted(CampaignError):
+    """A campaign was stopped mid-run; a checkpoint holds its progress."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint file was missing, corrupt, or incompatible."""
+
+
 class InferenceError(ReproError):
     """The inference pipeline received input it cannot process."""

@@ -1,0 +1,13 @@
+"""Seeded fault injection for measurement campaigns.
+
+:class:`FaultPlan` decides, deterministically per event, which probes
+are lost, which routers rate-limit, which ``dig`` queries time out,
+which vantage points die or flap, and which MPLS LSPs flap;
+:class:`FaultInjector` wires those decisions into the substrate and
+keeps the bookkeeping that campaign checkpoints persist.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultStats"]

@@ -1,0 +1,154 @@
+"""Wiring a :class:`~repro.faults.plan.FaultPlan` into the substrate.
+
+The injector sits between the plan (pure, order-independent decisions)
+and the measurement stack (which needs bookkeeping): it counts every
+injected event, tracks how many probes each vantage point has sent so
+dropout thresholds fire at the right moment, and serializes that state
+into campaign checkpoints so a resumed run continues exactly where the
+killed one left off.
+
+Attachment is via :meth:`repro.net.network.Network.attach_faults`; with
+no injector attached every hook is a no-op and the substrate behaves
+byte-identically to the fault-free seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected events, by fault class."""
+
+    probes_lost: int = 0
+    rate_limited: int = 0
+    rdns_timeouts: int = 0
+    vp_flaps: int = 0
+    lsp_flaps: int = 0
+    vps_killed: "list[str]" = field(default_factory=list)
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "probes_lost": self.probes_lost,
+            "rate_limited": self.rate_limited,
+            "rdns_timeouts": self.rdns_timeouts,
+            "vp_flaps": self.vp_flaps,
+            "lsp_flaps": self.lsp_flaps,
+            "vps_killed": sorted(self.vps_killed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "FaultStats":
+        stats = cls()
+        stats.probes_lost = int(payload.get("probes_lost", 0))
+        stats.rate_limited = int(payload.get("rate_limited", 0))
+        stats.rdns_timeouts = int(payload.get("rdns_timeouts", 0))
+        stats.vp_flaps = int(payload.get("vp_flaps", 0))
+        stats.lsp_flaps = int(payload.get("lsp_flaps", 0))
+        stats.vps_killed = list(payload.get("vps_killed", []))
+        return stats
+
+
+class FaultInjector:
+    """Stateful adapter between a :class:`FaultPlan` and the substrate."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        #: Probes sent per VP (drives the dropout threshold).
+        self._vp_probes: "dict[str, int]" = {}
+        self._doomed: "set[str]" = set()
+        self._dead: "set[str]" = set()
+        self._rdns_calls: "dict[str, int]" = {}
+
+    # ------------------------------------------------------------------
+    # Probe-path hooks (consulted by Tracerouter / alias probers)
+    # ------------------------------------------------------------------
+    def probe_lost(self, probe_key: object) -> bool:
+        if self.plan.probe_lost(probe_key):
+            self.stats.probes_lost += 1
+            return True
+        return False
+
+    def rate_limited(self, router_uid: str, probe_key: object) -> bool:
+        if self.plan.rate_limited(router_uid, probe_key):
+            self.stats.rate_limited += 1
+            return True
+        return False
+
+    def rdns_timeout(self, address: str, token: object = None) -> bool:
+        """Whether this ``dig`` times out; transient across retries.
+
+        Callers on the probe path pass their probe key as *token* so
+        the decision is order-independent; bare callers fall back to a
+        per-address call counter (still deterministic for a fixed call
+        sequence).
+        """
+        if token is None:
+            token = self._rdns_calls.get(address, 0)
+            self._rdns_calls[address] = token + 1
+        if self.plan.rdns_timed_out(address, token):
+            self.stats.rdns_timeouts += 1
+            return True
+        return False
+
+    def down_tunnels(self, tunnels, token: object) -> "frozenset[str]":
+        """Tunnel ids flapped down for the trace identified by *token*."""
+        if self.plan.lsp_flap <= 0.0 or not tunnels:
+            return frozenset()
+        down = frozenset(
+            t.tunnel_id for t in tunnels if self.plan.lsp_down(t.tunnel_id, token)
+        )
+        self.stats.lsp_flaps += len(down)
+        return down
+
+    # ------------------------------------------------------------------
+    # Vantage-point lifecycle (consulted by CampaignRunner)
+    # ------------------------------------------------------------------
+    def register_fleet(self, names) -> None:
+        """Tell the injector which VPs exist so dropout picks are stable."""
+        self._doomed |= set(self.plan.doomed_vps(names))
+
+    def vp_alive(self, name: str) -> bool:
+        return name not in self._dead
+
+    def vp_flapped(self, name: str, token: object) -> bool:
+        if self.plan.vp_flapped(name, token):
+            self.stats.vp_flaps += 1
+            return True
+        return False
+
+    def vp_add_probes(self, name: str, count: int) -> bool:
+        """Account *count* probes to a VP; returns False when it dies."""
+        total = self._vp_probes.get(name, 0) + count
+        self._vp_probes[name] = total
+        if (
+            name in self._doomed
+            and name not in self._dead
+            and total >= self.plan.vp_dropout_after
+        ):
+            self._dead.add(name)
+            self.stats.vps_killed.append(name)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "dict[str, object]":
+        return {
+            "plan": self.plan.as_dict(),
+            "vp_probes": dict(sorted(self._vp_probes.items())),
+            "doomed": sorted(self._doomed),
+            "dead": sorted(self._dead),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_state(self, payload: "dict[str, object]") -> None:
+        self._vp_probes = dict(payload.get("vp_probes", {}))
+        self._doomed = set(payload.get("doomed", []))
+        self._dead = set(payload.get("dead", []))
+        self.stats = FaultStats.from_dict(payload.get("stats", {}))

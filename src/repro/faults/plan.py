@@ -1,0 +1,139 @@
+"""Seeded, deterministic fault plans.
+
+The paper's campaigns ran against a hostile measurement floor: routers
+rate-limit ICMP, hops go silent, hotspot VPs kick the prober mid-sweep
+(§6.1), and phones lose signal across rural stretches (§7.1.1).  A
+:class:`FaultPlan` describes a controllable dose of those conditions so
+experiments can quantify how measurement failure distorts the inferred
+topology ("Misleading Stars"-style ablations) and so the resilient
+campaign layer has something to recover from.
+
+Every decision is drawn from ``random.Random`` seeded with the plan
+seed *and* the identity of the event being decided (per the repo rule
+that all randomness is seeded).  Keying the generator on the event
+identity rather than sharing one stream makes every draw independent of
+call order, which is what lets a killed campaign resume from a
+checkpoint and converge on the same output as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic dose of measurement failure.
+
+    ``probe_loss``
+        Probability any single probe (one TTL, one attempt) is lost in
+        flight — models congestion loss and the unresponsive hops of
+        §5.1.  Retries draw fresh keys, so losses are transient.
+    ``rate_limit_share`` / ``rate_limit_pass``
+        A ``rate_limit_share`` fraction of routers police ICMP
+        generation; a policed router answers only a ``rate_limit_pass``
+        fraction of probe identities (token-bucket exhaustion viewed
+        statistically).  Retries may land in an open window.
+    ``rdns_timeout``
+        Probability a live ``dig`` PTR query times out transiently.
+    ``vp_dropout`` / ``vp_dropout_after``
+        ``vp_dropout`` vantage points (chosen deterministically from
+        the registered fleet) die for good after sending
+        ``vp_dropout_after`` probes — the hotspot that kicks the
+        prober mid-sweep (§6.1).
+    ``vp_flap``
+        Probability a VP is transiently unusable for one traceroute
+        (association drop / signal fade, §7.1.1); retryable.
+    ``lsp_flap``
+        Probability an MPLS LSP is down for the duration of one
+        traceroute, causing the flow to ride plain IP and expose the
+        tunnel interior that is normally hidden.
+    """
+
+    seed: int = 0
+    probe_loss: float = 0.0
+    rate_limit_share: float = 0.0
+    rate_limit_pass: float = 0.5
+    rdns_timeout: float = 0.0
+    vp_dropout: int = 0
+    vp_dropout_after: int = 0
+    vp_flap: float = 0.0
+    lsp_flap: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _draw(self, *key: object) -> float:
+        """One U(0,1) draw keyed on the event identity (order-free)."""
+        text = "|".join(str(part) for part in key)
+        return random.Random(f"faultplan|{self.seed}|{text}").random()
+
+    @property
+    def active(self) -> bool:
+        """False when the plan injects nothing (the no-op plan)."""
+        numeric = (
+            self.probe_loss, self.rate_limit_share, self.rdns_timeout,
+            self.vp_flap, self.lsp_flap,
+        )
+        return any(v > 0.0 for v in numeric) or self.vp_dropout > 0
+
+    # ------------------------------------------------------------------
+    # Per-event decisions
+    # ------------------------------------------------------------------
+    def probe_lost(self, probe_key: object) -> bool:
+        """Whether this probe is lost in flight."""
+        return (
+            self.probe_loss > 0.0
+            and self._draw("loss", probe_key) < self.probe_loss
+        )
+
+    def router_rate_limits(self, router_uid: str) -> bool:
+        """Whether *router_uid* polices its ICMP generation at all."""
+        return (
+            self.rate_limit_share > 0.0
+            and self._draw("rl-router", router_uid) < self.rate_limit_share
+        )
+
+    def rate_limited(self, router_uid: str, probe_key: object) -> bool:
+        """Whether the router's rate limiter eats this probe."""
+        if not self.router_rate_limits(router_uid):
+            return False
+        return self._draw("rl-window", router_uid, probe_key) >= self.rate_limit_pass
+
+    def rdns_timed_out(self, address: str, token: object) -> bool:
+        """Whether a ``dig`` for *address* times out this time."""
+        return (
+            self.rdns_timeout > 0.0
+            and self._draw("rdns", address, token) < self.rdns_timeout
+        )
+
+    def doomed_vps(self, names) -> "tuple[str, ...]":
+        """The ``vp_dropout`` fleet members fated to die (stable pick)."""
+        ordered = sorted(set(names))
+        count = min(self.vp_dropout, len(ordered))
+        if count <= 0:
+            return ()
+        rng = random.Random(f"faultplan|{self.seed}|vp-dropout")
+        return tuple(sorted(rng.sample(ordered, count)))
+
+    def vp_flapped(self, vp_name: str, token: object) -> bool:
+        """Whether *vp_name* is transiently unusable for this trace."""
+        return (
+            self.vp_flap > 0.0
+            and self._draw("vp-flap", vp_name, token) < self.vp_flap
+        )
+
+    def lsp_down(self, tunnel_id: str, token: object) -> bool:
+        """Whether this LSP is flapped down for the duration of a trace."""
+        return (
+            self.lsp_flap > 0.0
+            and self._draw("lsp", tunnel_id, token) < self.lsp_flap
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> "dict[str, object]":
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

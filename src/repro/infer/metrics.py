@@ -97,6 +97,66 @@ def single_upstream_fraction(regions: "list[RefinedRegion]",
     return single / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One configuration's aggregate score in a fault-tolerance sweep.
+
+    Compares a (possibly faulty) run's inference against the clean
+    run's, region by region, so the scorecard reads as "how much of the
+    clean result this configuration kept".
+    """
+
+    label: str
+    regions_scored: int
+    mean_edge_recall: float
+    mean_edge_precision: float
+    mean_co_recall: float
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "label": self.label,
+            "regions_scored": self.regions_scored,
+            "mean_edge_recall": round(self.mean_edge_recall, 4),
+            "mean_edge_precision": round(self.mean_edge_precision, 4),
+            "mean_co_recall": round(self.mean_co_recall, 4),
+        }
+
+
+def degradation_scorecard(
+    label: str,
+    scores: "list[RegionScore]",
+) -> DegradationPoint:
+    """Aggregate per-region scores into one sweep point."""
+    if not scores:
+        return DegradationPoint(label, 0, 0.0, 0.0, 0.0)
+    count = len(scores)
+    return DegradationPoint(
+        label=label,
+        regions_scored=count,
+        mean_edge_recall=sum(s.edge_recall for s in scores) / count,
+        mean_edge_precision=sum(s.edge_precision for s in scores) / count,
+        mean_co_recall=sum(s.co_recall for s in scores) / count,
+    )
+
+
+def recall_recovered(
+    clean: DegradationPoint,
+    naive: DegradationPoint,
+    resilient: DegradationPoint,
+) -> float:
+    """Fraction of fault-induced edge-recall loss won back by resilience.
+
+    1.0 means the resilient configuration fully restored the clean
+    run's recall; 0.0 means it did no better than the naive one.
+    Returns 1.0 when the naive run lost nothing (nothing to recover).
+    """
+    lost = clean.mean_edge_recall - naive.mean_edge_recall
+    if lost <= 0:
+        return 1.0
+    regained = resilient.mean_edge_recall - naive.mean_edge_recall
+    return max(0.0, regained / lost)
+
+
 def edge_to_agg_ratio(regions: "list[RefinedRegion]") -> float:
     """EdgeCO:AggCO ratio, counting any CO with an outgoing edge as an
     AggCO (the §5.3 / §5.5 definition behind the 7.7× figure)."""

@@ -19,16 +19,20 @@ inference (§5.2.5), and aggregation-type classification (Table 1).
 
 from __future__ import annotations
 
+import contextlib
 import ipaddress
 from dataclasses import dataclass, field
 
 from repro.alias.resolve import AliasResolver, AliasSets
-from repro.errors import MeasurementError
+from repro.errors import CheckpointError, MeasurementError
+from repro.faults import FaultInjector, FaultPlan
 from repro.infer.adjacency import AdjacencyExtractor, RegionAdjacencies
 from repro.infer.aggtype import classify_aggregation
 from repro.infer.entries import EntryInferrer, EntryPoint
 from repro.infer.ip2co import Ip2CoMapper, Ip2CoMapping
 from repro.infer.refine import RefinedRegion, RegionRefiner
+from repro.io.checkpoint import CampaignCheckpoint
+from repro.measure.runner import CampaignHealth, CampaignRunner
 from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint
 from repro.net.network import Network
@@ -51,6 +55,8 @@ class CableInferenceResult:
     aliases: "AliasSets | None" = None
     traces: "list[TraceResult]" = field(default_factory=list)
     followup_traces: "list[TraceResult]" = field(default_factory=list)
+    #: Campaign cost/loss accounting; None only for hand-built results.
+    health: "CampaignHealth | None" = None
 
     def aggregation_types(self) -> "dict[str, str]":
         return {
@@ -76,6 +82,13 @@ class CableInferencePipeline:
         sweep_vps: int = 12,
         max_internal_vps: int = 4,
         parser: "HostnameParser | None" = None,
+        attempts: int = 1,
+        faults: "FaultPlan | None" = None,
+        checkpoint_path=None,
+        resume: bool = False,
+        min_vps: int = 1,
+        failover: bool = True,
+        stop_after: "int | None" = None,
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -109,7 +122,15 @@ class CableInferencePipeline:
             )
         self.sweep_vps = max(1, min(sweep_vps, len(self.vps)))
         self.parser = parser or HostnameParser()
-        self.tracer = Tracerouter(network)
+        self.attempts = max(1, attempts)
+        self.tracer = Tracerouter(network, attempts=self.attempts)
+        self.faults = faults
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
+        self.min_vps = min_vps
+        self.failover = failover
+        self.stop_after = stop_after
+        self.runner: "CampaignRunner | None" = None
 
     # ------------------------------------------------------------------
     # Target selection
@@ -134,48 +155,102 @@ class CableInferencePipeline:
     # ------------------------------------------------------------------
     # Phase 1
     # ------------------------------------------------------------------
-    def _sweep(self, targets: "list[str]", vps: "list[VantagePoint]") -> "list[TraceResult]":
-        traces = []
-        for vp in vps:
-            for target in targets:
-                trace = self.tracer.trace(
-                    vp.host, target, src_address=vp.src_address
-                )
-                trace.vp_name = vp.name
-                if trace.hops:
-                    traces.append(trace)
-        return traces
+    @contextlib.contextmanager
+    def _fault_context(self):
+        """Attach this pipeline's fault plan for the campaign's duration.
+
+        Restores whatever injector (usually None) was attached before,
+        so a shared Network fixture is never left perturbed.
+        """
+        previous = self.network.faults
+        if self.faults is not None and self.faults.active:
+            self.network.attach_faults(FaultInjector(self.faults))
+        try:
+            yield
+        finally:
+            self.network.attach_faults(previous)
+
+    def _make_runner(self) -> CampaignRunner:
+        """Build (or resume) the campaign runner shared by all sweeps."""
+        options = {
+            "min_vps": self.min_vps,
+            "failover": self.failover,
+            "stop_after": self.stop_after,
+        }
+        checkpoint = None
+        if self.checkpoint_path is not None:
+            if self.resume:
+                try:
+                    checkpoint = CampaignCheckpoint.load(self.checkpoint_path)
+                except CheckpointError:
+                    checkpoint = None  # nothing to resume: start fresh
+                else:
+                    return CampaignRunner.resumed(
+                        self.tracer, self.vps, checkpoint, **options
+                    )
+            if checkpoint is None:
+                checkpoint = CampaignCheckpoint(self.checkpoint_path)
+        return CampaignRunner(
+            self.tracer, self.vps, checkpoint=checkpoint, **options
+        )
 
     def collect_traces(self) -> "tuple[list[TraceResult], list[TraceResult]]":
-        """Steps 1–3: the main corpus plus the MPLS follow-up corpus."""
+        """Steps 1–3: the main corpus plus the MPLS follow-up corpus.
+
+        Each step is a named :class:`CampaignRunner` stage, so a killed
+        campaign resumes from the last checkpoint rather than hour zero.
+        Job order matches the historical nested loops exactly.
+        """
+        if self.runner is None:
+            self.runner = self._make_runner()
+        runner = self.runner
         sweep_fleet = self.vps[: self.sweep_vps]
-        traces = self._sweep(self.slash24_targets(), sweep_fleet)
-        traces += self._sweep(self.rdns_targets(), self.vps)
+        slash24 = self.slash24_targets()
+        traces = runner.run(
+            [(vp, target) for vp in sweep_fleet for target in slash24],
+            stage="slash24",
+        )
+        rdns = self.rdns_targets()
+        traces = traces + runner.run(
+            [(vp, target) for vp in self.vps for target in rdns],
+            stage="rdns",
+        )
         # Step 3: target every observed intermediate address (the DPR
         # probes that expose MPLS tunnels, §5.1 / App. B.2).
         intermediates: "set[str]" = set()
         for trace in traces:
             addresses = trace.responsive_addresses()
             intermediates.update(addresses[:-1] if trace.completed else addresses)
-        followups = []
         ordered = sorted(intermediates)
-        for index, target in enumerate(ordered):
-            vp = self.vps[index % len(self.vps)]
-            trace = self.tracer.trace(vp.host, target, src_address=vp.src_address)
-            trace.vp_name = vp.name
-            if trace.hops:
-                followups.append(trace)
+        followups = runner.run(
+            [
+                (self.vps[index % len(self.vps)], target)
+                for index, target in enumerate(ordered)
+            ],
+            stage="followup",
+        )
         return traces, followups
 
     def resolve_aliases(self, traces: "list[TraceResult]") -> AliasSets:
-        """Step 4: Mercator + MIDAR over rDNS-matched and observed addresses."""
+        """Step 4: Mercator + MIDAR over rDNS-matched and observed addresses.
+
+        Runs from the first *surviving* vantage point; a fully dead
+        fleet degrades to an empty alias set rather than raising.
+        """
         addresses = set(self.rdns_targets())
         for trace in traces:
             addresses.update(trace.responsive_addresses())
         resolver = AliasResolver(
-            self.network, p2p_prefixlen=self.isp.p2p_prefixlen
+            self.network, p2p_prefixlen=self.isp.p2p_prefixlen,
+            attempts=self.attempts,
         )
         vp = self.vps[0]
+        if self.runner is not None:
+            vp = self.runner.fleet.first_alive()
+            if vp is None:
+                if self.runner.health is not None:
+                    self.runner.health.degraded = True
+                return AliasSets([])
         return resolver.resolve(
             vp.host, sorted(addresses), src_address=vp.src_address,
             include_p2p_peers=True,
@@ -186,8 +261,9 @@ class CableInferencePipeline:
     # ------------------------------------------------------------------
     def run(self) -> CableInferenceResult:
         """The full campaign: collect, resolve, map, prune, refine, enter."""
-        traces, followups = self.collect_traces()
-        aliases = self.resolve_aliases(traces)
+        with self._fault_context():
+            traces, followups = self.collect_traces()
+            aliases = self.resolve_aliases(traces)
         mapper = Ip2CoMapper(
             self.network.rdns, self.isp.name,
             p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
@@ -218,4 +294,5 @@ class CableInferencePipeline:
             aliases=aliases,
             traces=traces,
             followup_traces=followups,
+            health=self.runner.health if self.runner is not None else None,
         )

@@ -145,7 +145,7 @@ class RegionRefiner:
             if merged is None:
                 groups.append({agg_x, agg_y})
         grouped = set().union(*groups) if groups else set()
-        groups.extend({agg} for agg in aggs - grouped)
+        groups.extend({agg} for agg in sorted(aggs - grouped))
         return groups
 
     def _complete_rings(self, graph: nx.DiGraph, aggs: "set[str]",

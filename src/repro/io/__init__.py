@@ -1,7 +1,13 @@
-"""Serialization of inferred topologies (JSON and Graphviz DOT)."""
+"""Serialization: inferred topologies (JSON/DOT) and campaign checkpoints."""
 
+from repro.io.checkpoint import (
+    CampaignCheckpoint,
+    trace_from_dict,
+    trace_to_dict,
+)
 from repro.io.export import (
     att_topology_to_json,
+    campaign_health_to_json,
     carrier_analysis_to_json,
     region_from_json,
     region_to_dot,
@@ -9,9 +15,13 @@ from repro.io.export import (
 )
 
 __all__ = [
+    "CampaignCheckpoint",
     "att_topology_to_json",
+    "campaign_health_to_json",
     "carrier_analysis_to_json",
     "region_from_json",
     "region_to_dot",
     "region_to_json",
+    "trace_from_dict",
+    "trace_to_dict",
 ]

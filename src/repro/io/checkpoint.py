@@ -1,0 +1,170 @@
+"""Campaign checkpoints: versioned JSON persistence of partial sweeps.
+
+A long traceroute campaign that dies at hour five should not restart at
+hour zero.  :class:`CampaignCheckpoint` persists, per campaign stage,
+the traces already collected, the (vantage point, target) jobs already
+executed, the campaign health counters, and the fault injector's state
+(per-VP probe counts and dead VPs), so a resumed run continues exactly
+where the checkpointed one stopped and — because every fault decision
+is keyed on event identity, not call order — converges on the same
+final output as a run that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import CheckpointError
+from repro.measure.traceroute import Hop, TraceResult
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: TraceResult) -> "dict[str, object]":
+    """Serialize one traceroute to a JSON-ready dict."""
+    return {
+        "src": trace.src_address,
+        "dst": trace.dst_address,
+        "completed": trace.completed,
+        "flow_id": trace.flow_id,
+        "vp": trace.vp_name,
+        "hops": [
+            {
+                "i": hop.index,
+                "addr": hop.address,
+                "rdns": hop.rdns,
+                "rtt": hop.rtt_ms,
+                "rttl": hop.reply_ttl,
+                "tries": hop.attempts,
+            }
+            for hop in trace.hops
+        ],
+    }
+
+
+def trace_from_dict(payload: "dict[str, object]") -> TraceResult:
+    """Round-trip a serialized traceroute."""
+    return TraceResult(
+        src_address=payload["src"],
+        dst_address=payload["dst"],
+        hops=[
+            Hop(
+                index=h["i"],
+                address=h["addr"],
+                rdns=h.get("rdns"),
+                rtt_ms=h.get("rtt"),
+                reply_ttl=h.get("rttl"),
+                attempts=h.get("tries", 1),
+            )
+            for h in payload["hops"]
+        ],
+        completed=payload.get("completed", False),
+        flow_id=payload.get("flow_id", 0),
+        vp_name=payload.get("vp", ""),
+    )
+
+
+class CampaignCheckpoint:
+    """One campaign's on-disk progress, divided into named stages.
+
+    Stages are the sweeps of a multi-phase campaign (e.g. ``slash24``,
+    ``rdns``, ``followup``); a stage is either *complete* (its traces
+    load wholesale on resume) or partial (its done-set is skipped and
+    the remaining jobs re-run).
+    """
+
+    def __init__(self, path: "str | pathlib.Path") -> None:
+        self.path = pathlib.Path(path)
+        self._stages: "dict[str, dict]" = {}
+        self._health: "dict[str, object]" = {}
+        self._injector: "dict[str, object]" = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "CampaignCheckpoint":
+        """Read a checkpoint file, validating schema and kind."""
+        checkpoint = cls(path)
+        try:
+            payload = json.loads(checkpoint.path.read_text())
+        except FileNotFoundError as exc:
+            raise CheckpointError(f"no checkpoint at {checkpoint.path}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {checkpoint.path}: {exc}"
+            ) from exc
+        if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint schema {payload.get('schema')!r}"
+            )
+        if payload.get("kind") != "campaign-checkpoint":
+            raise CheckpointError(
+                f"not a campaign checkpoint: {payload.get('kind')!r}"
+            )
+        checkpoint._stages = payload.get("stages", {})
+        checkpoint._health = payload.get("health", {})
+        checkpoint._injector = payload.get("injector", {})
+        return checkpoint
+
+    def save(self) -> None:
+        """Atomically write the checkpoint (write-then-rename)."""
+        payload = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "kind": "campaign-checkpoint",
+            "stages": self._stages,
+            "health": self._health,
+            "injector": self._injector,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    def stage(self, name: str) -> "dict | None":
+        """The stored record for stage *name*, if any."""
+        return self._stages.get(name)
+
+    def record_stage(
+        self,
+        name: str,
+        traces: "list[TraceResult]",
+        done: "list[tuple[str, str]]",
+        complete: bool,
+    ) -> None:
+        """Store (in memory) a stage's progress; call :meth:`save` to persist."""
+        self._stages[name] = {
+            "complete": complete,
+            "done": [list(pair) for pair in done],
+            "traces": [trace_to_dict(t) for t in traces],
+        }
+
+    def stage_traces(self, name: str) -> "list[TraceResult]":
+        record = self._stages.get(name) or {}
+        return [trace_from_dict(t) for t in record.get("traces", [])]
+
+    def stage_done(self, name: str) -> "set[tuple[str, str]]":
+        record = self._stages.get(name) or {}
+        return {tuple(pair) for pair in record.get("done", [])}
+
+    def stage_complete(self, name: str) -> bool:
+        record = self._stages.get(name) or {}
+        return bool(record.get("complete", False))
+
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> "dict[str, object]":
+        return self._health
+
+    @health.setter
+    def health(self, payload: "dict[str, object]") -> None:
+        self._health = payload
+
+    @property
+    def injector_state(self) -> "dict[str, object]":
+        return self._injector
+
+    @injector_state.setter
+    def injector_state(self, payload: "dict[str, object]") -> None:
+        self._injector = payload

@@ -140,3 +140,18 @@ def carrier_analysis_to_json(analysis: CarrierAnalysis) -> str:
         "topology_class": analysis.topology_class,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def campaign_health_to_json(health) -> str:
+    """Serialize a :class:`~repro.measure.runner.CampaignHealth` report.
+
+    Takes the dataclass (or anything with ``as_dict``) so campaign
+    drivers can archive their cost/loss accounting next to the
+    topology artifacts it qualifies.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "campaign-health",
+        "health": health.as_dict(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

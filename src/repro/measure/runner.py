@@ -1,0 +1,295 @@
+"""Resilient campaign execution: retry, failover, checkpoint, degrade.
+
+The measurement drivers used to assume a well-behaved fleet: every VP
+survives the whole sweep and every probe either answers or is a clean
+``*``.  The paper's campaigns had neither luxury (§6.1's hotspots
+kicked the prober mid-sweep; §7.1.1's phones lost signal for hours).
+:class:`CampaignRunner` is the execution layer that absorbs those
+failures:
+
+* **retry** — per-hop probe retries live in the
+  :class:`~repro.measure.traceroute.Tracerouter`; the runner adds
+  trace-level retries when a VP flaps;
+* **failover** — when a VP dies, its remaining jobs are reassigned to
+  deterministic surviving stand-ins;
+* **checkpoint/resume** — completed traces are persisted periodically
+  via :class:`~repro.io.checkpoint.CampaignCheckpoint`; a resumed
+  campaign skips finished work and, because all fault decisions are
+  keyed on event identity, converges on the same final corpus as an
+  uninterrupted run;
+* **graceful degradation** — when the surviving fleet falls below
+  ``min_vps`` the campaign returns the partial corpus plus an honest
+  :class:`CampaignHealth` report instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignInterrupted
+from repro.measure.traceroute import TraceResult, Tracerouter
+from repro.measure.vantage import FleetView, VantagePoint
+
+
+@dataclass
+class CampaignHealth:
+    """What a campaign actually cost and what it lost.
+
+    ``empty_traces`` counts traces that returned zero hops — work that
+    the drivers used to discard silently, making coverage loss
+    invisible.  ``degraded`` means the campaign ran out of fleet and
+    returned a partial corpus.
+    """
+
+    probes_sent: int = 0
+    probes_lost: int = 0
+    probes_refused: int = 0
+    probes_retried: int = 0
+    backoff_ms_total: float = 0.0
+    traces_run: int = 0
+    empty_traces: int = 0
+    vps_lost: "list[str]" = field(default_factory=list)
+    vp_flap_retries: int = 0
+    targets_reassigned: int = 0
+    targets_skipped: int = 0
+    resumed: bool = False
+    interrupted: bool = False
+    degraded: bool = False
+    fault_stats: "dict[str, object]" = field(default_factory=dict)
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "probes_sent": self.probes_sent,
+            "probes_lost": self.probes_lost,
+            "probes_refused": self.probes_refused,
+            "probes_retried": self.probes_retried,
+            "backoff_ms_total": round(self.backoff_ms_total, 3),
+            "traces_run": self.traces_run,
+            "empty_traces": self.empty_traces,
+            "vps_lost": list(self.vps_lost),
+            "vp_flap_retries": self.vp_flap_retries,
+            "targets_reassigned": self.targets_reassigned,
+            "targets_skipped": self.targets_skipped,
+            "resumed": self.resumed,
+            "interrupted": self.interrupted,
+            "degraded": self.degraded,
+            "fault_stats": dict(self.fault_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "CampaignHealth":
+        health = cls()
+        for key, value in payload.items():
+            if hasattr(health, key):
+                setattr(health, key, value)
+        return health
+
+    def summary(self) -> str:
+        """One human line for CLI output and logs."""
+        parts = [
+            f"{self.traces_run} traces / {self.probes_sent} probes",
+            f"{self.probes_lost} lost",
+            f"{self.probes_retried} retried",
+            f"{self.empty_traces} empty",
+        ]
+        if self.vps_lost:
+            parts.append(f"{len(self.vps_lost)} VP(s) lost: "
+                         f"{', '.join(self.vps_lost)}")
+        if self.targets_reassigned:
+            parts.append(f"{self.targets_reassigned} jobs reassigned")
+        if self.targets_skipped:
+            parts.append(f"{self.targets_skipped} jobs skipped")
+        if self.degraded:
+            parts.append("DEGRADED")
+        if self.interrupted:
+            parts.append("interrupted (checkpoint saved)")
+        return "; ".join(parts)
+
+
+class CampaignRunner:
+    """Drives (vantage point, target) jobs through a tracer, resiliently.
+
+    One runner serves a whole campaign; call :meth:`run` once per stage
+    with that stage's job list.  All resilience is off by default in
+    the sense that with no fault injector attached, ``failover`` has
+    nothing to do and the runner produces byte-identical output to the
+    plain nested-loop sweep it replaced.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracerouter,
+        vps: "list[VantagePoint]",
+        checkpoint=None,
+        min_vps: int = 1,
+        failover: bool = True,
+        checkpoint_every: int = 2000,
+        stop_after: "int | None" = None,
+    ) -> None:
+        self.tracer = tracer
+        self.fleet = FleetView(vps)
+        self.checkpoint = checkpoint
+        self.min_vps = max(1, min_vps)
+        self.failover = failover
+        self.checkpoint_every = max(1, checkpoint_every)
+        #: Stop (checkpoint + raise CampaignInterrupted) after this many
+        #: jobs, cumulative across stages.  Simulates a killed campaign
+        #: in tests; None means run to completion.
+        self.stop_after = stop_after
+        self._executed = 0
+        self.health = CampaignHealth()
+        self.injector = tracer.network.faults
+        if self.injector is not None:
+            self.injector.register_fleet(self.fleet.names)
+            # Resuming: VPs already dead in the restored injector state
+            # stay dead in the fleet view.
+            for name in self.fleet.names:
+                if not self.injector.vp_alive(name):
+                    self.fleet.mark_dead(name)
+
+    # ------------------------------------------------------------------
+    # Resume plumbing
+    # ------------------------------------------------------------------
+    @classmethod
+    def resumed(cls, tracer, vps, checkpoint, **kwargs) -> "CampaignRunner":
+        """Build a runner continuing from a loaded checkpoint."""
+        injector = tracer.network.faults
+        if injector is not None and checkpoint.injector_state:
+            injector.restore_state(checkpoint.injector_state)
+        runner = cls(tracer, vps, checkpoint=checkpoint, **kwargs)
+        runner.health = CampaignHealth.from_dict(checkpoint.health)
+        runner.health.resumed = True
+        runner.health.interrupted = False
+        return runner
+
+    def _save_checkpoint(self, stage: str, traces, done, complete: bool) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.record_stage(stage, traces, sorted(done), complete)
+        self.checkpoint.health = self.health.as_dict()
+        if self.injector is not None:
+            self.checkpoint.injector_state = self.injector.state_dict()
+        self.checkpoint.save()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _sync_health(self) -> None:
+        """Fold the tracer's cumulative counters into the health report.
+
+        The tracer counts from zero each process; the health may have
+        been restored from a checkpoint, so deltas are tracked.
+        """
+        counters = self.tracer.counters()
+        base = getattr(self, "_counter_base", None)
+        if base is None:
+            base = {key: 0 for key in counters}
+        delta = {key: counters[key] - base[key] for key in counters}
+        self._counter_base = counters
+        self.health.probes_sent += int(delta["probes_sent"])
+        self.health.probes_lost += int(delta["probes_lost"])
+        self.health.probes_refused += int(delta["probes_refused"])
+        self.health.probes_retried += int(delta["probes_retried"])
+        self.health.backoff_ms_total += delta["backoff_ms_total"]
+        self.health.traces_run += int(delta["traces_run"])
+        if self.injector is not None:
+            self.health.fault_stats = self.injector.stats.as_dict()
+
+    def _execute_job(self, vp: VantagePoint, job_key, flow_id: int):
+        """One traceroute from *vp*, with flap retries.
+
+        Returns the trace, or None when the VP flapped through every
+        attempt (the caller decides whether to fail over).
+        """
+        injector = self.injector
+        for attempt in range(self.tracer.attempts):
+            if injector is not None and injector.vp_flapped(
+                vp.name, (*job_key, attempt)
+            ):
+                if attempt + 1 < self.tracer.attempts:
+                    self.health.vp_flap_retries += 1
+                continue
+            before = self.tracer.probes_sent
+            trace = self.tracer.trace(
+                vp.host, job_key[1], flow_id=flow_id, src_address=vp.src_address
+            )
+            trace.vp_name = vp.name
+            if injector is not None:
+                alive = injector.vp_add_probes(
+                    vp.name, self.tracer.probes_sent - before
+                )
+                if not alive:
+                    # The VP dies *after* delivering this trace — the
+                    # hotspot kicked us once the sweep was underway.
+                    self.fleet.mark_dead(vp.name)
+                    self.health.vps_lost.append(vp.name)
+            return trace
+        return None
+
+    def run(
+        self,
+        jobs: "list[tuple[VantagePoint, str]]",
+        stage: str = "campaign",
+        flow_id: int = 0,
+        keep_empty: bool = False,
+    ) -> "list[TraceResult]":
+        """Execute a stage's jobs; returns its (possibly partial) traces.
+
+        Jobs are ``(vantage point, target)`` pairs, executed in order.
+        Already-checkpointed jobs are skipped on resume; a stage marked
+        complete in the checkpoint is returned wholesale from disk.
+        """
+        if self.checkpoint is not None and self.checkpoint.stage_complete(stage):
+            return self.checkpoint.stage_traces(stage)
+        done: "set[tuple[str, str]]" = set()
+        traces: "list[TraceResult]" = []
+        if self.checkpoint is not None and self.checkpoint.stage(stage) is not None:
+            done = self.checkpoint.stage_done(stage)
+            traces = self.checkpoint.stage_traces(stage)
+        since_save = 0
+        for vp, target in jobs:
+            job_key = (vp.name, target)
+            if job_key in done:
+                continue
+            if self.stop_after is not None and self._executed >= self.stop_after:
+                self._sync_health()
+                self.health.interrupted = True
+                self._save_checkpoint(stage, traces, done, complete=False)
+                raise CampaignInterrupted(
+                    f"campaign stopped after {self._executed} jobs "
+                    f"(checkpoint: {getattr(self.checkpoint, 'path', None)})"
+                )
+            executor = vp
+            if not self.fleet.is_alive(vp.name):
+                executor = self.fleet.stand_in(job_key) if self.failover else None
+                if executor is not None:
+                    self.health.targets_reassigned += 1
+            if executor is None or len(self.fleet.alive()) < self.min_vps:
+                self.health.targets_skipped += 1
+                self.health.degraded = True
+                done.add(job_key)
+                continue
+            trace = self._execute_job(executor, job_key, flow_id)
+            if trace is None and self.failover:
+                # The assigned VP flapped through every attempt; one
+                # deterministic stand-in gets a chance before we skip.
+                stand_in = self.fleet.stand_in((*job_key, "flap"))
+                if stand_in is not None and stand_in.name != executor.name:
+                    self.health.targets_reassigned += 1
+                    trace = self._execute_job(stand_in, job_key, flow_id)
+            if trace is None:
+                self.health.targets_skipped += 1
+            elif trace.hops or keep_empty:
+                traces.append(trace)
+            else:
+                self.health.empty_traces += 1
+            done.add(job_key)
+            self._executed += 1
+            since_save += 1
+            if since_save >= self.checkpoint_every:
+                self._sync_health()
+                self._save_checkpoint(stage, traces, done, complete=False)
+                since_save = 0
+        self._sync_health()
+        self._save_checkpoint(stage, traces, done, complete=True)
+        return traces

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.errors import MeasurementError
 from repro.measure.cellular import CellDatabase, signal_available
+from repro.measure.runner import CampaignHealth
 from repro.measure.traceroute import TraceResult
 from repro.topology.geography import City, Geography, great_circle_km
 from repro.topology.mobile import MobileAttachment, MobileCarrier
@@ -68,6 +69,8 @@ class ShipCampaignResult:
 
     carrier_name: str
     rounds: "list[ShipRound]" = field(default_factory=list)
+    #: Cost/loss accounting for this phone's campaign.
+    health: "CampaignHealth | None" = None
 
     @property
     def attempted(self) -> int:
@@ -97,10 +100,18 @@ class ShipTracerouteCampaign:
         geography: "Geography | None" = None,
         server_city: "City | None" = None,
         seed: int = 0,
+        attempts: int = 1,
+        faults=None,
     ) -> None:
         if not carriers:
             raise MeasurementError("campaign needs at least one carrier phone")
         self.carriers = carriers
+        #: Per-round retry budget: a phone that wakes to no signal
+        #: waits a minute and tries again (up to ``attempts`` times).
+        self.attempts = max(1, attempts)
+        #: Optional :class:`~repro.faults.FaultPlan` whose ``vp_flap``
+        #: knocks out extra rounds (the modem crashed on wake).
+        self.faults = faults
         self.geography = geography or Geography()
         self.server_city = server_city or self.geography.city("San Diego", "CA")
         self.celldb = CellDatabase()
@@ -149,6 +160,39 @@ class ShipTracerouteCampaign:
         positions.append((final.lat, final.lon, final.state))
         return positions
 
+    def _round_usable(self, carrier: MobileCarrier, rng: random.Random,
+                      hour: int, lat: float, lon: float, coverage_km: float,
+                      health: CampaignHealth) -> bool:
+        """Whether the hour's measurement round gets signal.
+
+        Attempt 0 reproduces the historical draw exactly (including the
+        short-circuit that skips the fade draw outside coverage — the
+        shared ``rng`` stream must not shift).  Retries draw from
+        per-round keyed streams so the outcome is independent of how
+        other rounds went, and injected modem flaps
+        (``FaultPlan.vp_flap``) can be retried away the same way.
+        """
+        in_coverage = signal_available(
+            lat, lon, self.geography, max_km=coverage_km
+        )
+        for attempt in range(self.attempts):
+            if attempt == 0:
+                faded = in_coverage and rng.random() <= 0.06
+            else:
+                health.vp_flap_retries += 1
+                faded = in_coverage and random.Random(
+                    f"ship-retry|{self.seed}|{carrier.name}|{hour}|{attempt}"
+                ).random() <= 0.06
+            flapped = self.faults is not None and self.faults.vp_flapped(
+                carrier.name, ("ship", hour, attempt)
+            )
+            if in_coverage and not faded and not flapped:
+                return True
+            if not in_coverage:
+                # Parked in a dead zone: waiting a minute changes nothing.
+                return False
+        return False
+
     # -- the campaign ---------------------------------------------------
     def run_phone(self, carrier: MobileCarrier,
                   itinerary: "list[tuple[str, str, str, str]] | None" = None,
@@ -156,7 +200,8 @@ class ShipTracerouteCampaign:
         """Ship one phone along the itinerary."""
         legs = itinerary or DEFAULT_ITINERARY
         rng = random.Random(f"ship|{carrier.name}|{self.seed}")
-        result = ShipCampaignResult(carrier.name)
+        health = CampaignHealth()
+        result = ShipCampaignResult(carrier.name, health=health)
         coverage_km = CARRIER_COVERAGE_KM.get(carrier.name, 140.0)
         hour = 0
         for origin_city, origin_state, dest_city, dest_state in legs:
@@ -167,14 +212,15 @@ class ShipTracerouteCampaign:
                 hour += 1
                 # In-truck fading: a bit of randomness on top of the
                 # coverage geometry.
-                usable = signal_available(
-                    lat, lon, self.geography, max_km=coverage_km
-                ) and rng.random() > 0.06
+                usable = self._round_usable(
+                    carrier, rng, hour, lat, lon, coverage_km, health
+                )
                 if not usable:
                     result.rounds.append(
                         ShipRound(hour, lat, lon, state, success=False)
                     )
                     continue
+                health.traces_run += 1
                 cell = self.celldb.serving_cell(lat, lon)
                 # Exit airplane mode -> fresh attachment (PGW may cycle).
                 attachment = carrier.attach(cell.lat, cell.lon)

@@ -26,13 +26,18 @@ from repro.net.router import Router, _stable_hash
 
 @dataclass(frozen=True)
 class Hop:
-    """One traceroute hop: address (None for ``*``), rdns, rtt, reply TTL."""
+    """One traceroute hop: address (None for ``*``), rdns, rtt, reply TTL.
+
+    ``attempts`` records how many probes this TTL consumed before a
+    reply arrived (or before the prober gave up, for ``*`` hops).
+    """
 
     index: int
     address: Optional[str]
     rdns: Optional[str] = None
     rtt_ms: Optional[float] = None
     reply_ttl: Optional[int] = None
+    attempts: int = 1
 
     @property
     def responded(self) -> bool:
@@ -84,16 +89,56 @@ class TraceResult:
 
 
 class Tracerouter:
-    """Traceroute campaigns against a :class:`Network`."""
+    """Traceroute campaigns against a :class:`Network`.
 
-    def __init__(self, network: Network, max_ttl: int = 32, jitter_ms: float = 0.05) -> None:
+    ``attempts`` gives scamper-style per-hop retries: each TTL is
+    probed up to *attempts* times, with a deterministic exponential
+    backoff (accounted in ``backoff_ms_total``) between tries.  The
+    first attempt of every hop uses the same probe identity as a
+    retry-free prober, so ``attempts=1`` (the default) is
+    byte-identical to the historical engine.  The counters distinguish
+    probes *lost* in flight (fault injection — transient) from probes
+    *refused* by the responding router's policy.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        max_ttl: int = 32,
+        jitter_ms: float = 0.05,
+        attempts: int = 1,
+        backoff_ms: float = 0.3,
+    ) -> None:
         self.network = network
         self.max_ttl = max_ttl
         self.jitter_ms = jitter_ms
-        #: Count of traceroutes run (campaign bookkeeping / benchmarks).
+        self.attempts = max(1, attempts)
+        self.backoff_ms = backoff_ms
+        #: Actual probes sent: one per TTL per attempt.
         self.probes_sent = 0
+        #: Traceroutes run (the historical meaning of ``probes_sent``).
+        self.traces_run = 0
+        #: Probes dropped in flight by fault injection.
+        self.probes_lost = 0
+        #: Probes the responding router declined to answer.
+        self.probes_refused = 0
+        #: Probes beyond the first attempt of their TTL.
+        self.probes_retried = 0
+        #: Simulated time spent waiting between retries.
+        self.backoff_ms_total = 0.0
 
-    def _rtt(self, src: Router, hop_router: Router, one_way_ms: float, probe_key: object) -> float:
+    def counters(self) -> "dict[str, float]":
+        """Snapshot of the campaign-cost counters."""
+        return {
+            "probes_sent": self.probes_sent,
+            "traces_run": self.traces_run,
+            "probes_lost": self.probes_lost,
+            "probes_refused": self.probes_refused,
+            "probes_retried": self.probes_retried,
+            "backoff_ms_total": self.backoff_ms_total,
+        }
+
+    def _rtt(self, one_way_ms: float, probe_key: object) -> float:
         """Round-trip time with deterministic per-probe jitter."""
         jitter = (_stable_hash("rtt", probe_key) % 1000) / 1000.0 * self.jitter_ms
         return 2.0 * one_way_ms + 0.1 + jitter
@@ -106,7 +151,8 @@ class Tracerouter:
         src_address: "str | None" = None,
     ) -> TraceResult:
         """Run one traceroute from *src* toward *dst_address*."""
-        self.probes_sent += 1
+        self.traces_run += 1
+        faults = self.network.faults
         source_addr = src_address or (
             str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
         )
@@ -124,7 +170,15 @@ class Tracerouter:
         inbound_of = {router.uid: iface for router, iface in zip(path, inbound)}
         delays = self.network.path_delays_ms(path)
         one_way = {router.uid: delay for router, delay in zip(path, delays)}
-        visible = self.network.mpls.visible_path(path, dst_router)
+        down = (
+            faults.down_tunnels(
+                self.network.mpls.tunnels,
+                (source_addr, result.dst_address, flow_id),
+            )
+            if faults is not None
+            else frozenset()
+        )
+        visible = self.network.mpls.visible_path(path, dst_router, down=down)
 
         hop_index = 0
         for router in visible[1:]:  # skip the source itself
@@ -132,36 +186,70 @@ class Tracerouter:
             hop_index += 1
             if hop_index > self.max_ttl:
                 break
-            probe_key = (source_addr, dst_address, flow_id, hop_index)
+            base_key = (source_addr, dst_address, flow_id, hop_index)
+            result.hops.append(
+                self._probe_hop(
+                    router, is_final, dst_exists, dst_address,
+                    inbound_of.get(router.uid), one_way[router.uid],
+                    source_addr, base_key, faults,
+                )
+            )
+            if is_final and result.hops[-1].responded:
+                result.completed = True
+        return result
+
+    def _probe_hop(
+        self,
+        router: Router,
+        is_final: bool,
+        dst_exists: bool,
+        dst_address: str,
+        inbound_iface,
+        one_way_ms: float,
+        source_addr: str,
+        base_key: "tuple",
+        faults,
+    ) -> Hop:
+        """Probe one TTL up to ``attempts`` times and build its hop."""
+        hop_index = base_key[-1]
+        for attempt in range(self.attempts):
+            # Attempt 0 keeps the historical probe identity so the
+            # retry-free configuration reproduces the seed exactly.
+            probe_key = base_key if attempt == 0 else (*base_key, f"a{attempt}")
+            self.probes_sent += 1
+            if attempt:
+                self.probes_retried += 1
+                self.backoff_ms_total += self.backoff_ms * (2 ** (attempt - 1))
+            if faults is not None and faults.probe_lost(probe_key):
+                self.probes_lost += 1
+                continue
             if is_final:
-                responds = dst_exists and router.policy.answers_echo(
-                    parse_ip(source_addr), probe_key
+                responds = dst_exists and router.probe_response(
+                    source_addr, probe_key, echo=True, faults=faults
                 )
                 reply_addr = str(parse_ip(dst_address)) if responds else None
             else:
-                responds = router.policy.responds_to(parse_ip(source_addr), probe_key)
+                responds = router.probe_response(
+                    source_addr, probe_key, faults=faults
+                )
                 reply_addr = (
-                    str(router.reply_address(inbound_of.get(router.uid), dst_address))
+                    str(router.reply_address(inbound_iface, dst_address))
                     if responds
                     else None
                 )
-            if responds:
-                rtt = self._rtt(src, router, one_way[router.uid], probe_key)
-                reply_ttl = router.policy.initial_ttl - (hop_index - 1)
-                result.hops.append(
-                    Hop(
-                        index=hop_index,
-                        address=reply_addr,
-                        rdns=self.network.rdns.dig(reply_addr),
-                        rtt_ms=round(rtt, 3),
-                        reply_ttl=reply_ttl,
-                    )
-                )
-                if is_final:
-                    result.completed = True
-            else:
-                result.hops.append(Hop(index=hop_index, address=None))
-        return result
+            if not responds:
+                self.probes_refused += 1
+                continue
+            rtt = self._rtt(one_way_ms, probe_key)
+            return Hop(
+                index=hop_index,
+                address=reply_addr,
+                rdns=self.network.rdns.dig(reply_addr, fault_key=probe_key),
+                rtt_ms=round(rtt, 3),
+                reply_ttl=router.policy.initial_ttl - (hop_index - 1),
+                attempts=attempt + 1,
+            )
+        return Hop(index=hop_index, address=None, attempts=self.attempts)
 
     def trace_many(
         self,

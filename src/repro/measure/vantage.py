@@ -63,6 +63,69 @@ class VantagePointSet:
         return [vp for vp in self if vp.kind == kind]
 
 
+class FleetView:
+    """A campaign's live view of its fleet: who is alive, who replaces whom.
+
+    The paper's fleets shrank mid-campaign (hotspots kicked the prober,
+    phones lost signal); the runner marks such VPs dead here and picks
+    deterministic stand-ins so a resumed campaign makes identical
+    choices.
+    """
+
+    def __init__(self, vps) -> None:
+        self._vps: "list[VantagePoint]" = list(vps)
+        self._by_name = {vp.name: vp for vp in self._vps}
+        if len(self._by_name) != len(self._vps):
+            raise MeasurementError("fleet contains duplicate VP names")
+        self._dead: "set[str]" = set()
+
+    def __len__(self) -> int:
+        return len(self._vps)
+
+    @property
+    def names(self) -> "list[str]":
+        return [vp.name for vp in self._vps]
+
+    @property
+    def dead(self) -> "set[str]":
+        return set(self._dead)
+
+    def get(self, name: str) -> VantagePoint:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise MeasurementError(f"no VP named {name!r} in fleet") from exc
+
+    def is_alive(self, name: str) -> bool:
+        return name in self._by_name and name not in self._dead
+
+    def mark_dead(self, name: str) -> None:
+        if name in self._by_name:
+            self._dead.add(name)
+
+    def alive(self) -> "list[VantagePoint]":
+        """Surviving VPs, in fleet order."""
+        return [vp for vp in self._vps if vp.name not in self._dead]
+
+    def first_alive(self) -> "Optional[VantagePoint]":
+        survivors = self.alive()
+        return survivors[0] if survivors else None
+
+    def stand_in(self, key: object) -> "Optional[VantagePoint]":
+        """A deterministic surviving VP for the failed job *key*.
+
+        Hashing the job identity (not a rotating counter) keeps the
+        choice independent of execution order, so checkpoint resume
+        reassigns identically.
+        """
+        from repro.net.router import _stable_hash
+
+        survivors = self.alive()
+        if not survivors:
+            return None
+        return survivors[_stable_hash("failover", key) % len(survivors)]
+
+
 _HOST_SEQ = [0]
 
 

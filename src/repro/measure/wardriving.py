@@ -14,7 +14,9 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import MeasurementError
+from repro.errors import CheckpointError, MeasurementError
+from repro.io.checkpoint import CampaignCheckpoint
+from repro.measure.runner import CampaignHealth, CampaignRunner
 from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint, attach_host
 from repro.net.network import Network
@@ -58,6 +60,8 @@ class McTracerouteCampaign:
         #: (23 of 58 San Diego McDonald's used AT&T, §6.1).
         self.target_share = target_share
         self.hotspots: "list[Hotspot]" = []
+        #: Health report of the most recent :meth:`sweep`.
+        self.last_health: "CampaignHealth | None" = None
 
     # ------------------------------------------------------------------
     def _dslam_for_co(self, co: CentralOffice) -> "Optional[Router]":
@@ -110,17 +114,48 @@ class McTracerouteCampaign:
         """The hotspots that turned out to be on the target ISP."""
         return [h.vp for h in self.hotspots if h.vp is not None]
 
-    def sweep(self, targets: "list[str]") -> "list[TraceResult]":
-        """Traceroute from every usable hotspot to every target."""
-        tracer = Tracerouter(self.network)
-        traces = []
-        for vp in self.usable_vps():
-            for target in targets:
-                trace = tracer.trace(vp.host, target, src_address=vp.src_address)
-                trace.vp_name = vp.name
-                if trace.hops:
-                    traces.append(trace)
-        return traces
+    def sweep(
+        self,
+        targets: "list[str]",
+        attempts: int = 1,
+        checkpoint_path=None,
+        resume: bool = False,
+        min_vps: int = 1,
+    ) -> "list[TraceResult]":
+        """Traceroute from every usable hotspot to every target.
+
+        Hotspot fleets are the flakiest VPs in the paper (the venue can
+        kick the prober at any time), so the sweep runs through
+        :class:`CampaignRunner`: per-hop retries, failover to a
+        surviving hotspot, and checkpoint/resume.  The health report of
+        the latest sweep is kept on ``self.last_health``.
+        """
+        tracer = Tracerouter(self.network, attempts=attempts)
+        vps = self.usable_vps()
+        runner = None
+        if checkpoint_path is not None and resume:
+            try:
+                loaded = CampaignCheckpoint.load(checkpoint_path)
+            except CheckpointError:
+                pass  # nothing to resume: start fresh below
+            else:
+                runner = CampaignRunner.resumed(
+                    tracer, vps, loaded, min_vps=min_vps
+                )
+        if runner is None:
+            checkpoint = (
+                CampaignCheckpoint(checkpoint_path)
+                if checkpoint_path is not None
+                else None
+            )
+            runner = CampaignRunner(
+                tracer, vps, checkpoint=checkpoint, min_vps=min_vps
+            )
+        self.last_health = runner.health
+        return runner.run(
+            [(vp, target) for vp in vps for target in targets],
+            stage="mctraceroute",
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

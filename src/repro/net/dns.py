@@ -28,6 +28,9 @@ class RdnsStore:
         self._dig: dict[str, str] = {}
         self._snapshot: dict[str, str] = {}
         self._stale: set[str] = set()
+        #: Active fault injector (set via ``Network.attach_faults``);
+        #: None ⇒ dig never times out.
+        self.faults = None
 
     def __len__(self) -> int:
         return len(set(self._dig) | set(self._snapshot))
@@ -58,9 +61,17 @@ class RdnsStore:
         self._snapshot.pop(key, None)
         self._stale.discard(key)
 
-    def dig(self, address: "str | IPAddress") -> Optional[str]:
-        """A live PTR query."""
-        return self._dig.get(str(parse_ip(address)))
+    def dig(self, address: "str | IPAddress", fault_key: object = None) -> Optional[str]:
+        """A live PTR query; may time out transiently under fault injection.
+
+        *fault_key* lets probe-path callers key the timeout decision on
+        the probe identity (order-independent, hence checkpoint-safe);
+        bare callers leave it None and get a per-address call counter.
+        """
+        key = str(parse_ip(address))
+        if self.faults is not None and self.faults.rdns_timeout(key, fault_key):
+            return None
+        return self._dig.get(key)
 
     def snapshot_lookup(self, address: "str | IPAddress") -> Optional[str]:
         """A lookup against the bulk snapshot."""

@@ -48,6 +48,11 @@ class MplsTunnel:
         if self.ingress in self.interior or self.egress in self.interior:
             raise TopologyError("tunnel endpoints cannot also be interior hops")
 
+    @property
+    def tunnel_id(self) -> str:
+        """Stable identifier for fault plans and bookkeeping."""
+        return self.name or f"{self.ingress.uid}>{self.egress.uid}"
+
     def hides(self, router: "Router", destination_router: "Router") -> bool:
         """True when *router* is invisible for traffic to *destination_router*.
 
@@ -113,10 +118,21 @@ class MplsDomain:
         return found
 
     def visible_path(
-        self, path_routers: "list[Router]", destination: "Router"
+        self,
+        path_routers: "list[Router]",
+        destination: "Router",
+        down: "frozenset[str] | set[str]" = frozenset(),
     ) -> "list[Router]":
-        """Filter a forwarding path down to the routers traceroute can see."""
+        """Filter a forwarding path down to the routers traceroute can see.
+
+        Tunnels whose :attr:`~MplsTunnel.tunnel_id` appears in *down*
+        are flapped: their traffic rides plain IP for this trace, so
+        they hide nothing (the interior becomes visible exactly as a
+        DPR probe would see it).
+        """
         tunnels = self.tunnel_through(path_routers)
+        if down:
+            tunnels = [t for t in tunnels if t.tunnel_id not in down]
         hidden_by_rule: set[str] = set()
         for lsrs, reveal in self._lsr_rules:
             if destination.uid in reveal:

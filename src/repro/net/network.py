@@ -35,6 +35,8 @@ class Network:
         self.links: list[Link] = []
         self.rdns = RdnsStore()
         self.mpls = MplsDomain()
+        #: Active fault injector (None ⇒ the fault-free substrate).
+        self.faults = None
         self._addr_owner: dict[str, Interface] = {}
         # Longest-prefix "attraction" routes: traffic to any address in
         # the prefix is delivered to the given router even when no
@@ -99,6 +101,24 @@ class Network:
         net = ipaddress.ip_network(prefix) if isinstance(prefix, str) else prefix
         self._prefix_routes[str(net)] = router
         self._prefix_lens.add((net.version, net.prefixlen))
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_faults(self, injector) -> None:
+        """Activate a :class:`~repro.faults.injector.FaultInjector`.
+
+        The injector is consulted by the probing engines and the rDNS
+        store; detach (pass ``None``) to restore the fault-free
+        substrate.  Attachment changes no topology state, so it is safe
+        to attach around a campaign and detach afterwards.
+        """
+        self.faults = injector
+        self.rdns.faults = injector
+
+    def detach_faults(self) -> None:
+        """Remove any active fault injector."""
+        self.attach_faults(None)
 
     # ------------------------------------------------------------------
     # Address resolution

@@ -192,6 +192,26 @@ class Router:
                 return iface
         raise TopologyError(f"{self.uid} has no interface {addr}")
 
+    def probe_response(
+        self,
+        probe_source: "str | IPAddress",
+        probe_id: object,
+        echo: bool = False,
+        faults=None,
+    ) -> bool:
+        """Whether this router answers a probe, with faults applied.
+
+        The reply policy decides *refusal* (filtering, habitual
+        silence); an attached fault injector additionally models ICMP
+        rate-limiting windows, which look identical on the wire but are
+        transient — a retry with a fresh probe id may land in an open
+        window.
+        """
+        if faults is not None and faults.rate_limited(self.uid, probe_id):
+            return False
+        decide = self.policy.answers_echo if echo else self.policy.responds_to
+        return decide(parse_ip(probe_source), probe_id)
+
     def next_ipid(self) -> int:
         """Advance and return the router-wide IP-ID counter (16-bit)."""
         self._ipid = (self._ipid + self._ipid_step) % 65536

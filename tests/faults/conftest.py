@@ -1,0 +1,20 @@
+"""Shared fixtures: a toy network with a small vantage point fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.vantage import VantagePoint, attach_host
+
+
+@pytest.fixture()
+def fleet(toy_network):
+    """Three measurement hosts hanging off the toy diamond's router a."""
+    net, routers = toy_network
+    vps = []
+    for index in range(3):
+        host, addr = attach_host(
+            net, routers["a"], f"probe{index}", f"10.9.{index}.0/30"
+        )
+        vps.append(VantagePoint(f"vp{index}", "transit", host, addr))
+    return net, routers, vps

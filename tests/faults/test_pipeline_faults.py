@@ -1,0 +1,131 @@
+"""End-to-end fault tolerance of the cable pipeline (one small region)."""
+
+import ipaddress
+
+import pytest
+
+from repro.errors import CampaignInterrupted
+from repro.faults import FaultPlan
+from repro.infer.pipeline import CableInferencePipeline
+from repro.io.export import campaign_health_to_json, region_to_json
+
+REGION = "saltlake"
+
+
+class _RegionPipeline(CableInferencePipeline):
+    """The §5 pipeline restricted to one region's targets, for speed.
+
+    Customer /24s are filtered by the region's announced prefixes;
+    rDNS-harvested infrastructure targets (which live in a shared infra
+    pool) are filtered by the region tag in their hostname.
+    """
+
+    def slash24_targets(self):
+        nets = self.isp.region_prefixes[REGION]
+        return [
+            t for t in super().slash24_targets()
+            if any(ipaddress.ip_address(t) in n for n in nets)
+        ]
+
+    def rdns_targets(self):
+        targets = []
+        for address in super().rdns_targets():
+            hostname = self.network.rdns.snapshot_lookup(address)
+            parsed = self.parser.regional_co(hostname, self.isp.name)
+            if parsed is not None and parsed[0] == REGION:
+                targets.append(address)
+        return targets
+
+
+@pytest.fixture()
+def small_world():
+    from repro.topology.internet import SimulatedInternet
+
+    internet = SimulatedInternet(
+        seed=23, include_telco=False, include_mobile=False
+    )
+    return internet, list(internet.build_standard_vps())
+
+
+def _pipeline(internet, fleet, **kwargs):
+    return _RegionPipeline(
+        internet.network, internet.comcast, fleet,
+        sweep_vps=4, **kwargs,
+    )
+
+
+def _region_json(result):
+    return (
+        region_to_json(result.regions[REGION])
+        if REGION in result.regions
+        else None
+    )
+
+
+class TestFaultyCampaignCompletes:
+    def test_loss_and_dropouts_yield_health_not_exception(self, small_world):
+        internet, fleet = small_world
+        plan = FaultPlan(seed=5, probe_loss=0.10, vp_dropout=2,
+                         vp_dropout_after=100)
+        result = _pipeline(
+            internet, fleet, attempts=2, faults=plan
+        ).run()
+        health = result.health
+        assert health is not None
+        assert health.probes_lost > 0
+        assert len(health.vps_lost) == 2
+        assert "lost" in health.summary()
+        # The health report exports alongside the topology artifacts.
+        assert '"campaign-health"' in campaign_health_to_json(health)
+        # The network fixture is left clean for other users.
+        assert internet.network.faults is None
+
+    def test_retries_recover_silent_hops(self, small_world):
+        internet, fleet = small_world
+        plan = FaultPlan(seed=5, probe_loss=0.25)
+
+        naive = _pipeline(internet, fleet, attempts=1, faults=plan).run()
+        resilient = _pipeline(internet, fleet, attempts=3, faults=plan).run()
+
+        def silent(result):
+            return sum(
+                1 for t in result.traces for h in t.hops if h.address is None
+            )
+
+        assert silent(resilient) < silent(naive)
+        assert resilient.health.probes_retried > 0
+
+
+class TestCheckpointResume:
+    PLAN = FaultPlan(seed=5, probe_loss=0.05, vp_dropout=1,
+                     vp_dropout_after=400)
+
+    def test_resumed_run_matches_uninterrupted(self, small_world, tmp_path):
+        internet, fleet = small_world
+        reference = _pipeline(
+            internet, fleet, attempts=2, faults=self.PLAN
+        ).run()
+        assert _region_json(reference) is not None
+
+        path = tmp_path / "campaign.json"
+        with pytest.raises(CampaignInterrupted):
+            _pipeline(
+                internet, fleet, attempts=2, faults=self.PLAN,
+                checkpoint_path=path, stop_after=150,
+            ).run()
+        assert path.exists()
+
+        resumed = _pipeline(
+            internet, fleet, attempts=2, faults=self.PLAN,
+            checkpoint_path=path, resume=True,
+        ).run()
+        assert resumed.health.resumed is True
+        assert _region_json(resumed) == _region_json(reference)
+
+    def test_resume_without_checkpoint_starts_fresh(self, small_world, tmp_path):
+        internet, fleet = small_world
+        result = _pipeline(
+            internet, fleet,
+            checkpoint_path=tmp_path / "missing.json", resume=True,
+        ).run()
+        assert _region_json(result) is not None

@@ -1,0 +1,97 @@
+"""FaultPlan: seeded, order-independent, no-op by default."""
+
+from repro.faults import FaultPlan
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        keys = [("1.2.3.4", "5.6.7.8", 0, ttl) for ttl in range(1, 30)]
+        a = FaultPlan(seed=7, probe_loss=0.3)
+        b = FaultPlan(seed=7, probe_loss=0.3)
+        assert [a.probe_lost(k) for k in keys] == [b.probe_lost(k) for k in keys]
+
+    def test_different_seeds_differ(self):
+        keys = [("1.2.3.4", "5.6.7.8", 0, ttl) for ttl in range(1, 200)]
+        a = FaultPlan(seed=1, probe_loss=0.5)
+        b = FaultPlan(seed=2, probe_loss=0.5)
+        assert [a.probe_lost(k) for k in keys] != [b.probe_lost(k) for k in keys]
+
+    def test_order_independent(self):
+        """A decision depends only on the event identity, never on how
+        many draws happened before it — the property resume relies on."""
+        plan = FaultPlan(seed=3, probe_loss=0.5, rdns_timeout=0.5)
+        key = ("9.9.9.9", "8.8.8.8", 4, 11)
+        first = plan.probe_lost(key)
+        for ttl in range(1, 500):  # burn hundreds of unrelated decisions
+            plan.probe_lost(("a", "b", 0, ttl))
+            plan.rdns_timed_out("7.7.7.7", ttl)
+        assert plan.probe_lost(key) == first
+
+    def test_loss_rate_approximate(self):
+        plan = FaultPlan(seed=0, probe_loss=0.2)
+        hits = sum(plan.probe_lost(("k", i)) for i in range(5000))
+        assert 0.17 < hits / 5000 < 0.23
+
+
+class TestNoOpPlan:
+    def test_empty_plan_inactive(self):
+        assert not FaultPlan().active
+        assert FaultPlan(seed=99).active is False
+
+    def test_empty_plan_injects_nothing(self):
+        plan = FaultPlan(seed=5)
+        assert not any(plan.probe_lost(("k", i)) for i in range(200))
+        assert not plan.rate_limited("r1", ("k", 0))
+        assert not plan.rdns_timed_out("1.1.1.1", 0)
+        assert not plan.vp_flapped("vp", 0)
+        assert not plan.lsp_down("t1", 0)
+        assert plan.doomed_vps(["a", "b"]) == ()
+
+    def test_any_fault_activates(self):
+        assert FaultPlan(probe_loss=0.1).active
+        assert FaultPlan(vp_dropout=1).active
+        assert FaultPlan(lsp_flap=0.1).active
+
+
+class TestVpDropout:
+    def test_doomed_picks_stable_across_orderings(self):
+        plan = FaultPlan(seed=4, vp_dropout=2)
+        names = [f"vp{i}" for i in range(8)]
+        assert plan.doomed_vps(names) == plan.doomed_vps(list(reversed(names)))
+
+    def test_doomed_count_capped_by_fleet(self):
+        plan = FaultPlan(seed=4, vp_dropout=10)
+        assert len(plan.doomed_vps(["a", "b"])) == 2
+
+
+class TestRateLimiting:
+    def test_only_some_routers_police(self):
+        plan = FaultPlan(seed=6, rate_limit_share=0.5)
+        policed = [
+            uid for uid in (f"r{i}" for i in range(50))
+            if plan.router_rate_limits(uid)
+        ]
+        assert 0 < len(policed) < 50
+
+    def test_unpoliced_router_never_limits(self):
+        plan = FaultPlan(seed=6, rate_limit_share=0.5)
+        clean = next(
+            uid for uid in (f"r{i}" for i in range(50))
+            if not plan.router_rate_limits(uid)
+        )
+        assert not any(plan.rate_limited(clean, ("k", i)) for i in range(100))
+
+    def test_policed_router_partially_answers(self):
+        plan = FaultPlan(seed=6, rate_limit_share=1.0, rate_limit_pass=0.5)
+        eaten = sum(plan.rate_limited("r0", ("k", i)) for i in range(1000))
+        assert 400 < eaten < 600
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(seed=9, probe_loss=0.1, vp_dropout=2,
+                         vp_dropout_after=100, lsp_flap=0.05)
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_from_dict_ignores_unknown_keys(self):
+        assert FaultPlan.from_dict({"seed": 1, "future_field": 3}).seed == 1

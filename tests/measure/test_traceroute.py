@@ -78,10 +78,22 @@ class TestTrace:
         assert len(result.hops) == 1 and not result.completed
 
     def test_probes_counted(self, toy_network):
+        """probes_sent counts one probe per TTL per attempt;
+        traces_run keeps the per-traceroute count."""
         net, routers = toy_network
         tracer = Tracerouter(net)
-        tracer.trace_many(routers["src"], ["10.0.0.14", "10.0.0.6"])
-        assert tracer.probes_sent == 2
+        traces = tracer.trace_many(routers["src"], ["10.0.0.14", "10.0.0.6"])
+        assert tracer.traces_run == 2
+        assert tracer.probes_sent == sum(len(t.hops) for t in traces)
+        assert tracer.probes_sent > tracer.traces_run
+
+    def test_retries_counted(self, toy_network):
+        net, routers = toy_network
+        tracer = Tracerouter(net, attempts=3)
+        trace = tracer.trace(routers["src"], "10.0.0.14")
+        # Every hop answered on the first try: no retries consumed.
+        assert tracer.probes_retried == 0
+        assert all(h.attempts == 1 for h in trace.hops)
 
     def test_rdns_attached(self, toy_network):
         net, routers = toy_network

@@ -56,11 +56,14 @@ class TestRdnsEpochs:
 
 
 class TestProbeAccounting:
-    def test_unroutable_still_counts_probe(self, toy_network):
+    def test_unroutable_counts_trace_but_no_probes(self, toy_network):
+        """An unroutable target still counts as a trace run, but no
+        per-TTL probes were answered or even sent into the topology."""
         net, routers = toy_network
         tracer = Tracerouter(net)
         tracer.trace(routers["src"], "203.0.113.1")
-        assert tracer.probes_sent == 1
+        assert tracer.traces_run == 1
+        assert tracer.probes_sent == 0
 
     def test_source_address_defaults_to_first_interface(self, toy_network):
         net, routers = toy_network

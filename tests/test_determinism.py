@@ -1,6 +1,7 @@
 """Determinism regression: everything is seeded, nothing reads global
 RNG state, so same seed ⇒ same world and same measurements."""
 
+from repro.faults import FaultInjector, FaultPlan
 from repro.measure.traceroute import Tracerouter
 from repro.net.network import Network
 from repro.topology.cable import build_comcast_like
@@ -68,3 +69,69 @@ class TestSameSeedSameWorld:
                 name for _a, name in net.rdns.snapshot_items()
             ))
         assert nets[0] != nets[1]
+
+
+class TestFaultDeterminism:
+    """The fault substrate must never perturb the fault-free world."""
+
+    def _endpoints(self, net, isp):
+        src = isp.regions["seattle"].edge_cos[0].routers[0]
+        dst = str(
+            isp.regions["denver"].edge_cos[0].routers[0].interfaces[0].address
+        )
+        return src, dst
+
+    def _hops(self, trace):
+        return [(h.address, h.rdns, h.rtt_ms, h.attempts) for h in trace.hops]
+
+    def test_empty_plan_identical_to_no_plan(self):
+        net, isp = _build()
+        src, dst = self._endpoints(net, isp)
+        bare = Tracerouter(net).trace(src, dst, flow_id=7)
+        net.attach_faults(FaultInjector(FaultPlan()))
+        injected = Tracerouter(net).trace(src, dst, flow_id=7)
+        net.detach_faults()
+        assert self._hops(bare) == self._hops(injected)
+
+    def test_retry_config_alone_identical_to_seed(self):
+        """attempts>1 with nothing to retry reproduces attempts=1 exactly
+        (the first attempt of every probe keeps its historical key)."""
+        net, isp = _build()
+        src, dst = self._endpoints(net, isp)
+        single = Tracerouter(net).trace(src, dst, flow_id=7)
+        triple = Tracerouter(net, attempts=3).trace(src, dst, flow_id=7)
+        assert self._hops(single) == self._hops(triple)
+
+    def test_same_seed_same_faulty_trace(self):
+        results = []
+        for _ in range(2):
+            net, isp = _build()
+            src, dst = self._endpoints(net, isp)
+            net.attach_faults(
+                FaultInjector(FaultPlan(seed=9, probe_loss=0.3, lsp_flap=0.2))
+            )
+            trace = Tracerouter(net, attempts=2).trace(src, dst, flow_id=7)
+            results.append(self._hops(trace))
+        assert results[0] == results[1]
+
+    def test_fault_seeds_differ(self):
+        results = []
+        for fault_seed in (1, 2):
+            net, isp = _build()
+            src = isp.regions["seattle"].edge_cos[0].routers[0]
+            net.attach_faults(
+                FaultInjector(FaultPlan(seed=fault_seed, probe_loss=0.5))
+            )
+            tracer = Tracerouter(net)
+            traces = [
+                tracer.trace(src, dst, flow_id=f)
+                for f in range(4)
+                for dst in [
+                    str(
+                        isp.regions["denver"].edge_cos[0]
+                        .routers[0].interfaces[0].address
+                    )
+                ]
+            ]
+            results.append([self._hops(t) for t in traces])
+        assert results[0] != results[1]
