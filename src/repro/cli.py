@@ -50,29 +50,37 @@ def cmd_map_cable(args) -> int:
     """Run the §5 pipeline against a cable ISP, optionally exporting."""
     from repro.faults import FaultPlan
     from repro.infer.pipeline import CableInferencePipeline
+    from repro.io.atomic import atomic_write_text
     from repro.io.export import region_to_dot, region_to_json
+    from repro.validate.quarantine import quarantine_report_to_json
 
     internet = _build_internet(args, include_telco=False, include_mobile=False)
     isp = getattr(internet, args.isp)
     fleet = list(internet.build_standard_vps())
     faults = None
-    if args.faults or args.vp_dropouts:
+    if args.faults or args.vp_dropouts or args.stale_rdns:
         faults = FaultPlan(
             seed=args.fault_seed,
             probe_loss=args.faults,
             vp_dropout=args.vp_dropouts,
             vp_dropout_after=args.vp_dropout_after,
+            stale_rdns=args.stale_rdns,
         )
     result = CableInferencePipeline(
         internet.network, isp, fleet, sweep_vps=args.sweep_vps,
         attempts=args.attempts, faults=faults,
         checkpoint_path=args.resume or args.checkpoint,
         resume=bool(args.resume), min_vps=args.min_vps,
+        validate=args.validate,
     ).run()
     if result.health is not None and (
         faults is not None or args.resume or args.attempts > 1
+        or args.validate != "off"
     ):
-        print(f"campaign health: {result.health.summary()}")
+        line = f"campaign health: {result.health.summary()}"
+        if result.quarantine is not None:
+            line += f"; {result.quarantine.summary()}"
+        print(line)
     types = Counter(result.aggregation_types().values())
     print(f"{args.isp}: {len(result.regions)} regions inferred "
           f"({types['single']} single / {types['two']} two / "
@@ -83,18 +91,22 @@ def cmd_map_cable(args) -> int:
               f"{len(region.agg_cos)} AggCOs")
     if args.json_dir:
         directory = pathlib.Path(args.json_dir)
-        directory.mkdir(parents=True, exist_ok=True)
         for name, region in result.regions.items():
-            (directory / f"{args.isp}-{name}.json").write_text(
-                region_to_json(region)
+            atomic_write_text(
+                directory / f"{args.isp}-{name}.json", region_to_json(region)
             )
         print(f"wrote {len(result.regions)} JSON files to {directory}")
+        if result.quarantine is not None and result.quarantine:
+            path = atomic_write_text(
+                directory / f"{args.isp}-quarantine.json",
+                quarantine_report_to_json(result.quarantine),
+            )
+            print(f"wrote quarantine report to {path}")
     if args.dot_dir:
         directory = pathlib.Path(args.dot_dir)
-        directory.mkdir(parents=True, exist_ok=True)
         for name, region in result.regions.items():
-            (directory / f"{args.isp}-{name}.dot").write_text(
-                region_to_dot(region)
+            atomic_write_text(
+                directory / f"{args.isp}-{name}.dot", region_to_dot(region)
             )
         print(f"wrote {len(result.regions)} DOT files to {directory}")
     return 0
@@ -124,10 +136,12 @@ def cmd_map_att(args) -> int:
           f"{topology.backbone_co_count} BackboneCO(s), "
           f"{len(topology.edge_cos)} EdgeCOs")
     if args.json_dir:
-        directory = pathlib.Path(args.json_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"att-{args.region}.json"
-        path.write_text(att_topology_to_json(topology))
+        from repro.io.atomic import atomic_write_text
+
+        path = atomic_write_text(
+            pathlib.Path(args.json_dir) / f"att-{args.region}.json",
+            att_topology_to_json(topology),
+        )
         print(f"wrote {path}")
     return 0
 
@@ -151,10 +165,11 @@ def cmd_ship(args) -> int:
               f"({result.success_rate:.0%}), {analysis.region_count} regions, "
               f"{analysis.topology_class}")
         if args.json_dir:
-            directory = pathlib.Path(args.json_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            (directory / f"{name}.json").write_text(
-                carrier_analysis_to_json(analysis)
+            from repro.io.atomic import atomic_write_text
+
+            atomic_write_text(
+                pathlib.Path(args.json_dir) / f"{name}.json",
+                carrier_analysis_to_json(analysis),
             )
     return 0
 
@@ -176,20 +191,66 @@ def cmd_energy(args) -> int:
     return 0
 
 
+def _load_region_artifacts(directory, validate):
+    """Load every cable-region JSON in *directory*, schema-validated.
+
+    Non-region artifacts (health, quarantine reports) sitting in the
+    same export directory are skipped by kind; anything unparseable is
+    a hard :class:`SchemaError` naming the file.  Under ``strict`` or
+    ``lenient`` the refinement invariants are also checked — a
+    schema-valid artifact can still be structurally corrupt.
+    """
+    import json as _json
+
+    from repro.errors import SchemaError
+    from repro.io.export import region_from_json
+    from repro.validate.invariants import InvariantGuard
+
+    guard = InvariantGuard(validate) if validate != "off" else None
+    regions = {}
+    for path in sorted(pathlib.Path(directory).glob("*.json")):
+        text = path.read_text()
+        try:
+            try:
+                kind = _json.loads(text).get("kind")
+            except (_json.JSONDecodeError, AttributeError) as exc:
+                raise SchemaError(f"$: not a JSON artifact: {exc}") from None
+            if kind != "cable-region":
+                continue
+            region = region_from_json(text)
+            if guard is not None:
+                guard.check_region(region)
+        except SchemaError as exc:
+            raise SchemaError(f"{path.name}: {exc}") from None
+        regions[region.name] = region
+    return regions, guard
+
+
 def cmd_resilience(args) -> int:
     """Sweep single-CO failures over inferred region graphs (§8)."""
     from repro.analysis.resilience import ResilienceAnalyzer
-    from repro.infer.pipeline import CableInferencePipeline
 
-    internet = _build_internet(args, include_telco=False, include_mobile=False)
-    isp = getattr(internet, args.isp)
-    fleet = list(internet.build_standard_vps())
-    result = CableInferencePipeline(
-        internet.network, isp, fleet, sweep_vps=args.sweep_vps
-    ).run()
-    print(f"{args.isp}: worst single-CO failure per region")
-    for name in sorted(result.regions):
-        sweep = ResilienceAnalyzer(result.regions[name]).sweep()
+    if args.from_json:
+        regions, guard = _load_region_artifacts(args.from_json, args.validate)
+        if guard is not None and guard.report:
+            print(f"validation: {guard.report.summary()}")
+        label = f"{args.from_json} ({len(regions)} artifacts)"
+    else:
+        from repro.infer.pipeline import CableInferencePipeline
+
+        internet = _build_internet(
+            args, include_telco=False, include_mobile=False
+        )
+        isp = getattr(internet, args.isp)
+        fleet = list(internet.build_standard_vps())
+        regions = CableInferencePipeline(
+            internet.network, isp, fleet, sweep_vps=args.sweep_vps,
+            validate=args.validate,
+        ).run().regions
+        label = args.isp
+    print(f"{label}: worst single-CO failure per region")
+    for name in sorted(regions):
+        sweep = ResilienceAnalyzer(regions[name]).sweep()
         worst = sweep.worst_case
         spofs = sweep.single_points_of_failure()
         print(f"  {name}: worst {worst.disconnected_fraction:.0%} "
@@ -242,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
     map_cable.add_argument(
         "--min-vps", type=int, default=1,
         help="degrade (skip remaining jobs) below this many live VPs")
+    map_cable.add_argument(
+        "--validate", choices=("strict", "lenient", "off"), default="off",
+        help="per-stage invariant checking: strict fails fast, lenient "
+             "drops and quarantines conflicting records (default off)")
+    map_cable.add_argument(
+        "--stale-rdns", type=float, default=0.0, metavar="RATE",
+        help="inject this rate of stale PTR lookups (0..1), the "
+             "paper's conflicting-rDNS noise source")
 
     map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
     map_att.add_argument("region", nargs="?", default="sndgca")
@@ -256,8 +325,17 @@ def build_parser() -> argparse.ArgumentParser:
     resilience = sub.add_parser(
         "resilience", help="single-failure sweeps over inferred regions"
     )
-    resilience.add_argument("isp", choices=("comcast", "charter"))
+    resilience.add_argument("isp", nargs="?", default="comcast",
+                            choices=("comcast", "charter"))
     resilience.add_argument("--sweep-vps", type=int, default=8)
+    resilience.add_argument(
+        "--from-json", metavar="DIR",
+        help="analyze exported cable-region artifacts from DIR instead "
+             "of re-running the measurement pipeline")
+    resilience.add_argument(
+        "--validate", choices=("strict", "lenient", "off"), default="off",
+        help="invariant checking for loaded artifacts / the pipeline "
+             "(default off; artifact schemas are always validated)")
 
     return parser
 
@@ -273,9 +351,21 @@ _COMMANDS = {
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Any :class:`~repro.errors.ReproError` — a corrupt artifact, a
+    broken pipeline invariant under ``--validate strict``, a bad
+    checkpoint — exits non-zero with a single-line diagnostic instead
+    of a traceback.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -39,3 +39,11 @@ class CheckpointError(ReproError):
 
 class InferenceError(ReproError):
     """The inference pipeline received input it cannot process."""
+
+
+class SchemaError(ReproError):
+    """A JSON artifact was malformed; the message names the JSON path."""
+
+
+class InvariantViolation(InferenceError):
+    """A pipeline stage broke a structural invariant it should establish."""

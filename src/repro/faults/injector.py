@@ -28,6 +28,7 @@ class FaultStats:
     rdns_timeouts: int = 0
     vp_flaps: int = 0
     lsp_flaps: int = 0
+    stale_lookups: int = 0
     vps_killed: "list[str]" = field(default_factory=list)
 
     def as_dict(self) -> "dict[str, object]":
@@ -37,6 +38,7 @@ class FaultStats:
             "rdns_timeouts": self.rdns_timeouts,
             "vp_flaps": self.vp_flaps,
             "lsp_flaps": self.lsp_flaps,
+            "stale_lookups": self.stale_lookups,
             "vps_killed": sorted(self.vps_killed),
         }
 
@@ -48,6 +50,7 @@ class FaultStats:
         stats.rdns_timeouts = int(payload.get("rdns_timeouts", 0))
         stats.vp_flaps = int(payload.get("vp_flaps", 0))
         stats.lsp_flaps = int(payload.get("lsp_flaps", 0))
+        stats.stale_lookups = int(payload.get("stale_lookups", 0))
         stats.vps_killed = list(payload.get("vps_killed", []))
         return stats
 
@@ -63,6 +66,10 @@ class FaultInjector:
         self._doomed: "set[str]" = set()
         self._dead: "set[str]" = set()
         self._rdns_calls: "dict[str, int]" = {}
+        #: Donor hostnames for stale-rDNS injection (built lazily from
+        #: the store's snapshot; stable for the campaign's duration).
+        self._stale_donors: "list[str] | None" = None
+        self._stale_seen: "set[str]" = set()
 
     # ------------------------------------------------------------------
     # Probe-path hooks (consulted by Tracerouter / alias probers)
@@ -94,6 +101,32 @@ class FaultInjector:
             self.stats.rdns_timeouts += 1
             return True
         return False
+
+    def stale_hostname(self, address: str, hostname: str, store) -> str:
+        """The hostname a combined PTR lookup should return.
+
+        With ``stale_rdns`` active, a deterministically-chosen share of
+        addresses borrow a *donor* hostname from elsewhere in *store*'s
+        snapshot — the stale record a real zone accumulates when
+        equipment moves between COs.  The decision and the donor are
+        both keyed on the address alone, so repeated lookups agree.
+        """
+        if self.plan.stale_rdns <= 0.0 or not self.plan.rdns_stale(address):
+            return hostname
+        if self._stale_donors is None:
+            self._stale_donors = sorted(
+                {name for _, name in store.snapshot_items()}
+            )
+        if not self._stale_donors:
+            return hostname
+        index = self.plan.stale_donor_index(address, len(self._stale_donors))
+        donor = self._stale_donors[index]
+        if donor == hostname:
+            return hostname
+        if address not in self._stale_seen:
+            self._stale_seen.add(address)
+            self.stats.stale_lookups += 1
+        return donor
 
     def down_tunnels(self, tunnels, token: object) -> "frozenset[str]":
         """Tunnel ids flapped down for the trace identified by *token*."""

@@ -49,6 +49,14 @@ class FaultPlan:
         Probability an MPLS LSP is down for the duration of one
         traceroute, causing the flow to ride plain IP and expose the
         tunnel interior that is normally hidden.
+    ``stale_rdns``
+        Probability a given address's combined PTR lookup returns a
+        *donor* hostname — a name harvested from a different address in
+        the snapshot — modelling the stale records left behind when
+        equipment moves between COs (§4–§5, App. B.1).  Keyed per
+        address, so every lookup of one address is consistently stale;
+        this is the synthetic conflicting-rDNS campaign the
+        inference-side guardrails quarantine.
     """
 
     seed: int = 0
@@ -60,6 +68,7 @@ class FaultPlan:
     vp_dropout_after: int = 0
     vp_flap: float = 0.0
     lsp_flap: float = 0.0
+    stale_rdns: float = 0.0
 
     # ------------------------------------------------------------------
     def _draw(self, *key: object) -> float:
@@ -72,7 +81,7 @@ class FaultPlan:
         """False when the plan injects nothing (the no-op plan)."""
         numeric = (
             self.probe_loss, self.rate_limit_share, self.rdns_timeout,
-            self.vp_flap, self.lsp_flap,
+            self.vp_flap, self.lsp_flap, self.stale_rdns,
         )
         return any(v > 0.0 for v in numeric) or self.vp_dropout > 0
 
@@ -128,6 +137,17 @@ class FaultPlan:
             self.lsp_flap > 0.0
             and self._draw("lsp", tunnel_id, token) < self.lsp_flap
         )
+
+    def rdns_stale(self, address: str) -> bool:
+        """Whether *address*'s PTR record is stale (stable per address)."""
+        return (
+            self.stale_rdns > 0.0
+            and self._draw("stale-rdns", address) < self.stale_rdns
+        )
+
+    def stale_donor_index(self, address: str, count: int) -> int:
+        """Which of *count* donor hostnames a stale address borrows."""
+        return int(self._draw("stale-donor", address) * count) % count
 
     # ------------------------------------------------------------------
     def as_dict(self) -> "dict[str, object]":

@@ -63,6 +63,10 @@ class RegionAdjacencies:
     #: Adjacencies touching a backbone hop, kept for entry inference:
     #: (backbone tag, region, co_tag) -> count.
     backbone_pairs: "Counter" = field(default_factory=Counter)
+    #: Pruned cross-region adjacencies — "overwhelmingly stale rDNS"
+    #: (App. B.2) — kept for quarantine diagnostics:
+    #: (region_a, co_a, region_b, co_b) -> count.
+    cross_region_pairs: "Counter" = field(default_factory=Counter)
     stats: AdjacencyStats = field(default_factory=AdjacencyStats)
 
     def regions(self) -> "list[str]":
@@ -177,4 +181,5 @@ class AdjacencyExtractor:
                 continue
             result.per_region.setdefault(region, Counter())[(tag_a, tag_b)] = count
         result.backbone_pairs = co_backbone
+        result.cross_region_pairs = co_cross
         return result

@@ -29,6 +29,21 @@ from repro.rdns.regexes import HostnameParser
 CoRef = "tuple[str, str]"  # (region, co_tag)
 
 
+@dataclass(frozen=True)
+class CoConflict:
+    """One IP claimed by multiple COs with no majority — the paper's
+    stale-rDNS signature (App. B.1).  ``dropped`` records whether the
+    conflict cost the address its mapping (alias ties do; p2p ties
+    merely fail to correct)."""
+
+    address: str
+    #: The competing (region, co_tag) claims, sorted for determinism.
+    candidates: "tuple[tuple[str, str], ...]"
+    #: Which voting stage observed the conflict: alias-tie / p2p-tie.
+    source: str
+    dropped: bool = True
+
+
 @dataclass
 class Ip2CoStats:
     """Churn accounting in the shape of Table 3."""
@@ -65,6 +80,8 @@ class Ip2CoMapping:
 
     mapping: "dict[str, CoRef]" = field(default_factory=dict)
     stats: Ip2CoStats = field(default_factory=Ip2CoStats)
+    #: Conflicting observations seen while voting (quarantine fodder).
+    conflicts: "list[CoConflict]" = field(default_factory=list)
 
     def co_of(self, address: "str | None") -> "Optional[CoRef]":
         if address is None:
@@ -113,7 +130,8 @@ class Ip2CoMapper:
 
     # -- stage 2 -----------------------------------------------------------
     def _apply_alias_groups(
-        self, mapping: "dict[str, CoRef]", aliases: AliasSets, stats: Ip2CoStats
+        self, mapping: "dict[str, CoRef]", aliases: AliasSets,
+        stats: Ip2CoStats, conflicts: "list[CoConflict]",
     ) -> None:
         for group in aliases.groups:
             votes: Counter = Counter()
@@ -126,6 +144,9 @@ class Ip2CoMapper:
             ranked = votes.most_common()
             top_co, top_count = ranked[0]
             tie = len(ranked) > 1 and ranked[1][1] == top_count
+            tied_cos = tuple(
+                sorted(co for co, n in ranked if n == top_count)
+            ) if tie else ()
             for address in group:
                 if tie:
                     # Conflicting evidence with no majority: drop rather
@@ -133,6 +154,10 @@ class Ip2CoMapper:
                     if address in mapping:
                         del mapping[address]
                         stats.alias_removed += 1
+                        conflicts.append(CoConflict(
+                            address=address, candidates=tied_cos,
+                            source="alias-tie", dropped=True,
+                        ))
                     continue
                 old = mapping.get(address)
                 if old is None:
@@ -148,6 +173,7 @@ class Ip2CoMapper:
         mapping: "dict[str, CoRef]",
         traces: "list[TraceResult]",
         stats: Ip2CoStats,
+        conflicts: "list[CoConflict]",
     ) -> None:
         votes: "dict[str, Counter]" = {}
         for trace in traces:
@@ -166,6 +192,15 @@ class Ip2CoMapper:
             ranked = counter.most_common()
             top_co, top_count = ranked[0]
             if len(ranked) > 1 and ranked[1][1] == top_count:
+                # Tied peer votes: the correction fails but the existing
+                # mapping (if any) survives — record, don't drop.
+                conflicts.append(CoConflict(
+                    address=address,
+                    candidates=tuple(sorted(
+                        co for co, n in ranked if n == top_count
+                    )),
+                    source="p2p-tie", dropped=False,
+                ))
                 continue
             old = mapping.get(address)
             if old is None:
@@ -186,8 +221,9 @@ class Ip2CoMapper:
             addresses |= {str(parse_ip(a)) for a in extra_addresses}
         mapping = self.initial_mapping(addresses)
         stats.initial = len(mapping)
-        self._apply_alias_groups(mapping, aliases, stats)
+        conflicts: "list[CoConflict]" = []
+        self._apply_alias_groups(mapping, aliases, stats, conflicts)
         stats.after_alias = len(mapping)
-        self._apply_p2p_votes(mapping, traces, stats)
+        self._apply_p2p_votes(mapping, traces, stats, conflicts)
         stats.final = len(mapping)
-        return Ip2CoMapping(mapping=mapping, stats=stats)
+        return Ip2CoMapping(mapping=mapping, stats=stats, conflicts=conflicts)

@@ -37,6 +37,8 @@ from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint
 from repro.net.network import Network
 from repro.rdns.regexes import HostnameParser
+from repro.validate.invariants import InvariantGuard
+from repro.validate.quarantine import QuarantineReport
 
 
 #: Re-export under the historical name used across examples/benchmarks.
@@ -57,6 +59,8 @@ class CableInferenceResult:
     followup_traces: "list[TraceResult]" = field(default_factory=list)
     #: Campaign cost/loss accounting; None only for hand-built results.
     health: "CampaignHealth | None" = None
+    #: Diverted conflicting observations; None when validation is off.
+    quarantine: "QuarantineReport | None" = None
 
     def aggregation_types(self) -> "dict[str, str]":
         return {
@@ -89,6 +93,7 @@ class CableInferencePipeline:
         min_vps: int = 1,
         failover: bool = True,
         stop_after: "int | None" = None,
+        validate: str = "off",
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -130,6 +135,11 @@ class CableInferencePipeline:
         self.min_vps = min_vps
         self.failover = failover
         self.stop_after = stop_after
+        #: Validation policy: strict (fail-fast), lenient
+        #: (drop-and-record), or off.  Constructing the guard up front
+        #: rejects unknown policies before any probing happens.
+        self.validate = validate
+        self._guard = InvariantGuard(validate) if validate != "off" else None
         self.runner: "CampaignRunner | None" = None
 
     # ------------------------------------------------------------------
@@ -183,6 +193,11 @@ class CableInferencePipeline:
                 try:
                     checkpoint = CampaignCheckpoint.load(self.checkpoint_path)
                 except CheckpointError:
+                    # A corrupt checkpoint silently restarting a
+                    # multi-hour campaign is exactly what strict mode
+                    # exists to prevent.
+                    if self.validate == "strict":
+                        raise
                     checkpoint = None  # nothing to resume: start fresh
                 else:
                     return CampaignRunner.resumed(
@@ -260,27 +275,42 @@ class CableInferencePipeline:
     # Phase 2 + orchestration
     # ------------------------------------------------------------------
     def run(self) -> CableInferenceResult:
-        """The full campaign: collect, resolve, map, prune, refine, enter."""
+        """The full campaign: collect, resolve, map, prune, refine, enter.
+
+        Phase 2 runs inside the fault context too: stale-rDNS injection
+        (``FaultPlan.stale_rdns``) perturbs the *lookup* path the
+        mapper and extractor read, exactly where real stale PTR records
+        live.  Fault-free plans are unaffected — no phase-2 code path
+        consults any other injector hook.
+        """
+        guard = self._guard
         with self._fault_context():
             traces, followups = self.collect_traces()
             aliases = self.resolve_aliases(traces)
-        mapper = Ip2CoMapper(
-            self.network.rdns, self.isp.name,
-            p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
-        )
-        mapping = mapper.build(
-            traces, aliases, extra_addresses=set(self.rdns_targets())
-        )
-        extractor = AdjacencyExtractor(
-            mapping, self.network.rdns, self.isp.name, parser=self.parser
-        )
-        adjacencies = extractor.extract(traces, followup_traces=followups)
+            mapper = Ip2CoMapper(
+                self.network.rdns, self.isp.name,
+                p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
+            )
+            mapping = mapper.build(
+                traces, aliases, extra_addresses=set(self.rdns_targets())
+            )
+            if guard is not None:
+                guard.check_mapping(mapping, aliases)
+            extractor = AdjacencyExtractor(
+                mapping, self.network.rdns, self.isp.name, parser=self.parser
+            )
+            adjacencies = extractor.extract(traces, followup_traces=followups)
+        if guard is not None:
+            guard.check_adjacencies(adjacencies)
 
         refiner = RegionRefiner()
         regions = {
             region_name: refiner.refine(region_name, counter)
             for region_name, counter in adjacencies.per_region.items()
         }
+        if guard is not None:
+            for region in regions.values():
+                guard.check_region(region)
         inferrer = EntryInferrer(mapping)
         entries = inferrer.backbone_entries(adjacencies)
         entries += inferrer.inter_region_entries(traces)
@@ -295,4 +325,5 @@ class CableInferencePipeline:
             traces=traces,
             followup_traces=followups,
             health=self.runner.health if self.runner is not None else None,
+            quarantine=guard.report if guard is not None else None,
         )

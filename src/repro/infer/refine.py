@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import statistics
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 
@@ -30,6 +30,9 @@ class RefineStats:
     removed_edge_edges: int = 0
     added_ring_edges: int = 0
     final_edges: int = 0
+    #: The EdgeCO→EdgeCO pairs B.3 removed (quarantine diagnostics;
+    #: not serialized — JSON artifacts carry only the counts above).
+    removed_pairs: "list[tuple[str, str]]" = field(default_factory=list)
 
     @property
     def removed_fraction(self) -> float:
@@ -106,6 +109,7 @@ class RegionRefiner:
             for dst in out_edges:
                 graph.remove_edge(src, dst)
                 stats.removed_edge_edges += 1
+                stats.removed_pairs.append((src, dst))
 
     # -- step 3: AggCO pairing + missing edges -------------------------------
     def pair_agg_cos(self, graph: nx.DiGraph, aggs: "set[str]") -> "list[set[str]]":

@@ -1,12 +1,15 @@
 """Serialization: inferred topologies (JSON/DOT) and campaign checkpoints."""
 
+from repro.io.atomic import atomic_write_text
 from repro.io.checkpoint import (
     CampaignCheckpoint,
     trace_from_dict,
     trace_to_dict,
 )
 from repro.io.export import (
+    att_topology_from_json,
     att_topology_to_json,
+    campaign_health_from_json,
     campaign_health_to_json,
     carrier_analysis_to_json,
     region_from_json,
@@ -16,7 +19,10 @@ from repro.io.export import (
 
 __all__ = [
     "CampaignCheckpoint",
+    "atomic_write_text",
+    "att_topology_from_json",
     "att_topology_to_json",
+    "campaign_health_from_json",
     "campaign_health_to_json",
     "carrier_analysis_to_json",
     "region_from_json",

@@ -1,0 +1,22 @@
+"""Atomic file writes shared by every artifact exporter.
+
+A campaign killed mid-write must never leave a half-serialized artifact
+where the next run (or a resumed one) will trust it.  Write to a
+temporary sibling, then ``os.replace`` — atomic on POSIX within one
+filesystem — exactly as the checkpoint layer has always done.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+
+def atomic_write_text(path: "str | pathlib.Path", text: str) -> pathlib.Path:
+    """Write *text* to *path* via write-temp-then-rename; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path

@@ -13,11 +13,12 @@ final output as a run that was never interrupted.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, SchemaError
+from repro.io.atomic import atomic_write_text
 from repro.measure.traceroute import Hop, TraceResult
+from repro.validate.schema import validate_artifact
 
 CHECKPOINT_SCHEMA_VERSION = 1
 
@@ -94,14 +95,12 @@ class CampaignCheckpoint:
             raise CheckpointError(
                 f"unreadable checkpoint {checkpoint.path}: {exc}"
             ) from exc
-        if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        try:
+            validate_artifact(payload, kind="campaign-checkpoint")
+        except SchemaError as exc:
             raise CheckpointError(
-                f"unsupported checkpoint schema {payload.get('schema')!r}"
-            )
-        if payload.get("kind") != "campaign-checkpoint":
-            raise CheckpointError(
-                f"not a campaign checkpoint: {payload.get('kind')!r}"
-            )
+                f"corrupt checkpoint {checkpoint.path}: {exc}"
+            ) from exc
         checkpoint._stages = payload.get("stages", {})
         checkpoint._health = payload.get("health", {})
         checkpoint._injector = payload.get("injector", {})
@@ -116,10 +115,7 @@ class CampaignCheckpoint:
             "health": self._health,
             "injector": self._injector,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
 
     # ------------------------------------------------------------------
     def stage(self, name: str) -> "dict | None":

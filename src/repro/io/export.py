@@ -5,6 +5,11 @@ planning, visualization) needs the inferred CO graphs as artifacts, not
 as live Python objects.  The JSON schema is versioned and row-oriented;
 `region_from_json` round-trips it back into a
 :class:`~repro.infer.refine.RefinedRegion`.
+
+Every loader validates its input against the typed schemas in
+:mod:`repro.validate.schema` before touching a field, so corrupt or
+truncated artifacts surface as :class:`~repro.errors.SchemaError` with
+the offending JSON path in the message — never a raw ``KeyError``.
 """
 
 from __future__ import annotations
@@ -13,10 +18,11 @@ import json
 
 import networkx as nx
 
-from repro.errors import ReproError
+from repro.errors import SchemaError
 from repro.infer.att import AttRegionTopology
 from repro.infer.mobile_ipv6 import CarrierAnalysis
 from repro.infer.refine import RefinedRegion, RefineStats
+from repro.validate.schema import parse_artifact
 
 SCHEMA_VERSION = 1
 
@@ -51,21 +57,29 @@ def region_to_json(region: RefinedRegion) -> str:
 
 def region_from_json(text: str) -> RefinedRegion:
     """Round-trip a serialized region back into a RefinedRegion."""
-    payload = json.loads(text)
-    if payload.get("schema") != SCHEMA_VERSION:
-        raise ReproError(
-            f"unsupported schema version {payload.get('schema')!r}"
-        )
-    if payload.get("kind") != "cable-region":
-        raise ReproError(f"not a cable-region document: {payload.get('kind')!r}")
+    payload = parse_artifact(text, kind="cable-region")
+    declared = set(payload["agg_cos"]) | set(payload["edge_cos"])
     graph = nx.DiGraph()
     for node in payload["agg_cos"] + payload["edge_cos"]:
         graph.add_node(node)
-    for edge in payload["edges"]:
+    for index, edge in enumerate(payload["edges"]):
+        for key in ("from", "to"):
+            if edge[key] not in declared:
+                raise SchemaError(
+                    f"$.edges[{index}].{key}: CO {edge[key]!r} is not "
+                    f"declared in agg_cos or edge_cos"
+                )
         graph.add_edge(
             edge["from"], edge["to"],
             weight=edge["observations"], inferred=edge["inferred"],
         )
+    for index, group in enumerate(payload["agg_groups"]):
+        for member in group:
+            if member not in payload["agg_cos"]:
+                raise SchemaError(
+                    f"$.agg_groups[{index}]: member {member!r} is not "
+                    f"an AggCO"
+                )
     stats = RefineStats(
         initial_edges=payload["stats"]["initial_edges"],
         removed_edge_edges=payload["stats"]["removed_edge_edges"],
@@ -115,6 +129,35 @@ def att_topology_to_json(topology: AttRegionTopology) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def att_topology_from_json(text: str) -> AttRegionTopology:
+    """Round-trip a serialized AT&T region (schema-validated)."""
+    payload = parse_artifact(text, kind="telco-region")
+    for index, pair in enumerate(payload["router_edges"]):
+        if len(pair) != 2:
+            raise SchemaError(
+                f"$.router_edges[{index}]: expected a 2-element pair, "
+                f"got {len(pair)} elements"
+            )
+    topology = AttRegionTopology(
+        region=payload["region"],
+        backbone_routers=[set(g) for g in payload["backbone_routers"]],
+        agg_routers=[set(g) for g in payload["agg_routers"]],
+        edge_routers=[set(g) for g in payload["edge_routers"]],
+        edge_cos=[set(g) for g in payload["edge_cos"]],
+        edge_prefixes=set(payload["edge_prefixes"]),
+        agg_prefixes=set(payload["agg_prefixes"]),
+        router_edges={(a, b) for a, b in payload["router_edges"]},
+        backbone_fully_meshed=payload["backbone_fully_meshed"],
+    )
+    if topology.backbone_co_count != payload["backbone_co_count"]:
+        raise SchemaError(
+            f"$.backbone_co_count: {payload['backbone_co_count']} "
+            f"contradicts the serialized backbone routers "
+            f"(derived {topology.backbone_co_count})"
+        )
+    return topology
+
+
 def carrier_analysis_to_json(analysis: CarrierAnalysis) -> str:
     """Serialize a mobile carrier's §7.2 analysis."""
 
@@ -155,3 +198,11 @@ def campaign_health_to_json(health) -> str:
         "health": health.as_dict(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def campaign_health_from_json(text: str):
+    """Round-trip a serialized campaign health report (schema-validated)."""
+    from repro.measure.runner import CampaignHealth
+
+    payload = parse_artifact(text, kind="campaign-health")
+    return CampaignHealth.from_dict(payload["health"])

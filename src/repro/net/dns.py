@@ -78,9 +78,18 @@ class RdnsStore:
         return self._snapshot.get(str(parse_ip(address)))
 
     def lookup(self, address: "str | IPAddress") -> Optional[str]:
-        """Combined lookup, preferring the live record (App. B.1)."""
+        """Combined lookup, preferring the live record (App. B.1).
+
+        Under fault injection with ``stale_rdns`` active, some
+        addresses consistently return a donor hostname from elsewhere
+        in the snapshot — synthetic stale records for exercising the
+        inference-side guardrails.
+        """
         key = str(parse_ip(address))
-        return self._dig.get(key) or self._snapshot.get(key)
+        name = self._dig.get(key) or self._snapshot.get(key)
+        if self.faults is not None and name is not None:
+            name = self.faults.stale_hostname(key, name, self)
+        return name
 
     def snapshot_items(self) -> Iterator["tuple[str, str]"]:
         """Iterate the bulk snapshot, Rapid7-dataset style."""

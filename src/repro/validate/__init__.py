@@ -1,0 +1,52 @@
+"""Inference-side guardrails: schemas, invariants, and quarantine.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.validate.schema` — typed schemas for every JSON artifact
+  the repo reads or writes; :class:`~repro.errors.SchemaError`
+  diagnostics that name the offending JSON path.
+* :mod:`repro.validate.invariants` — :class:`InvariantGuard`, the
+  per-stage structural checks wired into the §5 pipeline.
+* :mod:`repro.validate.quarantine` — :class:`QuarantineReport`, where
+  conflicting observations are diverted instead of silently vanishing.
+"""
+
+from repro.validate.invariants import InvariantGuard
+from repro.validate.quarantine import (
+    POLICIES,
+    QuarantineRecord,
+    QuarantineReport,
+    quarantine_report_from_json,
+    quarantine_report_to_json,
+)
+from repro.validate.schema import (
+    ANY,
+    ARTIFACT_SCHEMAS,
+    ARTIFACT_VERSIONS,
+    ListOf,
+    MapOf,
+    Opt,
+    artifact_kind,
+    check,
+    parse_artifact,
+    validate_artifact,
+)
+
+__all__ = [
+    "ANY",
+    "ARTIFACT_SCHEMAS",
+    "ARTIFACT_VERSIONS",
+    "InvariantGuard",
+    "ListOf",
+    "MapOf",
+    "Opt",
+    "POLICIES",
+    "QuarantineRecord",
+    "QuarantineReport",
+    "artifact_kind",
+    "check",
+    "parse_artifact",
+    "quarantine_report_from_json",
+    "quarantine_report_to_json",
+    "validate_artifact",
+]

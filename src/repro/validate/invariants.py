@@ -1,0 +1,238 @@
+"""Per-stage structural invariants of the §5 inference pipeline.
+
+Each phase-2 stage is supposed to *establish* properties the next stage
+relies on (App. B.1–B.3):
+
+===========  ==========================================================
+after ip2co  every observed IP maps to exactly one (region, CO);
+             alias sets do not span COs (B.1's whole-group remap)
+after adj.   no self-loop CO adjacencies; every surviving adjacency
+             was observed at least once (§5.2.1 pruned singletons)
+after refine AggCO/EdgeCO sets are disjoint and cover the graph;
+             every ring group is a subset of the AggCO set; no
+             EdgeCO→EdgeCO edge survives that B.3 should have removed
+===========  ==========================================================
+
+:class:`InvariantGuard` checks them under a configurable policy:
+``strict`` raises :class:`~repro.errors.InvariantViolation` on the
+first break (fail-fast, for CI and replayable campaigns); ``lenient``
+repairs the output — dropping or reassigning the offending records —
+and diverts each repair into a :class:`QuarantineReport`; ``off``
+skips checking entirely (byte-identical to the unguarded pipeline).
+
+Expected measurement noise the stages already handle (alias-tie drops,
+cross-region prunes — the paper's stale-rDNS signatures) is *advisory*:
+recorded in the report under every policy the guard runs in, but never
+fatal, because the fault-free substrate produces some by design.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import InferenceError, InvariantViolation
+from repro.validate.quarantine import POLICIES, QuarantineReport
+
+
+class InvariantGuard:
+    """Checks one pipeline run's stage outputs under a policy."""
+
+    def __init__(self, policy: str = "lenient",
+                 report: "QuarantineReport | None" = None) -> None:
+        if policy not in POLICIES:
+            raise InferenceError(
+                f"unknown validation policy {policy!r}; "
+                f"expected one of {', '.join(POLICIES)}"
+            )
+        self.policy = policy
+        self.report = report if report is not None else QuarantineReport(policy)
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "off"
+
+    # ------------------------------------------------------------------
+    def _violation(self, stage: str, category: str, subject: str,
+                   detail: str, region: "str | None" = None,
+                   count: int = 1) -> None:
+        """Fail fast under strict; drop-and-record under lenient."""
+        if self.policy == "strict":
+            where = f" [{region}]" if region else ""
+            raise InvariantViolation(
+                f"{stage}{where}: {category}: {subject}: {detail}"
+            )
+        self.report.add(stage, category, subject, detail, region=region,
+                        dropped=True, count=count)
+
+    # ------------------------------------------------------------------
+    # Stage 1: IP→CO mapping (App. B.1)
+    # ------------------------------------------------------------------
+    def check_mapping(self, mapping, aliases=None) -> None:
+        """Every IP maps to one well-formed CO; alias sets don't span COs.
+
+        Under lenient, a spanning alias group keeps its majority CO and
+        the dissenting members lose their mapping (the same drop B.1
+        applies to tied votes); malformed COs are dropped outright.
+        """
+        if not self.enabled:
+            return
+        for conflict in getattr(mapping, "conflicts", []):
+            claimants = ", ".join(
+                f"{region}/{tag}" for region, tag in conflict.candidates
+            )
+            self.report.add(
+                "ip2co", conflict.source, conflict.address,
+                f"claimed by {claimants}", dropped=conflict.dropped,
+            )
+        for address in sorted(mapping.mapping):
+            co = mapping.mapping[address]
+            if (
+                not isinstance(co, tuple) or len(co) != 2
+                or not all(isinstance(part, str) and part for part in co)
+            ):
+                self._violation(
+                    "ip2co", "malformed-co", address,
+                    f"mapped to malformed CO reference {co!r}",
+                )
+                mapping.mapping.pop(address, None)
+        if aliases is None:
+            return
+        for group in aliases.groups:
+            cos = Counter(
+                mapping.mapping[a] for a in group if a in mapping.mapping
+            )
+            if len(cos) <= 1:
+                continue
+            members = ", ".join(sorted(group))
+            claimants = ", ".join(
+                f"{region}/{tag}" for region, tag in sorted(cos)
+            )
+            self._violation(
+                "ip2co", "alias-span", members,
+                f"one router claimed by {claimants}",
+            )
+            ranked = cos.most_common()
+            majority = (
+                ranked[0][0]
+                if len(ranked) == 1 or ranked[0][1] > ranked[1][1]
+                else None
+            )
+            for address in sorted(group):
+                if mapping.mapping.get(address) not in (None, majority):
+                    del mapping.mapping[address]
+
+    # ------------------------------------------------------------------
+    # Stage 2: adjacency extraction (App. B.2, §5.2.1)
+    # ------------------------------------------------------------------
+    def check_adjacencies(self, adjacencies) -> None:
+        """No self-loops; every surviving adjacency has weight ≥ 1."""
+        if not self.enabled:
+            return
+        cross = getattr(adjacencies, "cross_region_pairs", None) or {}
+        for (region_a, tag_a, region_b, tag_b), count in sorted(cross.items()):
+            self.report.add(
+                "adjacency", "cross-region", f"{tag_a}->{tag_b}",
+                f"adjacency spans regions {region_a} and {region_b} "
+                f"(stale-rDNS signature)",
+                region=region_a, dropped=True, count=count,
+            )
+        for region in sorted(adjacencies.per_region):
+            counter = adjacencies.per_region[region]
+            for pair in sorted(counter):
+                co_a, co_b = pair
+                if co_a == co_b:
+                    self._violation(
+                        "adjacency", "self-loop", co_a,
+                        "CO adjacent to itself", region=region,
+                        count=counter[pair],
+                    )
+                    del counter[pair]
+                elif counter[pair] < 1:
+                    self._violation(
+                        "adjacency", "non-positive-weight",
+                        f"{co_a}->{co_b}",
+                        f"adjacency observed {counter[pair]} times",
+                        region=region,
+                    )
+                    del counter[pair]
+
+    # ------------------------------------------------------------------
+    # Stage 3: refinement (§5.2.2–§5.2.4, App. B.3)
+    # ------------------------------------------------------------------
+    def check_region(self, region) -> None:
+        """Role partition, ring-group containment, no EdgeCO→EdgeCO edges."""
+        if not self.enabled:
+            return
+        graph = region.graph
+        nodes = set(graph.nodes)
+        overlap = region.agg_cos & region.edge_cos
+        for node in sorted(overlap):
+            self._violation(
+                "refine", "role-overlap", node,
+                "CO classified both AggCO and EdgeCO", region=region.name,
+            )
+            region.edge_cos.discard(node)
+        for role_set in (region.agg_cos, region.edge_cos):
+            for node in sorted(role_set - nodes):
+                self._violation(
+                    "refine", "role-unknown-co", node,
+                    "role assigned to a CO absent from the graph",
+                    region=region.name,
+                )
+                role_set.discard(node)
+        for node in sorted(nodes - region.agg_cos - region.edge_cos):
+            self._violation(
+                "refine", "role-uncovered", node,
+                "CO has neither AggCO nor EdgeCO role", region=region.name,
+            )
+            region.edge_cos.add(node)
+        for group in region.agg_groups:
+            for node in sorted(group - region.agg_cos):
+                self._violation(
+                    "refine", "group-not-agg", node,
+                    "ring group member is not an AggCO", region=region.name,
+                )
+                group.discard(node)
+        region.agg_groups[:] = [group for group in region.agg_groups if group]
+        self._check_edge_weights(region)
+        self._check_edge_to_edge(region)
+
+    def _check_edge_weights(self, region) -> None:
+        graph = region.graph
+        for a, b in sorted(graph.edges):
+            data = graph.edges[a, b]
+            if not data.get("inferred") and data.get("weight", 0) < 1:
+                self._violation(
+                    "refine", "non-positive-weight", f"{a}->{b}",
+                    f"observed edge carries weight {data.get('weight', 0)}",
+                    region=region.name,
+                )
+                graph.remove_edge(a, b)
+
+    def _check_edge_to_edge(self, region) -> None:
+        """Re-run B.3's removal predicate; survivors are violations.
+
+        Mirrors :meth:`RegionRefiner._remove_edge_to_edge`, including
+        the small-AggCO exception (a CO feeding ≥2 otherwise unreached
+        COs is genuinely aggregating and keeps its edges).
+        """
+        graph = region.graph
+        aggs = region.agg_cos
+        agg_connected = {
+            node for node in graph.nodes
+            if any(pred in aggs for pred in graph.predecessors(node))
+        }
+        for src in sorted(set(graph.nodes) - aggs):
+            out_edges = [dst for dst in graph.successors(src) if dst not in aggs]
+            if not out_edges:
+                continue
+            orphans = [dst for dst in out_edges if dst not in agg_connected]
+            if len(orphans) >= 2:
+                continue
+            for dst in sorted(out_edges):
+                self._violation(
+                    "refine", "edge-to-edge", f"{src}->{dst}",
+                    "EdgeCO→EdgeCO edge survived B.3 false-edge removal",
+                    region=region.name,
+                )
+                graph.remove_edge(src, dst)

@@ -1,0 +1,131 @@
+"""Record quarantine: where conflicting observations go to be studied.
+
+The paper's inference stages silently *drop* conflicting evidence — an
+alias set whose members vote for two different COs (App. B.1), an
+adjacency that spans two regions (App. B.2's "overwhelmingly stale
+rDNS") — because keeping it would place equipment in the wrong
+building.  Dropping is the right call; dropping *invisibly* is not: a
+production pipeline needs to know how much of its input was noise and
+where it came from.  A :class:`QuarantineReport` collects every
+diverted record with enough context to diagnose it, and serializes to a
+versioned JSON artifact exported next to the topology artifacts it
+qualifies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.validate.schema import ARTIFACT_VERSIONS, parse_artifact
+
+#: Valid validation policies, in decreasing order of strictness.
+POLICIES = ("strict", "lenient", "off")
+
+
+@dataclass
+class QuarantineRecord:
+    """One diverted observation or repaired invariant violation."""
+
+    #: Pipeline stage that diverted it (``ip2co``, ``adjacency``, ``refine``).
+    stage: str
+    #: Short machine-readable class (``alias-tie``, ``cross-region``, ...).
+    category: str
+    #: What was quarantined (an address, a CO pair, a node name).
+    subject: str
+    #: Human-readable diagnosis.
+    detail: str = ""
+    #: Region the record belongs to, when regional.
+    region: "str | None" = None
+    #: Whether the offending data was removed from the pipeline output
+    #: (False for advisory records where the conflict merely lost a vote).
+    dropped: bool = True
+    #: How many raw observations the record covers.
+    count: int = 1
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "stage": self.stage,
+            "category": self.category,
+            "subject": self.subject,
+            "detail": self.detail,
+            "region": self.region,
+            "dropped": self.dropped,
+            "count": self.count,
+        }
+
+
+@dataclass
+class QuarantineReport:
+    """Every record a validated pipeline run diverted, with counts."""
+
+    policy: str = "lenient"
+    records: "list[QuarantineRecord]" = field(default_factory=list)
+
+    def add(self, stage: str, category: str, subject: str, detail: str = "",
+            region: "str | None" = None, dropped: bool = True,
+            count: int = 1) -> QuarantineRecord:
+        record = QuarantineRecord(
+            stage=stage, category=category, subject=subject, detail=detail,
+            region=region, dropped=dropped, count=count,
+        )
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def dropped_count(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    def counts(self) -> "dict[str, int]":
+        """Record counts keyed ``stage/category`` (for the health line)."""
+        out: "dict[str, int]" = {}
+        for record in self.records:
+            key = f"{record.stage}/{record.category}"
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def summary(self) -> str:
+        """One human line for CLI output and logs."""
+        if not self.records:
+            return "0 quarantined"
+        by_key = ", ".join(f"{k}: {n}" for k, n in self.counts().items())
+        return (
+            f"{len(self.records)} quarantined "
+            f"({self.dropped_count()} dropped; {by_key})"
+        )
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "policy": self.policy,
+            "records": [r.as_dict() for r in self.records],
+            "counts": self.counts(),
+        }
+
+
+def quarantine_report_to_json(report: QuarantineReport) -> str:
+    """Serialize a report as a versioned ``quarantine-report`` artifact."""
+    payload = {
+        "schema": ARTIFACT_VERSIONS["quarantine-report"],
+        "kind": "quarantine-report",
+        **report.as_dict(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def quarantine_report_from_json(text: str) -> QuarantineReport:
+    """Round-trip a serialized quarantine report (schema-validated)."""
+    payload = parse_artifact(text, kind="quarantine-report")
+    report = QuarantineReport(policy=payload["policy"])
+    for entry in payload["records"]:
+        report.add(
+            stage=entry["stage"], category=entry["category"],
+            subject=entry["subject"], detail=entry["detail"],
+            region=entry["region"], dropped=entry["dropped"],
+            count=entry["count"],
+        )
+    return report

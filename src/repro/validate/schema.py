@@ -1,0 +1,307 @@
+"""Typed schemas for every JSON artifact the repo reads or writes.
+
+The paper's pipeline consumes data that disagrees with itself — stale
+rDNS, conflicting alias evidence, snapshots that lag the live zone
+(§4–§5, App. B) — so every artifact that crosses a process boundary is
+validated *structurally* before any field is trusted.  A failed check
+raises :class:`~repro.errors.SchemaError` whose message names the JSON
+path of the offending value (``$.edges[3].observations: expected int,
+got str``) instead of the raw ``KeyError``/``TypeError`` an ad-hoc
+``payload["..."]`` access would produce.
+
+The schema language is deliberately tiny: a spec is a Python type (or
+tuple of types), a nested ``dict`` schema, :class:`ListOf`,
+:class:`MapOf` (string-keyed objects), :class:`Opt` (optional key), or
+the :data:`ANY` sentinel.  ``bool`` is *not* accepted where ``int`` is
+expected, mirroring how JSON distinguishes the two.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SchemaError
+
+#: Current version of every artifact kind this repo emits.
+ARTIFACT_VERSIONS = {
+    "cable-region": 1,
+    "telco-region": 1,
+    "mobile-carrier": 1,
+    "campaign-health": 1,
+    "campaign-checkpoint": 1,
+    "quarantine-report": 1,
+}
+
+
+class ListOf:
+    """A JSON array whose items all match *item*."""
+
+    def __init__(self, item) -> None:
+        self.item = item
+
+
+class MapOf:
+    """A JSON object with arbitrary string keys and *value*-typed values."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class Opt:
+    """A dict key that may be absent (but must match *spec* if present)."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+
+#: Matches anything (for free-form sub-documents like fault stats).
+ANY = object()
+
+_NoneType = type(None)
+
+_TYPE_NAMES = {
+    str: "string", int: "int", float: "number", bool: "bool",
+    dict: "object", list: "array", _NoneType: "null",
+}
+
+
+def _describe(value) -> str:
+    return _TYPE_NAMES.get(type(value), type(value).__name__)
+
+
+def _matches_type(value, expected) -> bool:
+    if expected is float:
+        # JSON "number": an int is an acceptable float.
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is int:
+        # JSON distinguishes true/1; so do we.
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def _expected_name(spec) -> str:
+    if isinstance(spec, tuple):
+        return " or ".join(_TYPE_NAMES.get(t, t.__name__) for t in spec)
+    return _TYPE_NAMES.get(spec, getattr(spec, "__name__", str(spec)))
+
+
+def check(value, spec, path: str = "$") -> None:
+    """Validate *value* against *spec*, raising :class:`SchemaError`.
+
+    The error message always starts with the JSON path of the offending
+    value, so a diagnostic can be surfaced as a single line.
+    """
+    if spec is ANY:
+        return
+    if isinstance(spec, Opt):
+        spec = spec.spec
+    if isinstance(spec, dict):
+        if not isinstance(value, dict):
+            raise SchemaError(f"{path}: expected object, got {_describe(value)}")
+        for key, subspec in spec.items():
+            if key not in value:
+                if isinstance(subspec, Opt):
+                    continue
+                raise SchemaError(f"{path}.{key}: missing required field")
+            check(value[key], subspec, f"{path}.{key}")
+        return
+    if isinstance(spec, ListOf):
+        if not isinstance(value, list):
+            raise SchemaError(f"{path}: expected array, got {_describe(value)}")
+        for index, item in enumerate(value):
+            check(item, spec.item, f"{path}[{index}]")
+        return
+    if isinstance(spec, MapOf):
+        if not isinstance(value, dict):
+            raise SchemaError(f"{path}: expected object, got {_describe(value)}")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SchemaError(f"{path}: non-string key {key!r}")
+            check(item, spec.value, f"{path}.{key}")
+        return
+    expected = spec if isinstance(spec, tuple) else (spec,)
+    if not any(_matches_type(value, t) for t in expected):
+        raise SchemaError(
+            f"{path}: expected {_expected_name(spec)}, got {_describe(value)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-kind artifact schemas
+# ----------------------------------------------------------------------
+_REGION_STATS = {
+    "initial_edges": int,
+    "removed_edge_edges": int,
+    "added_ring_edges": int,
+    "final_edges": int,
+}
+
+_CABLE_REGION = {
+    "schema": int,
+    "kind": str,
+    "name": str,
+    "agg_cos": ListOf(str),
+    "edge_cos": ListOf(str),
+    "agg_groups": ListOf(ListOf(str)),
+    "edges": ListOf({
+        "from": str,
+        "to": str,
+        "observations": int,
+        "inferred": bool,
+    }),
+    "stats": _REGION_STATS,
+}
+
+_TELCO_REGION = {
+    "schema": int,
+    "kind": str,
+    "region": str,
+    "backbone_routers": ListOf(ListOf(str)),
+    "agg_routers": ListOf(ListOf(str)),
+    "edge_routers": ListOf(ListOf(str)),
+    "edge_cos": ListOf(ListOf(str)),
+    "edge_prefixes": ListOf(str),
+    "agg_prefixes": ListOf(str),
+    "backbone_fully_meshed": bool,
+    "backbone_co_count": int,
+    "router_edges": ListOf(ListOf(str)),
+}
+
+_BITFIELD_REPORT = {
+    "prefix_bits": int,
+    "geo_fields": ListOf(ListOf(int)),
+    "cycling_fields": ListOf(ListOf(int)),
+    "subscriber_fields": ListOf(ListOf(int)),
+}
+
+_MOBILE_CARRIER = {
+    "schema": int,
+    "kind": str,
+    "carrier": str,
+    "user_report": _BITFIELD_REPORT,
+    "hop_reports": MapOf(_BITFIELD_REPORT),
+    "region_count": int,
+    "pgw_counts": MapOf(int),
+    "backbone_providers": ListOf(str),
+    "topology_class": str,
+}
+
+_CAMPAIGN_HEALTH = {
+    "schema": int,
+    "kind": str,
+    "health": {
+        "probes_sent": int,
+        "probes_lost": int,
+        "probes_refused": int,
+        "probes_retried": int,
+        "backoff_ms_total": float,
+        "traces_run": int,
+        "empty_traces": int,
+        "vps_lost": ListOf(str),
+        "vp_flap_retries": int,
+        "targets_reassigned": int,
+        "targets_skipped": int,
+        "resumed": bool,
+        "interrupted": bool,
+        "degraded": bool,
+        "fault_stats": MapOf(ANY),
+    },
+}
+
+_CHECKPOINT_HOP = {
+    "i": int,
+    "addr": (str, _NoneType),
+    "rdns": Opt((str, _NoneType)),
+    "rtt": Opt((float, _NoneType)),
+    "rttl": Opt((int, _NoneType)),
+    "tries": Opt(int),
+}
+
+_CHECKPOINT_TRACE = {
+    "src": str,
+    "dst": str,
+    "completed": Opt(bool),
+    "flow_id": Opt(int),
+    "vp": Opt(str),
+    "hops": ListOf(_CHECKPOINT_HOP),
+}
+
+_CAMPAIGN_CHECKPOINT = {
+    "schema": int,
+    "kind": str,
+    "stages": MapOf({
+        "complete": bool,
+        "done": ListOf(ListOf(str)),
+        "traces": ListOf(_CHECKPOINT_TRACE),
+    }),
+    "health": MapOf(ANY),
+    "injector": MapOf(ANY),
+}
+
+_QUARANTINE_REPORT = {
+    "schema": int,
+    "kind": str,
+    "policy": str,
+    "records": ListOf({
+        "stage": str,
+        "category": str,
+        "subject": str,
+        "detail": str,
+        "region": (str, _NoneType),
+        "dropped": bool,
+        "count": int,
+    }),
+    "counts": MapOf(int),
+}
+
+ARTIFACT_SCHEMAS = {
+    "cable-region": _CABLE_REGION,
+    "telco-region": _TELCO_REGION,
+    "mobile-carrier": _MOBILE_CARRIER,
+    "campaign-health": _CAMPAIGN_HEALTH,
+    "campaign-checkpoint": _CAMPAIGN_CHECKPOINT,
+    "quarantine-report": _QUARANTINE_REPORT,
+}
+
+
+# ----------------------------------------------------------------------
+# Artifact entry points
+# ----------------------------------------------------------------------
+def artifact_kind(payload) -> str:
+    """The ``kind`` tag of a parsed artifact (SchemaError when absent)."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"$: expected object, got {_describe(payload)}")
+    kind = payload.get("kind")
+    if not isinstance(kind, str):
+        raise SchemaError("$.kind: missing or non-string artifact kind")
+    return kind
+
+
+def validate_artifact(payload, kind: "str | None" = None) -> dict:
+    """Validate a parsed JSON document as one of the known artifacts.
+
+    *kind* pins the expected artifact kind; None accepts any known one.
+    Returns the payload unchanged so call sites can chain.
+    """
+    found = artifact_kind(payload)
+    if kind is not None and found != kind:
+        raise SchemaError(f"$.kind: expected {kind!r}, got {found!r}")
+    schema = ARTIFACT_SCHEMAS.get(found)
+    if schema is None:
+        raise SchemaError(f"$.kind: unknown artifact kind {found!r}")
+    version = payload.get("schema")
+    if version != ARTIFACT_VERSIONS[found]:
+        raise SchemaError(
+            f"$.schema: unsupported {found} schema version {version!r}"
+        )
+    check(payload, schema)
+    return payload
+
+
+def parse_artifact(text: str, kind: "str | None" = None) -> dict:
+    """``json.loads`` + :func:`validate_artifact`, SchemaError throughout."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"$: not valid JSON: {exc}") from None
+    return validate_artifact(payload, kind=kind)

@@ -6,10 +6,22 @@ share session-scoped campaign results so the expensive sweeps run once.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.net.network import Network
 from repro.net.router import ReplyPolicy, Router
+
+# Property-based tests: "ci" pins the derandomized profile so runs are
+# reproducible across workers; "dev" (default) explores fresh examples.
+hypothesis_settings.register_profile(
+    "ci", max_examples=60, derandomize=True, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile("dev", max_examples=30, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture()

@@ -1,0 +1,243 @@
+"""Unit tests for the per-stage invariant guard."""
+
+from collections import Counter
+from types import SimpleNamespace
+
+import networkx as nx
+import pytest
+
+from repro.errors import InferenceError, InvariantViolation
+from repro.infer.ip2co import CoConflict, Ip2CoMapping
+from repro.infer.refine import RefinedRegion, RefineStats
+from repro.validate import InvariantGuard, QuarantineReport
+
+
+def _mapping(entries, conflicts=()):
+    mapping = Ip2CoMapping()
+    mapping.mapping.update(entries)
+    mapping.conflicts.extend(conflicts)
+    return mapping
+
+
+def _aliases(*groups):
+    return SimpleNamespace(groups=[set(g) for g in groups])
+
+
+def _adjacencies(per_region, cross=None):
+    return SimpleNamespace(
+        per_region={r: Counter(pairs) for r, pairs in per_region.items()},
+        cross_region_pairs=Counter(cross or {}),
+    )
+
+
+def _region(edges, aggs, edge_cos, groups=None):
+    graph = nx.DiGraph()
+    for node in aggs | edge_cos:
+        graph.add_node(node)
+    for a, b, w in edges:
+        graph.add_edge(a, b, weight=w, inferred=False)
+    return RefinedRegion(
+        name="testville", graph=graph, agg_cos=set(aggs),
+        edge_cos=set(edge_cos), agg_groups=[set(g) for g in (groups or [])],
+        stats=RefineStats(),
+    )
+
+
+class TestPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(InferenceError, match="unknown validation policy"):
+            InvariantGuard("paranoid")
+
+    def test_off_is_a_noop(self):
+        guard = InvariantGuard("off")
+        region = _region([("E1", "E2", 3)], aggs=set(), edge_cos={"E1", "E2"})
+        guard.check_region(region)
+        assert region.graph.has_edge("E1", "E2")
+        assert not guard.report
+
+    def test_external_report_is_used(self):
+        report = QuarantineReport("lenient")
+        guard = InvariantGuard("lenient", report=report)
+        guard.check_adjacencies(_adjacencies({"r": {("A", "A"): 2}}))
+        assert len(report) == 1
+
+
+class TestMapping:
+    def test_conflicts_are_advisory_under_strict(self):
+        conflict = CoConflict(
+            address="10.0.0.1",
+            candidates=(("denver", "aurora"), ("denver", "boulder")),
+            source="alias-tie",
+        )
+        guard = InvariantGuard("strict")
+        guard.check_mapping(_mapping({}, [conflict]))  # must not raise
+        assert guard.report.counts() == {"ip2co/alias-tie": 1}
+
+    def test_malformed_co_strict_raises(self):
+        mapping = _mapping({"10.0.0.1": ("denver",)})
+        with pytest.raises(InvariantViolation, match="malformed-co"):
+            InvariantGuard("strict").check_mapping(mapping)
+
+    def test_malformed_co_lenient_drops(self):
+        mapping = _mapping({"10.0.0.1": ("denver",), "10.0.0.2": ("d", "co")})
+        guard = InvariantGuard("lenient")
+        guard.check_mapping(mapping)
+        assert "10.0.0.1" not in mapping.mapping
+        assert "10.0.0.2" in mapping.mapping
+        assert guard.report.counts() == {"ip2co/malformed-co": 1}
+
+    def test_alias_span_strict_raises(self):
+        mapping = _mapping({"10.0.0.1": ("d", "a"), "10.0.0.2": ("d", "b")})
+        with pytest.raises(InvariantViolation, match="alias-span"):
+            InvariantGuard("strict").check_mapping(
+                mapping, _aliases({"10.0.0.1", "10.0.0.2"})
+            )
+
+    def test_alias_span_lenient_keeps_majority(self):
+        mapping = _mapping({
+            "10.0.0.1": ("d", "a"), "10.0.0.2": ("d", "a"),
+            "10.0.0.3": ("d", "b"),
+        })
+        guard = InvariantGuard("lenient")
+        guard.check_mapping(
+            mapping, _aliases({"10.0.0.1", "10.0.0.2", "10.0.0.3"})
+        )
+        assert mapping.mapping == {"10.0.0.1": ("d", "a"), "10.0.0.2": ("d", "a")}
+        assert guard.report.dropped_count() == 1
+
+    def test_alias_span_lenient_tie_drops_all(self):
+        mapping = _mapping({"10.0.0.1": ("d", "a"), "10.0.0.2": ("d", "b")})
+        guard = InvariantGuard("lenient")
+        guard.check_mapping(mapping, _aliases({"10.0.0.1", "10.0.0.2"}))
+        assert mapping.mapping == {}
+
+    def test_consistent_alias_group_passes(self):
+        mapping = _mapping({"10.0.0.1": ("d", "a"), "10.0.0.2": ("d", "a")})
+        guard = InvariantGuard("strict")
+        guard.check_mapping(mapping, _aliases({"10.0.0.1", "10.0.0.2"}))
+        assert not guard.report
+
+
+class TestAdjacencies:
+    def test_cross_region_is_advisory(self):
+        adj = _adjacencies({}, cross={("d", "a", "slc", "b"): 5})
+        guard = InvariantGuard("strict")
+        guard.check_adjacencies(adj)  # must not raise
+        assert guard.report.counts() == {"adjacency/cross-region": 1}
+        assert guard.report.records[0].count == 5
+
+    def test_self_loop_strict_raises(self):
+        adj = _adjacencies({"d": {("A", "A"): 2}})
+        with pytest.raises(InvariantViolation, match="self-loop"):
+            InvariantGuard("strict").check_adjacencies(adj)
+
+    def test_self_loop_lenient_deletes(self):
+        adj = _adjacencies({"d": {("A", "A"): 2, ("A", "B"): 3}})
+        guard = InvariantGuard("lenient")
+        guard.check_adjacencies(adj)
+        assert dict(adj.per_region["d"]) == {("A", "B"): 3}
+        assert guard.report.dropped_count() == 1
+
+    def test_non_positive_weight_lenient_deletes(self):
+        adj = _adjacencies({"d": {("A", "B"): 0}})
+        guard = InvariantGuard("lenient")
+        guard.check_adjacencies(adj)
+        assert not dict(adj.per_region["d"])
+        assert guard.report.counts() == {"adjacency/non-positive-weight": 1}
+
+
+class TestRegion:
+    def test_role_overlap_lenient_prefers_agg(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"A", "E"})
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert region.agg_cos == {"A"}
+        assert region.edge_cos == {"E"}
+        assert guard.report.counts() == {"refine/role-overlap": 1}
+
+    def test_role_overlap_strict_raises(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"A", "E"})
+        with pytest.raises(InvariantViolation, match="role-overlap"):
+            InvariantGuard("strict").check_region(region)
+
+    def test_unknown_co_role_dropped(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"E"})
+        region.edge_cos.add("GHOST")
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert "GHOST" not in region.edge_cos
+        assert guard.report.counts() == {"refine/role-unknown-co": 1}
+
+    def test_uncovered_co_becomes_edge(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"E"})
+        region.graph.add_node("LONER")
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert "LONER" in region.edge_cos
+
+    def test_group_member_must_be_agg(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"E"},
+                         groups=[{"A", "E"}])
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert region.agg_groups == [{"A"}]
+        assert guard.report.counts() == {"refine/group-not-agg": 1}
+
+    def test_empty_group_removed_after_repair(self):
+        region = _region([("A", "E", 2)], aggs={"A"}, edge_cos={"E"},
+                         groups=[{"E"}])
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert region.agg_groups == []
+
+    def test_observed_zero_weight_edge_removed(self):
+        region = _region([("A", "E", 0)], aggs={"A"}, edge_cos={"E"})
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert not region.graph.has_edge("A", "E")
+
+    def test_inferred_ring_edge_may_have_zero_weight(self):
+        region = _region([], aggs={"A"}, edge_cos={"E"})
+        region.graph.add_edge("A", "E", weight=0, inferred=True)
+        guard = InvariantGuard("strict")
+        guard.check_region(region)
+        assert region.graph.has_edge("A", "E")
+
+    def test_surviving_edge_to_edge_lenient_removed(self):
+        region = _region(
+            [("A", "E1", 3), ("E1", "E2", 2)],
+            aggs={"A"}, edge_cos={"E1", "E2"},
+        )
+        guard = InvariantGuard("lenient")
+        guard.check_region(region)
+        assert not region.graph.has_edge("E1", "E2")
+        assert guard.report.counts() == {"refine/edge-to-edge": 1}
+
+    def test_edge_to_edge_strict_raises(self):
+        region = _region(
+            [("A", "E1", 3), ("E1", "E2", 2)],
+            aggs={"A"}, edge_cos={"E1", "E2"},
+        )
+        with pytest.raises(InvariantViolation, match="edge-to-edge"):
+            InvariantGuard("strict").check_region(region)
+
+    def test_small_agg_exception_keeps_edges(self):
+        # E1 feeds two COs no AggCO reaches: B.3's small-AggCO
+        # exception keeps those edges, so the guard must too.
+        region = _region(
+            [("A", "E1", 3), ("E1", "E2", 2), ("E1", "E3", 2)],
+            aggs={"A"}, edge_cos={"E1", "E2", "E3"},
+        )
+        guard = InvariantGuard("strict")
+        guard.check_region(region)
+        assert region.graph.has_edge("E1", "E2")
+        assert region.graph.has_edge("E1", "E3")
+
+    def test_clean_region_passes_strict(self):
+        region = _region(
+            [("A", "B", 4), ("B", "A", 4), ("A", "E1", 2), ("B", "E2", 2)],
+            aggs={"A", "B"}, edge_cos={"E1", "E2"}, groups=[{"A", "B"}],
+        )
+        guard = InvariantGuard("strict")
+        guard.check_region(region)
+        assert not guard.report
