@@ -1,0 +1,225 @@
+"""PR-3 benchmark harness: inference-phase speedup and parallel parity.
+
+Two sections, written to ``BENCH_PR3.json``:
+
+* **inference** — the phase-2 pipeline (IP→CO mapping, adjacency
+  extraction/pruning, refinement) over a large synthetic region corpus
+  (60 COs, 20k traces by default), run twice in separate subprocesses:
+
+  - ``baseline``: module memos disabled, no :class:`InferenceCache`,
+    quadratic follow-up scan — the pre-PR configuration;
+  - ``optimized``: memos + shared cache + positional follow-up index.
+
+  Each subprocess reports wall-clock, peak RSS (``ru_maxrss`` is
+  process-monotonic, hence the isolation), and a digest of the inferred
+  region graphs; the orchestrator asserts the digests match and records
+  the speedup.
+
+* **measurement** (full mode only) — the simulated-internet Comcast
+  campaign run serially and with ``parallel=4``, recording wall-clock
+  for each and that the exported region artifacts are byte-identical.
+
+Usage::
+
+    python benchmarks/perf/bench_pipeline.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+FULL_WORKLOAD = {"regions": 2, "cos_per_region": 30, "traces": 20000,
+                 "followups": 1200, "seed": 2021}
+SMOKE_WORKLOAD = {"regions": 2, "cos_per_region": 8, "traces": 1500,
+                  "followups": 200, "seed": 2021}
+
+
+def _region_digest(regions) -> str:
+    """Order-independent digest of the inferred region graphs."""
+    payload = {
+        name: {
+            "edges": sorted(
+                (a, b, int(data.get("weight", 0)))
+                for a, b, data in region.graph.edges(data=True)
+            ),
+            "aggs": sorted(region.agg_cos),
+        }
+        for name, region in regions.items()
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_inference_mode(mode: str, workload: "dict") -> "dict":
+    """One subprocess entry: run phase 2 over the synthetic corpus."""
+    import contextlib
+
+    from repro.infer.adjacency import AdjacencyExtractor
+    from repro.infer.ip2co import Ip2CoMapper
+    from repro.infer.refine import RegionRefiner
+    from repro.perf import InferenceCache, PhaseProfiler, memoization_disabled
+    from repro.perf.cache import clear_module_memos
+    from repro.perf.synthetic import build_synthetic_region_corpus
+    from repro.rdns.regexes import HostnameParser
+
+    corpus = build_synthetic_region_corpus(**workload)
+    parser = HostnameParser()
+    clear_module_memos()  # corpus generation must not pre-warm the memos
+
+    optimized = mode == "optimized"
+    guard = contextlib.nullcontext() if optimized else memoization_disabled()
+    profiler = PhaseProfiler()
+    start = time.perf_counter()
+    with guard:
+        cache = InferenceCache(corpus.rdns, parser) if optimized else None
+        mapper = Ip2CoMapper(corpus.rdns, corpus.isp, parser=parser,
+                             cache=cache)
+        with profiler.phase("ip2co"):
+            mapping = mapper.build(corpus.traces, corpus.aliases)
+        extractor = AdjacencyExtractor(
+            mapping, corpus.rdns, corpus.isp, parser=parser, cache=cache,
+            use_followup_index=optimized,
+        )
+        with profiler.phase("adjacency"):
+            adjacencies = extractor.extract(
+                corpus.traces, followup_traces=corpus.followups
+            )
+        refiner = RegionRefiner(cache=cache)
+        with profiler.phase("refine"):
+            regions = {
+                name: refiner.refine(name, counter)
+                for name, counter in adjacencies.per_region.items()
+            }
+    wall_s = time.perf_counter() - start
+
+    report = profiler.as_dict()
+    stats = adjacencies.stats
+    return {
+        "mode": mode,
+        "workload": dict(workload),
+        "wall_s": round(wall_s, 3),
+        "phases_s": report["phases_s"],
+        "peak_rss_kb": report["peak_rss_kb"],
+        "digest": _region_digest(regions),
+        "checks": {
+            "co_count": corpus.co_count,
+            "mapped_addresses": len(mapping),
+            "regions": sorted(regions),
+            "initial_ip": stats.initial_ip,
+            "initial_co": stats.initial_co,
+            "mpls_co": stats.mpls_co,
+            "single_co": stats.single_co,
+        },
+        "cache_stats": cache.stats.as_dict() if cache is not None else None,
+    }
+
+
+def _spawn_mode(mode: str, workload: "dict") -> "dict":
+    """Run one mode in its own process so peak-RSS readings are honest."""
+    command = [
+        sys.executable, str(pathlib.Path(__file__).resolve()),
+        "--mode", mode, "--workload", json.dumps(workload),
+    ]
+    output = subprocess.run(
+        command, capture_output=True, text=True, check=True, cwd=str(ROOT)
+    )
+    return json.loads(output.stdout)
+
+
+def run_measurement_section() -> "dict":
+    """Serial vs parallel campaign over the simulated internet."""
+    from repro.infer.pipeline import CableInferencePipeline
+    from repro.io.export import region_to_json
+    from repro.topology.internet import SimulatedInternet
+
+    def one_run(parallel: int) -> "tuple[float, dict]":
+        internet = SimulatedInternet(seed=3)
+        vps = list(internet.build_standard_vps())
+        pipeline = CableInferencePipeline(
+            internet.network, internet.comcast, vps, sweep_vps=6,
+            parallel=parallel,
+        )
+        start = time.perf_counter()
+        result = pipeline.run()
+        wall = time.perf_counter() - start
+        artifacts = {
+            name: region_to_json(region)
+            for name, region in sorted(result.regions.items())
+        }
+        return round(wall, 3), artifacts
+
+    serial_s, serial_artifacts = one_run(parallel=0)
+    parallel_s, parallel_artifacts = one_run(parallel=4)
+    return {
+        "serial_wall_s": serial_s,
+        "parallel4_wall_s": parallel_s,
+        "byte_identical": serial_artifacts == parallel_artifacts,
+        "regions": len(serial_artifacts),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("baseline", "optimized"),
+                        help="internal: run one inference mode and print JSON")
+    parser.add_argument("--workload", help="internal: workload JSON")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, skip the measurement section (CI)")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_PR3.json"))
+    args = parser.parse_args()
+
+    if args.mode:
+        workload = json.loads(args.workload) if args.workload else FULL_WORKLOAD
+        print(json.dumps(run_inference_mode(args.mode, workload), indent=2))
+        return 0
+
+    workload = SMOKE_WORKLOAD if args.smoke else FULL_WORKLOAD
+    print(f"workload: {workload}", file=sys.stderr)
+    baseline = _spawn_mode("baseline", workload)
+    print(f"baseline:  {baseline['wall_s']}s, "
+          f"rss {baseline['peak_rss_kb']}kB", file=sys.stderr)
+    optimized = _spawn_mode("optimized", workload)
+    print(f"optimized: {optimized['wall_s']}s, "
+          f"rss {optimized['peak_rss_kb']}kB", file=sys.stderr)
+    if baseline["digest"] != optimized["digest"]:
+        print("FATAL: baseline and optimized inferred different graphs",
+              file=sys.stderr)
+        return 1
+    speedup = (
+        baseline["wall_s"] / optimized["wall_s"]
+        if optimized["wall_s"] else float("inf")
+    )
+
+    payload = {
+        "benchmark": "PR3 inference-phase speedup",
+        "smoke": args.smoke,
+        "inference": {
+            "baseline": baseline,
+            "optimized": optimized,
+            "speedup": round(speedup, 2),
+            "results_identical": True,
+        },
+    }
+    if not args.smoke:
+        print("measurement section (serial vs parallel=4)…", file=sys.stderr)
+        payload["measurement"] = run_measurement_section()
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"speedup: {speedup:.2f}x  →  {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,13 +66,18 @@ def cmd_map_cable(args) -> int:
             vp_dropout_after=args.vp_dropout_after,
             stale_rdns=args.stale_rdns,
         )
-    result = CableInferencePipeline(
+    pipeline = CableInferencePipeline(
         internet.network, isp, fleet, sweep_vps=args.sweep_vps,
         attempts=args.attempts, faults=faults,
         checkpoint_path=args.resume or args.checkpoint,
         resume=bool(args.resume), min_vps=args.min_vps,
-        validate=args.validate,
-    ).run()
+        validate=args.validate, parallel=args.parallel,
+        profile=args.profile,
+    )
+    result = pipeline.run()
+    if pipeline.profiler is not None:
+        for line in pipeline.profiler.report():
+            print(line)
     if result.health is not None and (
         faults is not None or args.resume or args.attempts > 1
         or args.validate != "off"
@@ -311,6 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stale-rdns", type=float, default=0.0, metavar="RATE",
         help="inject this rate of stale PTR lookups (0..1), the "
              "paper's conflicting-rDNS noise source")
+    map_cable.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="precompute traces with N concurrent workers; the corpus "
+             "stays byte-identical to a serial run (default 0 = serial)")
+    map_cable.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase wall-clock and peak-RSS accounting")
 
     map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
     map_att.add_argument("region", nargs="?", default="sndgca")

@@ -12,6 +12,13 @@ prune four classes of false or out-of-scope adjacency:
   set aside;
 * **cross-region adjacencies** — overwhelmingly stale rDNS;
 * **single-observation adjacencies** — traceroute noise (§5.2.1).
+
+Table 4 accounting is derived from one explicit CO-pair universe: every
+distinct CO pair reached from the IP pairs — backbone pairs tagged
+apart from regional pairs — is a member, ``initial_co`` is its size,
+and each pruning row counts the members it removed.  The IP column of
+the Single row counts the *IP pairs* whose CO pair was pruned for
+having a single observation, not the CO pairs themselves.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.infer.ip2co import Ip2CoMapping
 from repro.measure.traceroute import TraceResult
 from repro.net.dns import RdnsStore
-from repro.rdns.regexes import HostnameParser
+from repro.rdns.regexes import ISP_ALIASES, HostnameParser
 
 
 @dataclass
@@ -73,21 +80,86 @@ class RegionAdjacencies:
         return sorted(self.per_region)
 
 
+class FollowupIndex:
+    """Positional index over the follow-up (DPR) corpus.
+
+    Built in one pass: for every responding address, the earliest and
+    latest hop position it occupies in each follow-up trace.  A pair
+    ``(first, second)`` is MPLS-separated exactly when some trace shows
+    an occurrence of *second* more than one hop after an occurrence of
+    *first* — i.e. when ``max(second positions) > min(first positions)
+    + 1`` in a trace containing both.  That is equivalent to scanning
+    all occurrence pairs in path order, without the
+    O(pairs × followups × length) rescans of the naive approach.
+    """
+
+    def __init__(self, traces: "list[TraceResult]") -> None:
+        #: address -> {trace index: (earliest position, latest position)}
+        self._spans: "dict[str, dict[int, tuple[int, int]]]" = {}
+        for t_index, trace in enumerate(traces):
+            for position, address in enumerate(trace.responsive_addresses()):
+                spans = self._spans.setdefault(address, {})
+                seen = spans.get(t_index)
+                if seen is None:
+                    spans[t_index] = (position, position)
+                else:
+                    spans[t_index] = (seen[0], position)
+
+    def separated(self, first: str, second: str) -> bool:
+        """Whether any follow-up trace shows hops *between* the pair."""
+        spans_first = self._spans.get(first)
+        spans_second = self._spans.get(second)
+        if not spans_first or not spans_second:
+            return False
+        if len(spans_second) < len(spans_first):
+            for t_index, (_, latest) in spans_second.items():
+                seen = spans_first.get(t_index)
+                if seen is not None and latest > seen[0] + 1:
+                    return True
+            return False
+        for t_index, (earliest, _) in spans_first.items():
+            seen = spans_second.get(t_index)
+            if seen is not None and seen[1] > earliest + 1:
+                return True
+        return False
+
+
 class AdjacencyExtractor:
     """Builds :class:`RegionAdjacencies` from the corpora."""
 
     def __init__(self, mapping: Ip2CoMapping, rdns: RdnsStore, isp: str,
-                 parser: "HostnameParser | None" = None) -> None:
+                 parser: "HostnameParser | None" = None,
+                 cache=None,
+                 isp_aliases: "tuple[str, ...]" = (),
+                 use_followup_index: bool = True) -> None:
         self.mapping = mapping
         self.rdns = rdns
         self.isp = isp
         self.parser = parser or HostnameParser()
+        #: Shared :class:`~repro.perf.cache.InferenceCache`; optional —
+        #: a bare extractor works against the store directly.
+        self.cache = cache
+        #: Hostname ISP labels accepted as this ISP for backbone
+        #: routing: the exact name plus declared aliases, never a
+        #: prefix match (``"at"`` must not claim ``"att"``).
+        self._accepted_isps = frozenset(
+            {isp} | set(ISP_ALIASES.get(isp, ())) | set(isp_aliases)
+        )
+        #: Benchmark switch: False selects the quadratic reference scan
+        #: (with correct occurrence-pair semantics) instead of the
+        #: positional index.
+        self.use_followup_index = use_followup_index
 
     # -- helpers -------------------------------------------------------------
     def _backbone_tag(self, address: str) -> "str | None":
-        parsed = self.parser.parse(self.rdns.lookup(address))
-        if parsed is not None and parsed.role == "backbone" and (
-            parsed.isp == self.isp or self.isp.startswith(parsed.isp)
+        if self.cache is not None:
+            parsed = self.cache.parsed_lookup(address)
+        else:
+            parsed = self.parser.parse(self.rdns.lookup(address))
+        if (
+            parsed is not None
+            and parsed.role == "backbone"
+            and parsed.isp in self._accepted_isps
         ):
             return parsed.co_tag or parsed.region
         return None
@@ -96,13 +168,25 @@ class AdjacencyExtractor:
     def _mpls_separated(
         pair: "tuple[str, str]", followup_traces: "list[TraceResult]"
     ) -> bool:
-        """True when follow-up traces show intermediate hops inside *pair*."""
+        """Reference scan: hops inside *pair* in any follow-up trace.
+
+        Considers every occurrence pair in path order — the earliest
+        occurrence of *first* against any later occurrence of *second*
+        — so reversed or duplicate-hop DPR traces cannot mis-classify.
+        Kept as the :class:`FollowupIndex` equivalence oracle and the
+        benchmark's pre-index baseline.
+        """
         first, second = pair
         for trace in followup_traces:
-            addresses = trace.responsive_addresses()
-            if first in addresses and second in addresses:
-                i, j = addresses.index(first), addresses.index(second)
-                if j - i > 1:
+            earliest = None
+            for position, address in enumerate(trace.responsive_addresses()):
+                if address == first and earliest is None:
+                    earliest = position
+                elif (
+                    address == second
+                    and earliest is not None
+                    and position > earliest + 1
+                ):
                     return True
         return False
 
@@ -123,22 +207,39 @@ class AdjacencyExtractor:
                 ip_pairs[pair] += 1
         stats.initial_ip = len(ip_pairs)
 
-        # Index follow-up visibility once: pair -> separated?
-        followup_index: "dict[tuple[str, str], bool]" = {}
+        followup_index = (
+            FollowupIndex(followups)
+            if followups and self.use_followup_index
+            else None
+        )
+        # Reference-path memo: pair -> separated? (one scan per pair).
+        separated_memo: "dict[tuple[str, str], bool]" = {}
 
         co_pairs: "dict[tuple[str, str, str], int]" = {}  # (region, a, b) -> n
+        #: Surviving CO pair -> number of distinct contributing IP pairs
+        #: (the Single row's IP column counts these, not CO pairs).
+        co_pair_ip_sources: Counter = Counter()
         co_backbone: Counter = Counter()
         co_cross: Counter = Counter()
         mpls_co_pairs: set = set()
 
-        stats_initial_co: set = set()
+        # The one CO-pair universe all Table 4 CO columns derive from.
+        # Backbone pairs get a distinguishing tag so a backbone PoP can
+        # never collide with (and be double- or under-counted against)
+        # a regional CO pair.
+        universe: set = set()
+        backbone_keys: set = set()
+
         for (ip_a, ip_b), count in ip_pairs.items():
             bb_tag = self._backbone_tag(ip_a)
             co_b = self.mapping.co_of(ip_b)
             if bb_tag is not None:
                 stats.backbone_ip += 1
                 if co_b is not None:
-                    co_backbone[(bb_tag, co_b[0], co_b[1])] += count
+                    key = (bb_tag, co_b[0], co_b[1])
+                    co_backbone[key] += count
+                    backbone_keys.add(key)
+                    universe.add(("backbone",) + key)
                 continue
             co_a = self.mapping.co_of(ip_a)
             if co_a is None or co_b is None:
@@ -147,37 +248,39 @@ class AdjacencyExtractor:
                 continue
             region_a, tag_a = co_a
             region_b, tag_b = co_b
-            stats_initial_co.add((region_a, tag_a, region_b, tag_b))
+            universe.add((region_a, tag_a, region_b, tag_b))
             if region_a != region_b:
                 stats.cross_region_ip += 1
                 co_cross[(region_a, tag_a, region_b, tag_b)] += count
                 continue
             if followups:
-                key = (ip_a, ip_b)
-                separated = followup_index.get(key)
-                if separated is None:
-                    separated = self._mpls_separated(key, followups)
-                    followup_index[key] = separated
+                if followup_index is not None:
+                    separated = followup_index.separated(ip_a, ip_b)
+                else:
+                    pair = (ip_a, ip_b)
+                    separated = separated_memo.get(pair)
+                    if separated is None:
+                        separated = self._mpls_separated(pair, followups)
+                        separated_memo[pair] = separated
                 if separated:
                     stats.mpls_ip += 1
                     mpls_co_pairs.add((region_a, tag_a, tag_b))
                     continue
-            co_pairs[(region_a, tag_a, tag_b)] = (
-                co_pairs.get((region_a, tag_a, tag_b), 0) + count
-            )
+            key = (region_a, tag_a, tag_b)
+            co_pairs[key] = co_pairs.get(key, 0) + count
+            co_pair_ip_sources[key] += 1
 
-        stats.initial_co = len(stats_initial_co) + len(
-            {(t, r, c) for (t, r, c) in co_backbone}
-        )
-        stats.backbone_co = len({key for key in co_backbone})
-        stats.cross_region_co = len({key for key in co_cross})
+        stats.initial_co = len(universe)
+        stats.backbone_co = len(backbone_keys)
+        stats.cross_region_co = len(co_cross)
         stats.mpls_co = len(mpls_co_pairs)
 
         # Single-observation pruning (§5.2.1).
-        for (region, tag_a, tag_b), count in co_pairs.items():
+        for key, count in co_pairs.items():
+            region, tag_a, tag_b = key
             if count < 2:
                 stats.single_co += 1
-                stats.single_ip += 1
+                stats.single_ip += co_pair_ip_sources[key]
                 continue
             result.per_region.setdefault(region, Counter())[(tag_a, tag_b)] = count
         result.backbone_pairs = co_backbone

@@ -20,10 +20,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.alias.resolve import AliasSets
-from repro.errors import AddressError
 from repro.measure.traceroute import TraceResult
-from repro.net.addresses import p2p_peer, parse_ip
 from repro.net.dns import RdnsStore
+from repro.perf.cache import normalize_address, p2p_peer_str
 from repro.rdns.regexes import HostnameParser
 
 CoRef = "tuple[str, str]"  # (region, co_tag)
@@ -96,14 +95,19 @@ class Ip2CoMapper:
     """Runs the three B.1 stages over a traceroute corpus."""
 
     def __init__(self, rdns: RdnsStore, isp: str, p2p_prefixlen: int = 30,
-                 parser: "HostnameParser | None" = None) -> None:
+                 parser: "HostnameParser | None" = None, cache=None) -> None:
         self.rdns = rdns
         self.isp = isp
         self.p2p_prefixlen = p2p_prefixlen
         self.parser = parser or HostnameParser()
+        #: Shared :class:`~repro.perf.cache.InferenceCache`; optional —
+        #: a bare mapper works against the store directly.
+        self.cache = cache
 
     # -- stage 1 -----------------------------------------------------------
     def _lookup_co(self, address: str) -> "Optional[CoRef]":
+        if self.cache is not None:
+            return self.cache.regional_co(address, self.isp)
         return self.parser.regional_co(self.rdns.lookup(address), self.isp)
 
     def observed_addresses(self, traces: "list[TraceResult]") -> "set[str]":
@@ -114,10 +118,9 @@ class Ip2CoMapper:
                 if hop.address is None:
                     continue
                 addresses.add(hop.address)
-                try:
-                    addresses.add(str(p2p_peer(hop.address, self.p2p_prefixlen)))
-                except AddressError:
-                    continue
+                peer = p2p_peer_str(hop.address, self.p2p_prefixlen)
+                if peer is not None:
+                    addresses.add(peer)
         return addresses
 
     def initial_mapping(self, addresses: "set[str]") -> "dict[str, CoRef]":
@@ -178,9 +181,8 @@ class Ip2CoMapper:
         votes: "dict[str, Counter]" = {}
         for trace in traces:
             for prev_addr, cur_addr in trace.adjacent_pairs(exclude_final_echo=True):
-                try:
-                    peer = str(p2p_peer(cur_addr, self.p2p_prefixlen))
-                except AddressError:
+                peer = p2p_peer_str(cur_addr, self.p2p_prefixlen)
+                if peer is None:
                     continue
                 peer_co = mapping.get(peer)
                 if peer_co is None:
@@ -218,7 +220,7 @@ class Ip2CoMapper:
         stats = Ip2CoStats()
         addresses = self.observed_addresses(traces)
         if extra_addresses:
-            addresses |= {str(parse_ip(a)) for a in extra_addresses}
+            addresses |= {normalize_address(a) for a in extra_addresses}
         mapping = self.initial_mapping(addresses)
         stats.initial = len(mapping)
         conflicts: "list[CoConflict]" = []

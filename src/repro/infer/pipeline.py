@@ -32,10 +32,12 @@ from repro.infer.entries import EntryInferrer, EntryPoint
 from repro.infer.ip2co import Ip2CoMapper, Ip2CoMapping
 from repro.infer.refine import RefinedRegion, RegionRefiner
 from repro.io.checkpoint import CampaignCheckpoint
+from repro.measure.parallel import ParallelCampaignRunner
 from repro.measure.runner import CampaignHealth, CampaignRunner
 from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint
 from repro.net.network import Network
+from repro.perf import InferenceCache, PhaseProfiler
 from repro.rdns.regexes import HostnameParser
 from repro.validate.invariants import InvariantGuard
 from repro.validate.quarantine import QuarantineReport
@@ -94,6 +96,8 @@ class CableInferencePipeline:
         failover: bool = True,
         stop_after: "int | None" = None,
         validate: str = "off",
+        parallel: int = 0,
+        profile: bool = False,
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -141,6 +145,12 @@ class CableInferencePipeline:
         self.validate = validate
         self._guard = InvariantGuard(validate) if validate != "off" else None
         self.runner: "CampaignRunner | None" = None
+        #: Campaign parallelism: 0/1 = serial CampaignRunner, N>1 =
+        #: ParallelCampaignRunner with N workers (byte-identical corpus).
+        self.parallel = max(0, parallel)
+        #: Phase-level wall-clock accounting; None unless requested.
+        self.profiler = PhaseProfiler() if profile else None
+        self._rdns_targets_memo: "tuple[int, list[str]] | None" = None
 
     # ------------------------------------------------------------------
     # Target selection
@@ -155,11 +165,22 @@ class CableInferencePipeline:
         return targets
 
     def rdns_targets(self) -> "list[str]":
-        """Every snapshot address whose name parses as an ISP regional CO."""
+        """Every snapshot address whose name parses as an ISP regional CO.
+
+        Memoized per rDNS epoch: the pipeline calls this three times per
+        run (rdns sweep, alias seed set, mapper extras) over an
+        unchanged snapshot, and each scan parses every hostname.
+        """
+        epoch = self.network.rdns.epoch
+        if self._rdns_targets_memo is not None:
+            memo_epoch, targets = self._rdns_targets_memo
+            if memo_epoch == epoch:
+                return list(targets)
         targets = []
         for address, hostname in self.network.rdns.snapshot_items():
             if self.parser.regional_co(hostname, self.isp.name) is not None:
                 targets.append(address)
+        self._rdns_targets_memo = (epoch, list(targets))
         return targets
 
     # ------------------------------------------------------------------
@@ -187,6 +208,10 @@ class CableInferencePipeline:
             "failover": self.failover,
             "stop_after": self.stop_after,
         }
+        runner_cls = CampaignRunner
+        if self.parallel > 1:
+            runner_cls = ParallelCampaignRunner
+            options["workers"] = self.parallel
         checkpoint = None
         if self.checkpoint_path is not None:
             if self.resume:
@@ -200,12 +225,12 @@ class CableInferencePipeline:
                         raise
                     checkpoint = None  # nothing to resume: start fresh
                 else:
-                    return CampaignRunner.resumed(
+                    return runner_cls.resumed(
                         self.tracer, self.vps, checkpoint, **options
                     )
             if checkpoint is None:
                 checkpoint = CampaignCheckpoint(self.checkpoint_path)
-        return CampaignRunner(
+        return runner_cls(
             self.tracer, self.vps, checkpoint=checkpoint, **options
         )
 
@@ -284,36 +309,50 @@ class CableInferencePipeline:
         consults any other injector hook.
         """
         guard = self._guard
+        profiler = self.profiler or PhaseProfiler()
         with self._fault_context():
-            traces, followups = self.collect_traces()
-            aliases = self.resolve_aliases(traces)
+            with profiler.phase("collect"):
+                traces, followups = self.collect_traces()
+            with profiler.phase("aliases"):
+                aliases = self.resolve_aliases(traces)
+            # The cache is built *inside* the fault context so its
+            # generation check captures the campaign's injector; it is
+            # shared by every phase-2 stage, which all re-lookup and
+            # re-parse the same few thousand addresses.
+            cache = InferenceCache(self.network.rdns, self.parser)
             mapper = Ip2CoMapper(
                 self.network.rdns, self.isp.name,
                 p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
+                cache=cache,
             )
-            mapping = mapper.build(
-                traces, aliases, extra_addresses=set(self.rdns_targets())
-            )
+            with profiler.phase("ip2co"):
+                mapping = mapper.build(
+                    traces, aliases, extra_addresses=set(self.rdns_targets())
+                )
             if guard is not None:
                 guard.check_mapping(mapping, aliases)
             extractor = AdjacencyExtractor(
-                mapping, self.network.rdns, self.isp.name, parser=self.parser
+                mapping, self.network.rdns, self.isp.name, parser=self.parser,
+                cache=cache,
             )
-            adjacencies = extractor.extract(traces, followup_traces=followups)
+            with profiler.phase("adjacency"):
+                adjacencies = extractor.extract(traces, followup_traces=followups)
         if guard is not None:
             guard.check_adjacencies(adjacencies)
 
-        refiner = RegionRefiner()
-        regions = {
-            region_name: refiner.refine(region_name, counter)
-            for region_name, counter in adjacencies.per_region.items()
-        }
+        refiner = RegionRefiner(cache=cache)
+        with profiler.phase("refine"):
+            regions = {
+                region_name: refiner.refine(region_name, counter)
+                for region_name, counter in adjacencies.per_region.items()
+            }
         if guard is not None:
             for region in regions.values():
                 guard.check_region(region)
         inferrer = EntryInferrer(mapping)
-        entries = inferrer.backbone_entries(adjacencies)
-        entries += inferrer.inter_region_entries(traces)
+        with profiler.phase("entries"):
+            entries = inferrer.backbone_entries(adjacencies)
+            entries += inferrer.inter_region_entries(traces)
 
         return CableInferenceResult(
             isp=self.isp.name,

@@ -62,24 +62,29 @@ class RegionRefiner:
     def __init__(self, overlap_threshold: float = 0.75,
                  reciprocal_threshold: float = 0.5,
                  remove_false_edges: bool = True,
-                 complete_rings: bool = True) -> None:
+                 complete_rings: bool = True,
+                 cache=None) -> None:
         self.overlap_threshold = overlap_threshold
         self.reciprocal_threshold = reciprocal_threshold
         #: Ablation switches: disable §5.2.3 (false-edge removal) or
         #: §5.2.4 (ring completion) to measure each heuristic's value.
         self.remove_false_edges = remove_false_edges
         self.complete_rings = complete_rings
+        #: Shared :class:`~repro.perf.cache.InferenceCache`; ablation
+        #: reruns recompute the AggCO threshold over identical degree
+        #: multisets, which the cache memoizes.
+        self.cache = cache
 
     # -- step 1: AggCO identification ---------------------------------------
-    @staticmethod
-    def identify_agg_cos(graph: nx.DiGraph) -> "set[str]":
+    def identify_agg_cos(self, graph: nx.DiGraph) -> "set[str]":
         """COs with out-degree above mean + one standard deviation."""
         degrees = [graph.out_degree(node) for node in graph.nodes]
         if not degrees:
             return set()
-        mean = statistics.fmean(degrees)
-        std = statistics.pstdev(degrees)
-        threshold = mean + std
+        if self.cache is not None:
+            threshold = self.cache.degree_threshold(tuple(sorted(degrees)))
+        else:
+            threshold = statistics.fmean(degrees) + statistics.pstdev(degrees)
         aggs = {node for node in graph.nodes if graph.out_degree(node) > threshold}
         if not aggs:
             # Degenerate flat regions: the max-degree CO is the hub.

@@ -1,0 +1,258 @@
+"""Parallel campaign execution with byte-identical output.
+
+:class:`ParallelCampaignRunner` runs a campaign stage in two passes:
+
+1. **Speculate** — jobs are partitioned by vantage point (each VP's
+   jobs keep their order) and handed to a ``concurrent.futures`` thread
+   pool.  Every worker probes through its own *substrate view*: the
+   shared network wrapped with a private :class:`FaultInjector` built
+   from the same :class:`FaultPlan`.  Because every fault decision is
+   keyed on event identity (seed + probe/trace key), a worker reaches
+   exactly the trace the serial runner would have produced for that
+   (VP, target, flow) job, regardless of scheduling — along with the
+   probe-counter and fault-stat deltas the trace cost.
+2. **Replay** — the base class's serial loop runs unchanged (checkpoint
+   skipping, ``stop_after`` interruption, VP-death bookkeeping,
+   failover reassignment).  Its :meth:`CampaignRunner._run_trace` seam
+   consumes the speculative trace and applies its deltas to the
+   canonical tracer and injector, so health reports, checkpoints, and
+   dropout thresholds advance exactly as in a serial run.
+
+The one fault class whose outcome depends on *cross-VP* ordering — VP
+death and the failover reassignments it causes — is resolved entirely
+in the replay pass: a job reassigned to a stand-in finds no speculative
+entry under the stand-in's key and falls through to a synchronous probe
+on the canonical substrate.  That is what makes the merged corpus
+byte-identical to the serial runner's, with or without faults, and
+across checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.faults.injector import FaultInjector
+from repro.measure.runner import CampaignRunner
+from repro.measure.traceroute import TraceResult, Tracerouter
+from repro.measure.vantage import VantagePoint
+from repro.perf.cache import normalize_address
+
+#: Fault-stat fields incremented on the probe path (inside a single
+#: trace) — the ones speculation must capture and replay.  VP flaps and
+#: deaths happen in the runner loop; stale lookups happen at inference
+#: time.  Both therefore never occur inside a worker.
+_TRACE_FAULT_FIELDS = ("probes_lost", "rate_limited", "rdns_timeouts", "lsp_flaps")
+
+
+class _RdnsView:
+    """A per-worker face of the shared :class:`RdnsStore`.
+
+    Re-implements ``dig`` against the store's raw records with the
+    worker's own injector, so concurrent workers never touch the
+    canonical injector's counters.  Everything else delegates.
+    """
+
+    def __init__(self, base, injector) -> None:
+        self._base = base
+        self.faults = injector
+
+    def dig(self, address, fault_key=None):
+        key = normalize_address(address)
+        if self.faults is not None and self.faults.rdns_timeout(key, fault_key):
+            return None
+        return self._base.dig_record(key)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class _SubstrateView:
+    """A per-worker face of the shared :class:`Network`.
+
+    Forwarding state (SSSP caches, MPLS tables, reply policies) is
+    read-only during a campaign and shared; only the fault injector —
+    and through it the rDNS dig path — is private to the worker.
+    """
+
+    def __init__(self, base, injector) -> None:
+        self._base = base
+        self.faults = injector
+        self.rdns = _RdnsView(base.rdns, injector)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class _Speculative:
+    """One precomputed job: the trace plus the counters it cost."""
+
+    __slots__ = ("trace", "tracer_delta", "fault_delta")
+
+    def __init__(self, trace, tracer_delta, fault_delta) -> None:
+        self.trace = trace
+        self.tracer_delta = tracer_delta
+        self.fault_delta = fault_delta
+
+
+class ParallelCampaignRunner(CampaignRunner):
+    """A :class:`CampaignRunner` that precomputes traces concurrently.
+
+    Drop-in compatible: same constructor plus ``workers``, same
+    :meth:`run` contract, same checkpoints, byte-identical corpus.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracerouter,
+        vps: "list[VantagePoint]",
+        checkpoint=None,
+        min_vps: int = 1,
+        failover: bool = True,
+        checkpoint_every: int = 2000,
+        stop_after: "int | None" = None,
+        workers: int = 4,
+    ) -> None:
+        super().__init__(
+            tracer, vps, checkpoint=checkpoint, min_vps=min_vps,
+            failover=failover, checkpoint_every=checkpoint_every,
+            stop_after=stop_after,
+        )
+        self.workers = max(1, int(workers))
+        self._speculative: "dict[tuple[str, str, int], _Speculative]" = {}
+
+    # ------------------------------------------------------------------
+    # Speculation
+    # ------------------------------------------------------------------
+    def _worker_tracer(self) -> "tuple[Tracerouter, FaultInjector | None]":
+        """A private tracer over a private substrate view."""
+        injector = (
+            FaultInjector(self.injector.plan)
+            if self.injector is not None
+            else None
+        )
+        network = _SubstrateView(self.tracer.network, injector)
+        tracer = Tracerouter(
+            network,
+            max_ttl=self.tracer.max_ttl,
+            jitter_ms=self.tracer.jitter_ms,
+            attempts=self.tracer.attempts,
+            backoff_ms=self.tracer.backoff_ms,
+        )
+        return tracer, injector
+
+    def _speculate_partition(
+        self, vp: VantagePoint, targets: "list[str]", flow_id: int
+    ) -> "dict[tuple[str, str, int], _Speculative]":
+        tracer, injector = self._worker_tracer()
+        results: "dict[tuple[str, str, int], _Speculative]" = {}
+        counters_before = tracer.counters()
+        faults_before = (
+            {name: getattr(injector.stats, name) for name in _TRACE_FAULT_FIELDS}
+            if injector is not None
+            else None
+        )
+        for target in targets:
+            trace = tracer.trace(
+                vp.host, target, flow_id=flow_id, src_address=vp.src_address
+            )
+            counters_after = tracer.counters()
+            tracer_delta = {
+                key: counters_after[key] - counters_before[key]
+                for key in counters_after
+            }
+            counters_before = counters_after
+            fault_delta = None
+            if injector is not None:
+                faults_after = {
+                    name: getattr(injector.stats, name)
+                    for name in _TRACE_FAULT_FIELDS
+                }
+                fault_delta = {
+                    name: faults_after[name] - faults_before[name]
+                    for name in _TRACE_FAULT_FIELDS
+                }
+                faults_before = faults_after
+            results[(vp.name, target, flow_id)] = _Speculative(
+                trace, tracer_delta, fault_delta
+            )
+        return results
+
+    def _precompute(self, jobs, stage: str, flow_id: int) -> None:
+        """Fill the speculation table for this stage's pending jobs."""
+        if self.checkpoint is not None and self.checkpoint.stage_complete(stage):
+            return
+        done: "set[tuple[str, str]]" = set()
+        if self.checkpoint is not None and self.checkpoint.stage(stage) is not None:
+            done = self.checkpoint.stage_done(stage)
+        pending = [
+            (vp, target) for vp, target in jobs if (vp.name, target) not in done
+        ]
+        if self.stop_after is not None:
+            budget = max(0, self.stop_after - self._executed)
+            pending = pending[:budget]
+        partitions: "dict[str, list[str]]" = {}
+        by_name: "dict[str, VantagePoint]" = {}
+        for vp, target in pending:
+            # Jobs on already-dead VPs will be reassigned during replay;
+            # their stand-in runs synchronously on the canonical tracer.
+            if not self.fleet.is_alive(vp.name):
+                continue
+            partitions.setdefault(vp.name, []).append(target)
+            by_name[vp.name] = vp
+        if not partitions:
+            return
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(partitions))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self._speculate_partition, by_name[name], targets, flow_id
+                )
+                for name, targets in partitions.items()
+            ]
+            for future in futures:
+                self._speculative.update(future.result())
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _run_trace(self, vp: VantagePoint, target: str, flow_id: int) -> TraceResult:
+        speculative = self._speculative.pop((vp.name, target, flow_id), None)
+        if speculative is None:
+            # Cache miss: a failover stand-in, or a job speculation
+            # skipped.  Runs synchronously on the canonical substrate,
+            # exactly as the serial runner would.
+            return super()._run_trace(vp, target, flow_id)
+        tracer = self.tracer
+        delta = speculative.tracer_delta
+        tracer.probes_sent += int(delta["probes_sent"])
+        tracer.traces_run += int(delta["traces_run"])
+        tracer.probes_lost += int(delta["probes_lost"])
+        tracer.probes_refused += int(delta["probes_refused"])
+        tracer.probes_retried += int(delta["probes_retried"])
+        tracer.backoff_ms_total += delta["backoff_ms_total"]
+        if self.injector is not None and speculative.fault_delta is not None:
+            stats = self.injector.stats
+            for name in _TRACE_FAULT_FIELDS:
+                setattr(
+                    stats, name,
+                    getattr(stats, name) + speculative.fault_delta[name],
+                )
+        return speculative.trace
+
+    def run(
+        self,
+        jobs: "list[tuple[VantagePoint, str]]",
+        stage: str = "campaign",
+        flow_id: int = 0,
+        keep_empty: bool = False,
+    ):
+        self._precompute(jobs, stage, flow_id)
+        try:
+            return super().run(
+                jobs, stage=stage, flow_id=flow_id, keep_empty=keep_empty
+            )
+        finally:
+            # Unconsumed entries (jobs that failed over, or a stage cut
+            # short by stop_after) must not leak into later stages.
+            self._speculative.clear()

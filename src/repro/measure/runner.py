@@ -195,6 +195,17 @@ class CampaignRunner:
         if self.injector is not None:
             self.health.fault_stats = self.injector.stats.as_dict()
 
+    def _run_trace(self, vp: VantagePoint, target: str, flow_id: int) -> TraceResult:
+        """One actual traceroute — the seam execution strategies override.
+
+        The serial runner probes synchronously; the parallel runner
+        substitutes a speculatively-computed trace (replaying its probe
+        counters onto this tracer) when one is available.
+        """
+        return self.tracer.trace(
+            vp.host, target, flow_id=flow_id, src_address=vp.src_address
+        )
+
     def _execute_job(self, vp: VantagePoint, job_key, flow_id: int):
         """One traceroute from *vp*, with flap retries.
 
@@ -210,9 +221,7 @@ class CampaignRunner:
                     self.health.vp_flap_retries += 1
                 continue
             before = self.tracer.probes_sent
-            trace = self.tracer.trace(
-                vp.host, job_key[1], flow_id=flow_id, src_address=vp.src_address
-            )
+            trace = self._run_trace(vp, job_key[1], flow_id)
             trace.vp_name = vp.name
             if injector is not None:
                 alive = injector.vp_add_probes(

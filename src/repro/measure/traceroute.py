@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.net.addresses import parse_ip
 from repro.net.network import Network
 from repro.net.router import Router, _stable_hash
+from repro.perf.cache import normalize_address
 
 
 @dataclass(frozen=True)
@@ -156,7 +156,7 @@ class Tracerouter:
         source_addr = src_address or (
             str(src.interfaces[0].address) if src.interfaces else "0.0.0.0"
         )
-        result = TraceResult(source_addr, str(parse_ip(dst_address)), hops=[], flow_id=flow_id)
+        result = TraceResult(source_addr, normalize_address(dst_address), hops=[], flow_id=flow_id)
         dst_router, dst_exists = self.network.route_target(dst_address)
         if dst_router is None:
             return result
@@ -227,7 +227,7 @@ class Tracerouter:
                 responds = dst_exists and router.probe_response(
                     source_addr, probe_key, echo=True, faults=faults
                 )
-                reply_addr = str(parse_ip(dst_address)) if responds else None
+                reply_addr = normalize_address(dst_address) if responds else None
             else:
                 responds = router.probe_response(
                     source_addr, probe_key, faults=faults

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.net.addresses import IPAddress, parse_ip
+from repro.net.addresses import IPAddress
+from repro.perf.cache import normalize_address
 
 
 class RdnsStore:
@@ -31,13 +32,18 @@ class RdnsStore:
         #: Active fault injector (set via ``Network.attach_faults``);
         #: None ⇒ dig never times out.
         self.faults = None
+        #: Mutation counter: bumps on every record change, so memoizing
+        #: layers (:class:`repro.perf.cache.InferenceCache`) know when
+        #: their lookup-derived entries are stale.
+        self.epoch = 0
 
     def __len__(self) -> int:
         return len(set(self._dig) | set(self._snapshot))
 
     def set(self, address: "str | IPAddress", hostname: str, snapshot: bool = True) -> None:
         """Record a live PTR entry (and, by default, mirror it in the snapshot)."""
-        key = str(parse_ip(address))
+        key = normalize_address(address)
+        self.epoch += 1
         self._dig[key] = hostname
         if snapshot:
             self._snapshot[key] = hostname
@@ -48,7 +54,8 @@ class RdnsStore:
         When ``in_dig`` is False the stale name only exists in the bulk
         snapshot (the zone was fixed but the snapshot predates the fix).
         """
-        key = str(parse_ip(address))
+        key = normalize_address(address)
+        self.epoch += 1
         self._snapshot[key] = hostname
         if in_dig:
             self._dig[key] = hostname
@@ -56,7 +63,8 @@ class RdnsStore:
 
     def remove(self, address: "str | IPAddress") -> None:
         """Delete any record for *address* from both epochs."""
-        key = str(parse_ip(address))
+        key = normalize_address(address)
+        self.epoch += 1
         self._dig.pop(key, None)
         self._snapshot.pop(key, None)
         self._stale.discard(key)
@@ -68,14 +76,24 @@ class RdnsStore:
         the probe identity (order-independent, hence checkpoint-safe);
         bare callers leave it None and get a per-address call counter.
         """
-        key = str(parse_ip(address))
+        key = normalize_address(address)
         if self.faults is not None and self.faults.rdns_timeout(key, fault_key):
             return None
         return self._dig.get(key)
 
+    def dig_record(self, address: "str | IPAddress") -> Optional[str]:
+        """The raw live record, bypassing fault injection.
+
+        Exists so execution layers that carry their *own* injector (the
+        parallel campaign runner's per-worker substrate views) can
+        re-implement :meth:`dig` against it without consulting the
+        injector attached to this store.
+        """
+        return self._dig.get(normalize_address(address))
+
     def snapshot_lookup(self, address: "str | IPAddress") -> Optional[str]:
         """A lookup against the bulk snapshot."""
-        return self._snapshot.get(str(parse_ip(address)))
+        return self._snapshot.get(normalize_address(address))
 
     def lookup(self, address: "str | IPAddress") -> Optional[str]:
         """Combined lookup, preferring the live record (App. B.1).
@@ -85,7 +103,7 @@ class RdnsStore:
         in the snapshot — synthetic stale records for exercising the
         inference-side guardrails.
         """
-        key = str(parse_ip(address))
+        key = normalize_address(address)
         name = self._dig.get(key) or self._snapshot.get(key)
         if self.faults is not None and name is not None:
             name = self.faults.stale_hostname(key, name, self)
@@ -101,7 +119,7 @@ class RdnsStore:
 
     def is_stale(self, address: "str | IPAddress") -> bool:
         """Ground truth: whether the record is stale (scoring only)."""
-        return str(parse_ip(address)) in self._stale
+        return normalize_address(address) in self._stale
 
     @property
     def stale_count(self) -> int:

@@ -1,0 +1,209 @@
+"""Shared, fault-injection-safe memoization for the inference hot path.
+
+Profiling the cable pipeline shows three dominant costs, all pure
+recomputation: address-string normalization (``str(parse_ip(s))``),
+point-to-point peer derivation, and PTR-lookup + hostname-regex parsing
+repeated once per IP *pair* instead of once per IP.  Two kinds of memo
+live here:
+
+* **Module-level memos** (:func:`normalize_address`,
+  :func:`p2p_peer_str`) for computations that are pure functions of
+  their string argument — safe to share process-wide and never
+  invalidated.  :func:`memoization_disabled` turns them off so the
+  benchmark harness can measure the unmemoized baseline.
+* **:class:`InferenceCache`** for facts that are pure only *per epoch*
+  of an :class:`~repro.net.dns.RdnsStore`: a combined PTR lookup
+  changes when the store mutates or when a different fault injector is
+  attached (stale-rDNS injection rewrites lookups per address).  The
+  cache watches both and drops its lookup-derived entries whenever
+  either changes, so fault-injection campaigns see exactly the answers
+  the uncached path would produce.
+
+What is deliberately **not** cached: ``RdnsStore.dig`` — under fault
+injection a bare dig consults a per-address call counter (transient
+timeouts), so its result is call-order dependent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import statistics
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.net.addresses import p2p_peer, parse_ip
+
+_MISS = object()
+
+#: Process-wide switch for the module-level memos (benchmark baseline).
+_enabled = True
+
+_normalize_memo: "dict[str, str]" = {}
+_p2p_memo: "dict[tuple[str, int], str | None]" = {}
+
+
+def memoization_enabled() -> bool:
+    """Whether the module-level memos are active."""
+    return _enabled
+
+
+@contextlib.contextmanager
+def memoization_disabled():
+    """Temporarily disable the module-level memos (baseline timing)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def normalize_address(value) -> str:
+    """``str(parse_ip(value))`` with a process-wide memo for strings.
+
+    Address normalization is a pure function of the input string, yet
+    it was the single hottest call in the pipeline (one ``ipaddress``
+    parse per hop per trace).  Non-string inputs (already-parsed
+    address objects) skip the memo.
+    """
+    if not isinstance(value, str) or not _enabled:
+        return str(parse_ip(value))
+    cached = _normalize_memo.get(value)
+    if cached is None:
+        cached = str(parse_ip(value))
+        _normalize_memo[value] = cached
+    return cached
+
+
+def p2p_peer_str(address: str, prefixlen: int = 30) -> "str | None":
+    """The point-to-point peer of *address* as a string, or None.
+
+    Wraps :func:`repro.net.addresses.p2p_peer`, converting the
+    ``AddressError`` raised for network/broadcast addresses into None —
+    every caller in the inference path catches-and-skips, so the memo
+    can store the failure too.
+    """
+    if not _enabled:
+        try:
+            return str(p2p_peer(address, prefixlen))
+        except AddressError:
+            return None
+    key = (address, prefixlen)
+    cached = _p2p_memo.get(key, _MISS)
+    if cached is _MISS:
+        try:
+            cached = str(p2p_peer(address, prefixlen))
+        except AddressError:
+            cached = None
+        _p2p_memo[key] = cached
+    return cached
+
+
+def clear_module_memos() -> None:
+    """Drop the process-wide memos (tests and benchmark isolation)."""
+    _normalize_memo.clear()
+    _p2p_memo.clear()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, reported by ``--profile``."""
+
+    lookup_hits: int = 0
+    lookup_misses: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {
+            "lookup_hits": self.lookup_hits,
+            "lookup_misses": self.lookup_misses,
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class InferenceCache:
+    """Memoizes PTR lookups and hostname parses for one rDNS store.
+
+    Shared by the IP→CO mapper, the adjacency extractor, and the region
+    refiner so each address is looked up and each hostname parsed once
+    per campaign, not once per use site.
+
+    Invalidation: lookup-derived entries are dropped whenever the
+    store's mutation ``epoch`` advances or a different fault injector
+    is attached (identity comparison — stale-rDNS injection changes
+    what ``lookup`` returns per address).  Hostname parses are pure and
+    survive invalidation.
+    """
+
+    def __init__(self, rdns, parser) -> None:
+        self.rdns = rdns
+        self.parser = parser
+        self.stats = CacheStats()
+        self._lookup: "dict[str, str | None]" = {}
+        self._parse: "dict[str, object]" = {}
+        self._threshold: "dict[tuple[int, ...], float]" = {}
+        self._epoch = getattr(rdns, "epoch", 0)
+        self._faults = getattr(rdns, "faults", None)
+
+    # ------------------------------------------------------------------
+    def _check_generation(self) -> None:
+        rdns = self.rdns
+        epoch = getattr(rdns, "epoch", 0)
+        faults = getattr(rdns, "faults", None)
+        if epoch != self._epoch or faults is not self._faults:
+            self._lookup.clear()
+            self._epoch = epoch
+            self._faults = faults
+            self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: str) -> "str | None":
+        """Memoized combined PTR lookup (dig-over-snapshot priority)."""
+        self._check_generation()
+        cached = self._lookup.get(address, _MISS)
+        if cached is _MISS:
+            cached = self.rdns.lookup(address)
+            self._lookup[address] = cached
+            self.stats.lookup_misses += 1
+        else:
+            self.stats.lookup_hits += 1
+        return cached
+
+    def parse(self, hostname: "str | None"):
+        """Memoized hostname parse (pure; never invalidated)."""
+        if hostname is None:
+            return None
+        cached = self._parse.get(hostname, _MISS)
+        if cached is _MISS:
+            cached = self.parser.parse(hostname)
+            self._parse[hostname] = cached
+            self.stats.parse_misses += 1
+        else:
+            self.stats.parse_hits += 1
+        return cached
+
+    def parsed_lookup(self, address: str):
+        """Parsed hostname of *address*'s combined PTR lookup."""
+        return self.parse(self.lookup(address))
+
+    def regional_co(self, address: str, isp: str):
+        """(region, co_tag) when *address*'s name is a regional CO of *isp*."""
+        return self.parser.regional_co_of(self.parsed_lookup(address), isp)
+
+    def degree_threshold(self, degrees: "tuple[int, ...]") -> float:
+        """Memoized mean + pstdev over an out-degree multiset.
+
+        Region refinement recomputes the AggCO threshold for every
+        region and every ablation rerun; the degree tuple is the whole
+        input, so the statistic memoizes cleanly.
+        """
+        cached = self._threshold.get(degrees)
+        if cached is None:
+            cached = statistics.fmean(degrees) + statistics.pstdev(degrees)
+            self._threshold[degrees] = cached
+        return cached

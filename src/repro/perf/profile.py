@@ -1,0 +1,67 @@
+"""Lightweight phase profiler: wall clock per pipeline phase, peak RSS.
+
+Backs the CLI's ``--profile`` flag and the benchmark harness.  Peak RSS
+comes from ``resource.getrusage`` and is therefore monotone over the
+process lifetime — the benchmark harness runs each measured mode in its
+own subprocess for that reason.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import resource
+import sys
+import time
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize to KiB.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase.
+
+    Phases may repeat (the campaign runner executes several stages);
+    durations accumulate under the same name, in first-seen order.
+    """
+
+    def __init__(self) -> None:
+        self.phases: "dict[str, float]" = {}
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "phases_s": {name: round(sec, 4) for name, sec in self.phases.items()},
+            "total_s": round(self.total_seconds, 4),
+            "peak_rss_kb": peak_rss_kb(),
+        }
+
+    def report(self) -> "list[str]":
+        """Human-readable lines for CLI output."""
+        lines = []
+        total = self.total_seconds
+        for name, seconds in self.phases.items():
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"{name:<16} {seconds:8.3f}s  {share:5.1f}%")
+        lines.append(f"{'total':<16} {total:8.3f}s")
+        lines.append(f"{'peak rss':<16} {peak_rss_kb() / 1024.0:8.1f} MiB")
+        return lines

@@ -69,6 +69,17 @@ _VZ_SPEEDTEST = re.compile(r"^(?P<code>[a-z0-9]{3,6})\.ost\.myvzw\.com$")
 
 _COMCAST_ROLES = {"ar": "agg", "cbr": "edge", "rur": "edge"}
 
+#: Hostname ISP labels operated by the same carrier as the pipeline's
+#: ISP name.  Backbone-adjacency routing matches the parsed label
+#: against the exact ISP *or* one of its declared aliases — never a
+#: string prefix, which would let a parsed ``"at"`` claim ``"att"``
+#: adjacencies.  Keys are pipeline ISP names; values are the extra
+#: hostname labels that carrier answers to.
+ISP_ALIASES: "dict[str, frozenset[str]]" = {
+    "att": frozenset({"sbcglobal"}),
+    "verizon": frozenset({"alter", "myvzw"}),
+}
+
 
 class HostnameParser:
     """Stateless hostname → :class:`ParsedHostname` extraction."""
@@ -137,7 +148,15 @@ class HostnameParser:
 
     def regional_co(self, hostname: "str | None", isp: str) -> "Optional[tuple[str, str]]":
         """(region, co_tag) when the hostname names a regional CO of *isp*."""
-        parsed = self.parse(hostname)
+        return self.regional_co_of(self.parse(hostname), isp)
+
+    @staticmethod
+    def regional_co_of(parsed: "ParsedHostname | None", isp: str) -> "Optional[tuple[str, str]]":
+        """The :meth:`regional_co` decision over an already-parsed name.
+
+        Split out so memoizing layers that cache the parse can reuse
+        the exact classification logic.
+        """
         if parsed is None or parsed.isp != isp:
             return None
         if parsed.role in ("backbone", "lspgw"):

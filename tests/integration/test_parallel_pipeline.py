@@ -1,0 +1,37 @@
+"""Parallel pipeline execution: byte-identical artifacts, same health.
+
+Shares the session-scoped ``comcast_result`` fixture as the serial
+reference, so only the parallel run is paid for here.
+"""
+
+from repro.infer.pipeline import CableInferencePipeline
+from repro.io.export import region_to_json
+
+
+class TestParallelPipelineParity:
+    def test_exported_regions_byte_identical(
+        self, internet, standard_vps, comcast_result
+    ):
+        parallel = CableInferencePipeline(
+            internet.network, internet.comcast, standard_vps, sweep_vps=6,
+            parallel=4, profile=True,
+        ).run()
+        assert set(parallel.regions) == set(comcast_result.regions)
+        for name in sorted(comcast_result.regions):
+            assert region_to_json(parallel.regions[name]) == region_to_json(
+                comcast_result.regions[name]
+            ), f"region {name} diverged under --parallel"
+        assert parallel.health.as_dict() == comcast_result.health.as_dict()
+
+    def test_profiler_reported_phases(self, internet, standard_vps):
+        pipeline = CableInferencePipeline(
+            internet.network, internet.comcast, standard_vps, sweep_vps=6,
+            parallel=2, profile=True,
+        )
+        pipeline.run()
+        report = pipeline.profiler.as_dict()
+        assert set(report["phases_s"]) == {
+            "collect", "aliases", "ip2co", "adjacency", "refine", "entries"
+        }
+        assert report["total_s"] > 0
+        assert report["peak_rss_kb"] > 0
