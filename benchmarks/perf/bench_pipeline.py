@@ -68,6 +68,7 @@ def run_inference_mode(mode: str, workload: "dict") -> "dict":
     from repro.infer.adjacency import AdjacencyExtractor
     from repro.infer.ip2co import Ip2CoMapper
     from repro.infer.refine import RegionRefiner
+    from repro.obs import build_run_manifest
     from repro.perf import InferenceCache, PhaseProfiler, memoization_disabled
     from repro.perf.cache import clear_module_memos
     from repro.perf.synthetic import build_synthetic_region_corpus
@@ -105,13 +106,25 @@ def run_inference_mode(mode: str, workload: "dict") -> "dict":
 
     report = profiler.as_dict()
     stats = adjacencies.stats
+    digest = _region_digest(regions)
+    # One structurally-diffable manifest per measured mode: CI's
+    # regression gate validates it and compares artifact digests.
+    manifest = build_run_manifest(
+        command=f"bench-inference:{mode}",
+        seed=int(workload["seed"]),
+        parameters=dict(workload),
+        tracer=profiler.tracer,
+        metrics=cache.metrics if cache is not None else None,
+        artifact_digests={"inferred-regions": digest},
+    )
     return {
         "mode": mode,
         "workload": dict(workload),
         "wall_s": round(wall_s, 3),
         "phases_s": report["phases_s"],
         "peak_rss_kb": report["peak_rss_kb"],
-        "digest": _region_digest(regions),
+        "digest": digest,
+        "manifest": manifest,
         "checks": {
             "co_count": corpus.co_count,
             "mapped_addresses": len(mapping),
@@ -135,6 +148,21 @@ def _spawn_mode(mode: str, workload: "dict") -> "dict":
         command, capture_output=True, text=True, check=True, cwd=str(ROOT)
     )
     return json.loads(output.stdout)
+
+
+def _best_of(repeats: int, mode: str, workload: "dict") -> "dict":
+    """Best-of-N spawn: keep the fastest run's report (digests must agree).
+
+    The tiny smoke corpus finishes in tens of milliseconds, where
+    scheduler noise dominates; the minimum wall-clock is the standard
+    noise-robust estimator, and it is what the CI regression gate's
+    speedup ratio is built from.
+    """
+    runs = [_spawn_mode(mode, workload) for _ in range(max(1, repeats))]
+    digests = {run["digest"] for run in runs}
+    if len(digests) > 1:
+        raise SystemExit(f"FATAL: {mode} digests varied across repeats: {digests}")
+    return min(runs, key=lambda run: run["wall_s"])
 
 
 def run_measurement_section() -> "dict":
@@ -176,6 +204,9 @@ def main() -> int:
     parser.add_argument("--workload", help="internal: workload JSON")
     parser.add_argument("--smoke", action="store_true",
                         help="small corpus, skip the measurement section (CI)")
+    parser.add_argument("--repeats", type=int, default=0,
+                        help="best-of-N wall-clock per mode "
+                             "(default: 3 for --smoke, 1 for full)")
     parser.add_argument("--out", default=str(ROOT / "BENCH_PR3.json"))
     args = parser.parse_args()
 
@@ -185,11 +216,12 @@ def main() -> int:
         return 0
 
     workload = SMOKE_WORKLOAD if args.smoke else FULL_WORKLOAD
-    print(f"workload: {workload}", file=sys.stderr)
-    baseline = _spawn_mode("baseline", workload)
+    repeats = args.repeats or (3 if args.smoke else 1)
+    print(f"workload: {workload} (best of {repeats})", file=sys.stderr)
+    baseline = _best_of(repeats, "baseline", workload)
     print(f"baseline:  {baseline['wall_s']}s, "
           f"rss {baseline['peak_rss_kb']}kB", file=sys.stderr)
-    optimized = _spawn_mode("optimized", workload)
+    optimized = _best_of(repeats, "optimized", workload)
     print(f"optimized: {optimized['wall_s']}s, "
           f"rss {optimized['peak_rss_kb']}kB", file=sys.stderr)
     if baseline["digest"] != optimized["digest"]:
@@ -217,7 +249,16 @@ def main() -> int:
 
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
+    # Standalone schema-valid sidecar (the optimized mode's manifest),
+    # uploaded by CI so every benchmark run ships its provenance.
+    from repro.obs import run_manifest_from_json, write_run_manifest
+
+    sidecar = out.with_name(out.stem + ".manifest.json")
+    write_run_manifest(
+        sidecar, run_manifest_from_json(json.dumps(optimized["manifest"]))
+    )
     print(f"speedup: {speedup:.2f}x  →  {out}", file=sys.stderr)
+    print(f"manifest sidecar      →  {sidecar}", file=sys.stderr)
     return 0
 
 

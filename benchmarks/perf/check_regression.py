@@ -1,0 +1,166 @@
+"""Benchmark regression gate for CI.
+
+Compares a freshly produced benchmark payload (``bench_pipeline.py
+--smoke`` output) against the committed baseline
+(``BENCH_BASELINE.json``) and fails when:
+
+* the run's own baseline/optimized digests diverge (the optimized
+  pipeline no longer reproduces the serial oracle's graphs);
+* the optimized digest differs from the committed baseline's (the
+  seeded workload is deterministic, so this means an inference-visible
+  behaviour change that must be re-baselined deliberately);
+* the speedup ratio regressed more than ``--max-regression`` (default
+  20%) relative to the committed baseline, or fell below
+  ``--min-speedup``;
+* an embedded run manifest is missing or fails schema validation.
+
+Speedup is a *ratio* of two wall-clocks measured on the same machine in
+the same run, so the gate is machine-independent; absolute wall times
+are never compared.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        --current bench.json --baseline benchmarks/perf/BENCH_BASELINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DEFAULT_MAX_REGRESSION = 0.20
+DEFAULT_MIN_SPEEDUP = 1.0
+
+
+def _validate_manifest(manifest: object, label: str) -> "list[str]":
+    from repro.errors import SchemaError
+    from repro.validate.schema import validate_artifact
+
+    if not isinstance(manifest, dict):
+        return [f"{label}: run manifest missing from benchmark payload"]
+    try:
+        validate_artifact(manifest, kind="run-manifest")
+    except SchemaError as exc:
+        return [f"{label}: run manifest failed schema validation: {exc}"]
+    return []
+
+
+def evaluate(
+    current: "dict",
+    baseline: "dict",
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> "list[str]":
+    """Return a list of failure messages (empty means the gate passes)."""
+    failures: "list[str]" = []
+    cur = current.get("inference", {})
+    base = baseline.get("inference", {})
+
+    cur_base_digest = cur.get("baseline", {}).get("digest")
+    cur_opt_digest = cur.get("optimized", {}).get("digest")
+    if not cur_base_digest or not cur_opt_digest:
+        return ["current payload lacks inference digests; wrong file?"]
+    if cur_base_digest != cur_opt_digest:
+        failures.append(
+            "optimized pipeline diverged from the serial oracle: "
+            f"baseline digest {cur_base_digest[:12]}… != "
+            f"optimized digest {cur_opt_digest[:12]}…"
+        )
+
+    cur_workload = cur.get("optimized", {}).get("workload")
+    base_workload = base.get("optimized", {}).get("workload")
+    if cur_workload != base_workload:
+        failures.append(
+            "workloads differ between current run and committed baseline "
+            f"({cur_workload!r} vs {base_workload!r}); digests and speedup "
+            "are not comparable — re-baseline deliberately"
+        )
+    else:
+        base_opt_digest = base.get("optimized", {}).get("digest")
+        if base_opt_digest and cur_opt_digest != base_opt_digest:
+            failures.append(
+                "inferred-region digest drifted from the committed baseline: "
+                f"{cur_opt_digest[:12]}… != {base_opt_digest[:12]}…; "
+                "if the inference change is intentional, regenerate "
+                "BENCH_BASELINE.json in the same commit"
+            )
+
+    cur_speedup = cur.get("speedup")
+    base_speedup = base.get("speedup")
+    if not isinstance(cur_speedup, (int, float)):
+        failures.append("current payload lacks a speedup figure")
+    else:
+        if cur_speedup < min_speedup:
+            failures.append(
+                f"speedup {cur_speedup:.2f}x fell below the "
+                f"{min_speedup:.2f}x floor"
+            )
+        if isinstance(base_speedup, (int, float)) and base_speedup > 0:
+            floor = base_speedup * (1.0 - max_regression)
+            if cur_speedup < floor:
+                failures.append(
+                    f"speedup regressed >{max_regression:.0%}: "
+                    f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                    f"(floor {floor:.2f}x)"
+                )
+
+    for mode in ("baseline", "optimized"):
+        failures.extend(
+            _validate_manifest(cur.get(mode, {}).get("manifest"), f"current/{mode}")
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).resolve().parent / "BENCH_BASELINE.json"),
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional speedup regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="absolute speedup floor (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = evaluate(
+        current,
+        baseline,
+        max_regression=args.max_regression,
+        min_speedup=args.min_speedup,
+    )
+    if failures:
+        print("benchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    cur = current["inference"]
+    print(
+        f"benchmark regression gate passed: speedup {cur['speedup']:.2f}x "
+        f"(baseline {baseline['inference']['speedup']:.2f}x), digests stable"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,12 +72,20 @@ def cmd_map_cable(args) -> int:
         checkpoint_path=args.resume or args.checkpoint,
         resume=bool(args.resume), min_vps=args.min_vps,
         validate=args.validate, parallel=args.parallel,
-        profile=args.profile,
+        profile=args.profile, trace_seed=args.seed,
     )
     result = pipeline.run()
     if pipeline.profiler is not None:
         for line in pipeline.profiler.report():
             print(line)
+    if args.trace_out:
+        path = atomic_write_text(pathlib.Path(args.trace_out),
+                                 pipeline.obs.to_json() + "\n")
+        print(f"wrote span trace to {path}")
+    if args.metrics_out:
+        path = atomic_write_text(pathlib.Path(args.metrics_out),
+                                 pipeline.metrics.to_json() + "\n")
+        print(f"wrote metrics snapshot to {path}")
     if result.health is not None and (
         faults is not None or args.resume or args.attempts > 1
         or args.validate != "off"
@@ -95,18 +103,41 @@ def cmd_map_cable(args) -> int:
         print(f"  {name}: {region.graph.number_of_nodes()} COs, "
               f"{len(region.agg_cos)} AggCOs")
     if args.json_dir:
+        from repro.obs import build_run_manifest, write_run_manifest
+
         directory = pathlib.Path(args.json_dir)
+        artifacts = {}
         for name, region in result.regions.items():
-            atomic_write_text(
-                directory / f"{args.isp}-{name}.json", region_to_json(region)
-            )
+            text = region_to_json(region)
+            artifacts[f"{args.isp}-{name}.json"] = text
+            atomic_write_text(directory / f"{args.isp}-{name}.json", text)
         print(f"wrote {len(result.regions)} JSON files to {directory}")
         if result.quarantine is not None and result.quarantine:
+            text = quarantine_report_to_json(result.quarantine)
+            artifacts[f"{args.isp}-quarantine.json"] = text
             path = atomic_write_text(
-                directory / f"{args.isp}-quarantine.json",
-                quarantine_report_to_json(result.quarantine),
+                directory / f"{args.isp}-quarantine.json", text
             )
             print(f"wrote quarantine report to {path}")
+        manifest = build_run_manifest(
+            command="map-cable",
+            seed=args.seed,
+            parameters={
+                "isp": args.isp,
+                "sweep_vps": args.sweep_vps,
+                "attempts": args.attempts,
+                "parallel": args.parallel,
+                "validate": args.validate,
+            },
+            tracer=pipeline.obs,
+            metrics=pipeline.metrics,
+            fault_plan=faults,
+            artifacts=artifacts,
+        )
+        path = write_run_manifest(
+            directory / f"{args.isp}-manifest.json", manifest
+        )
+        print(f"wrote run manifest to {path}")
     if args.dot_dir:
         directory = pathlib.Path(args.dot_dir)
         for name, region in result.regions.items():
@@ -323,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
     map_cable.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall-clock and peak-RSS accounting")
+    map_cable.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run's hierarchical span trace (JSON) to PATH")
+    map_cable.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the run's metrics-registry snapshot (JSON) to PATH")
 
     map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
     map_att.add_argument("region", nargs="?", default="sndgca")

@@ -54,6 +54,14 @@ class FaultStats:
         stats.vps_killed = list(payload.get("vps_killed", []))
         return stats
 
+    def publish_metrics(self, metrics, prefix: str = "faults.") -> None:
+        """Publish injected-event counts, by fault class, as gauges."""
+        for name, value in self.as_dict().items():
+            if name == "vps_killed":
+                metrics.set_gauge(f"{prefix}vps_killed", len(value))
+            else:
+                metrics.set_gauge(f"{prefix}{name}", value)
+
 
 class FaultInjector:
     """Stateful adapter between a :class:`FaultPlan` and the substrate."""

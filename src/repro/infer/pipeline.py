@@ -37,6 +37,7 @@ from repro.measure.runner import CampaignHealth, CampaignRunner
 from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint
 from repro.net.network import Network
+from repro.obs import MetricsRegistry, Tracer
 from repro.perf import InferenceCache, PhaseProfiler
 from repro.rdns.regexes import HostnameParser
 from repro.validate.invariants import InvariantGuard
@@ -98,6 +99,7 @@ class CableInferencePipeline:
         validate: str = "off",
         parallel: int = 0,
         profile: bool = False,
+        trace_seed: int = 0,
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -148,8 +150,16 @@ class CableInferencePipeline:
         #: Campaign parallelism: 0/1 = serial CampaignRunner, N>1 =
         #: ParallelCampaignRunner with N workers (byte-identical corpus).
         self.parallel = max(0, parallel)
-        #: Phase-level wall-clock accounting; None unless requested.
-        self.profiler = PhaseProfiler() if profile else None
+        #: Observability: every run records a span tree (phases plus
+        #: campaign stages) and a metrics registry.  Both are always on
+        #: — recording is cheap and never alters inference output; the
+        #: CLI decides whether to export them.  Span ids derive from
+        #: ``trace_seed``, so equal-seed runs are diffable span-by-span.
+        self.obs = Tracer(seed=trace_seed)
+        self.metrics = MetricsRegistry()
+        #: Phase-level wall-clock view over the span tree; None unless
+        #: requested (the spans are recorded either way).
+        self.profiler = PhaseProfiler(tracer=self.obs) if profile else None
         self._rdns_targets_memo: "tuple[int, list[str]] | None" = None
 
     # ------------------------------------------------------------------
@@ -207,6 +217,8 @@ class CableInferencePipeline:
             "min_vps": self.min_vps,
             "failover": self.failover,
             "stop_after": self.stop_after,
+            "obs": self.obs,
+            "metrics": self.metrics,
         }
         runner_cls = CampaignRunner
         if self.parallel > 1:
@@ -299,6 +311,27 @@ class CableInferencePipeline:
     # ------------------------------------------------------------------
     # Phase 2 + orchestration
     # ------------------------------------------------------------------
+    def _publish_metrics(self, guard, regions, traces, followups) -> None:
+        """Final registry refresh at the end of a run.
+
+        The campaign runner publishes at every health sync already;
+        this pass catches post-campaign mutations (degradation flagged
+        during alias resolution, quarantine counts, the final region
+        inventory) so the exported snapshot is self-consistent.
+        """
+        metrics = self.metrics
+        self.tracer.publish_metrics(metrics)
+        if self.runner is not None:
+            self.runner.health.publish_metrics(metrics)
+            if self.runner.injector is not None:
+                self.runner.injector.stats.publish_metrics(metrics)
+        if guard is not None:
+            guard.publish_metrics(metrics)
+        metrics.set_gauge("pipeline.traces", len(traces))
+        metrics.set_gauge("pipeline.followup_traces", len(followups))
+        metrics.set_gauge("pipeline.regions", len(regions))
+        metrics.set_gauge("pipeline.vantage_points", len(self.vps))
+
     def run(self) -> CableInferenceResult:
         """The full campaign: collect, resolve, map, prune, refine, enter.
 
@@ -309,51 +342,60 @@ class CableInferencePipeline:
         consults any other injector hook.
         """
         guard = self._guard
-        profiler = self.profiler or PhaseProfiler()
+        obs = self.obs
         with self._fault_context():
-            with profiler.phase("collect"):
+            with obs.span("collect") as span:
                 traces, followups = self.collect_traces()
-            with profiler.phase("aliases"):
+                span.attributes["traces"] = len(traces)
+                span.attributes["followups"] = len(followups)
+            with obs.span("aliases"):
                 aliases = self.resolve_aliases(traces)
             # The cache is built *inside* the fault context so its
             # generation check captures the campaign's injector; it is
             # shared by every phase-2 stage, which all re-lookup and
-            # re-parse the same few thousand addresses.
-            cache = InferenceCache(self.network.rdns, self.parser)
+            # re-parse the same few thousand addresses.  It reports
+            # into the run's registry (``cache.*`` counters).
+            cache = InferenceCache(self.network.rdns, self.parser,
+                                   metrics=self.metrics)
             mapper = Ip2CoMapper(
                 self.network.rdns, self.isp.name,
                 p2p_prefixlen=self.isp.p2p_prefixlen, parser=self.parser,
                 cache=cache,
             )
-            with profiler.phase("ip2co"):
+            with obs.span("ip2co") as span:
                 mapping = mapper.build(
                     traces, aliases, extra_addresses=set(self.rdns_targets())
                 )
+                span.attributes["mapped_addresses"] = len(mapping)
             if guard is not None:
                 guard.check_mapping(mapping, aliases)
             extractor = AdjacencyExtractor(
                 mapping, self.network.rdns, self.isp.name, parser=self.parser,
                 cache=cache,
             )
-            with profiler.phase("adjacency"):
+            with obs.span("adjacency") as span:
                 adjacencies = extractor.extract(traces, followup_traces=followups)
+                span.attributes["regions"] = len(adjacencies.per_region)
         if guard is not None:
             guard.check_adjacencies(adjacencies)
 
         refiner = RegionRefiner(cache=cache)
-        with profiler.phase("refine"):
+        with obs.span("refine") as span:
             regions = {
                 region_name: refiner.refine(region_name, counter)
                 for region_name, counter in adjacencies.per_region.items()
             }
+            span.attributes["regions"] = len(regions)
         if guard is not None:
             for region in regions.values():
                 guard.check_region(region)
         inferrer = EntryInferrer(mapping)
-        with profiler.phase("entries"):
+        with obs.span("entries") as span:
             entries = inferrer.backbone_entries(adjacencies)
             entries += inferrer.inter_region_entries(traces)
+            span.attributes["entries"] = len(entries)
 
+        self._publish_metrics(guard, regions, traces, followups)
         return CableInferenceResult(
             isp=self.isp.name,
             regions=regions,

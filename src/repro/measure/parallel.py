@@ -111,11 +111,13 @@ class ParallelCampaignRunner(CampaignRunner):
         checkpoint_every: int = 2000,
         stop_after: "int | None" = None,
         workers: int = 4,
+        obs=None,
+        metrics=None,
     ) -> None:
         super().__init__(
             tracer, vps, checkpoint=checkpoint, min_vps=min_vps,
             failover=failover, checkpoint_every=checkpoint_every,
-            stop_after=stop_after,
+            stop_after=stop_after, obs=obs, metrics=metrics,
         )
         self.workers = max(1, int(workers))
         self._speculative: "dict[tuple[str, str, int], _Speculative]" = {}
@@ -212,6 +214,14 @@ class ParallelCampaignRunner(CampaignRunner):
             ]
             for future in futures:
                 self._speculative.update(future.result())
+        if self.metrics is not None:
+            # Counters, not spans: workers never open spans, so the
+            # span tree stays identical to a serial run's.
+            self.metrics.set_gauge("parallel.workers", self.workers)
+            self.metrics.inc(
+                "parallel.speculated_jobs",
+                sum(len(targets) for targets in partitions.values()),
+            )
 
     # ------------------------------------------------------------------
     # Replay

@@ -84,6 +84,24 @@ class CampaignHealth:
                 setattr(health, key, value)
         return health
 
+    def publish_metrics(self, metrics, prefix: str = "campaign.") -> None:
+        """Publish the health fields as ``campaign.*`` gauges.
+
+        Numeric fields map one-to-one; booleans become 0/1 and the
+        lost-VP list becomes its length, so every gauge is a scalar
+        and the registry snapshot stays diffable.  Fault stats are
+        published by :meth:`FaultStats.publish_metrics` instead.
+        """
+        for name, value in self.as_dict().items():
+            if name == "fault_stats":
+                continue
+            if name == "vps_lost":
+                metrics.set_gauge(f"{prefix}vps_lost", len(value))
+            elif isinstance(value, bool):
+                metrics.set_gauge(f"{prefix}{name}", int(value))
+            else:
+                metrics.set_gauge(f"{prefix}{name}", value)
+
     def summary(self) -> str:
         """One human line for CLI output and logs."""
         parts = [
@@ -125,6 +143,8 @@ class CampaignRunner:
         failover: bool = True,
         checkpoint_every: int = 2000,
         stop_after: "int | None" = None,
+        obs=None,
+        metrics=None,
     ) -> None:
         self.tracer = tracer
         self.fleet = FleetView(vps)
@@ -132,6 +152,13 @@ class CampaignRunner:
         self.min_vps = max(1, min_vps)
         self.failover = failover
         self.checkpoint_every = max(1, checkpoint_every)
+        #: Observability hooks: a :class:`repro.obs.span.Tracer` that
+        #: wraps every stage in a ``stage:<name>`` span, and a
+        #: :class:`repro.obs.metrics.MetricsRegistry` refreshed at
+        #: every health sync.  Both optional; None keeps the runner
+        #: byte-identical to the uninstrumented one.
+        self.obs = obs
+        self.metrics = metrics
         #: Stop (checkpoint + raise CampaignInterrupted) after this many
         #: jobs, cumulative across stages.  Simulates a killed campaign
         #: in tests; None means run to completion.
@@ -194,6 +221,12 @@ class CampaignRunner:
         self.health.traces_run += int(delta["traces_run"])
         if self.injector is not None:
             self.health.fault_stats = self.injector.stats.as_dict()
+        if self.metrics is not None:
+            self.health.publish_metrics(self.metrics)
+            self.tracer.publish_metrics(self.metrics)
+            if self.injector is not None:
+                self.injector.stats.publish_metrics(self.metrics)
+            self.metrics.set_gauge("campaign.fleet_alive", len(self.fleet.alive()))
 
     def _run_trace(self, vp: VantagePoint, target: str, flow_id: int) -> TraceResult:
         """One actual traceroute — the seam execution strategies override.
@@ -247,7 +280,26 @@ class CampaignRunner:
         Jobs are ``(vantage point, target)`` pairs, executed in order.
         Already-checkpointed jobs are skipped on resume; a stage marked
         complete in the checkpoint is returned wholesale from disk.
+
+        With an observability tracer attached the whole stage runs
+        inside a ``stage:<name>`` span recording job and trace counts;
+        a stage interrupted by ``stop_after`` leaves an ``error`` span.
         """
+        if self.obs is None:
+            return self._run_stage(jobs, stage, flow_id, keep_empty)
+        with self.obs.span(f"stage:{stage}", jobs=len(jobs)) as span:
+            traces = self._run_stage(jobs, stage, flow_id, keep_empty)
+            span.attributes["traces"] = len(traces)
+            span.attributes["skipped"] = self.health.targets_skipped
+            return traces
+
+    def _run_stage(
+        self,
+        jobs: "list[tuple[VantagePoint, str]]",
+        stage: str,
+        flow_id: int,
+        keep_empty: bool,
+    ) -> "list[TraceResult]":
         if self.checkpoint is not None and self.checkpoint.stage_complete(stage):
             return self.checkpoint.stage_traces(stage)
         done: "set[tuple[str, str]]" = set()

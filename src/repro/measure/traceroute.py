@@ -138,6 +138,16 @@ class Tracerouter:
             "backoff_ms_total": self.backoff_ms_total,
         }
 
+    def publish_metrics(self, metrics, prefix: str = "tracer.") -> None:
+        """Publish the cumulative counters as ``tracer.*`` gauges.
+
+        The counters are process-cumulative, so gauges (last snapshot
+        wins) are the honest representation; the campaign runner calls
+        this at every health sync and the pipeline once more at exit.
+        """
+        for name, value in self.counters().items():
+            metrics.set_gauge(f"{prefix}{name}", value)
+
     def _rtt(self, one_way_ms: float, probe_key: object) -> float:
         """Round-trip time with deterministic per-probe jitter."""
         jitter = (_stable_hash("rtt", probe_key) % 1000) / 1000.0 * self.jitter_ms

@@ -1,0 +1,123 @@
+"""Run manifests: one artifact that makes any two runs diffable.
+
+A :class:`dict` payload (artifact kind ``run-manifest``, validated by
+:mod:`repro.validate.schema`) capturing everything needed to compare
+two pipeline or benchmark runs structurally:
+
+* **environment** — python version/implementation, platform, package
+  version;
+* **invocation** — the command, the simulation seed, and the
+  parameters that shape the run;
+* **fault_plan_digest** — sha256 over the canonical JSON of the fault
+  plan (None for fault-free runs), so two runs can be checked to have
+  injected the same failures without embedding the whole plan;
+* **stages** — per-stage span summaries from the run's
+  :class:`~repro.obs.span.Tracer` (name, duration, span count,
+  status), agreeing by construction with ``--profile`` output;
+* **metrics** — the run's :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot;
+* **artifacts** — sha256 digest (and size) of every artifact the run
+  exported, which is what lets CI assert that an optimized or parallel
+  run produced byte-identical output to the serial oracle.
+
+Timings and environment fields naturally differ between runs; digests,
+stages' names/counts, seeds, and metrics counters are the diffable
+core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import platform
+import sys
+
+MANIFEST_KIND = "run-manifest"
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def sha256_text(text: str) -> str:
+    """Hex sha256 of a text artifact (the digest used throughout)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def fault_plan_digest(plan) -> "str | None":
+    """Canonical digest of a :class:`~repro.faults.plan.FaultPlan`."""
+    if plan is None:
+        return None
+    blob = json.dumps(plan.as_dict(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _environment() -> "dict[str, str]":
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "package": f"repro {__version__}",
+    }
+
+
+def build_run_manifest(
+    *,
+    command: str,
+    seed: int,
+    parameters: "dict[str, object] | None" = None,
+    tracer=None,
+    metrics=None,
+    fault_plan=None,
+    artifacts: "dict[str, str] | None" = None,
+    artifact_digests: "dict[str, str] | None" = None,
+) -> "dict[str, object]":
+    """Assemble a schema-valid ``run-manifest`` payload.
+
+    *artifacts* maps artifact names to their serialized text (digested
+    here); *artifact_digests* maps names to precomputed sha256 hex
+    digests for artifacts whose text is not at hand.
+    """
+    digests: "dict[str, dict[str, object]]" = {}
+    for name, text in sorted((artifacts or {}).items()):
+        digests[name] = {"sha256": sha256_text(text), "bytes": len(text.encode())}
+    for name, digest in sorted((artifact_digests or {}).items()):
+        digests[name] = {"sha256": digest}
+    empty_metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "kind": MANIFEST_KIND,
+        "environment": _environment(),
+        "invocation": {
+            "command": command,
+            "seed": seed,
+            "parameters": dict(parameters or {}),
+        },
+        "fault_plan_digest": fault_plan_digest(fault_plan),
+        "stages": tracer.stage_summaries() if tracer is not None else [],
+        "span_count": len(tracer.spans) if tracer is not None else 0,
+        "metrics": metrics.snapshot() if metrics is not None else empty_metrics,
+        "artifacts": digests,
+    }
+
+
+def run_manifest_to_json(payload: "dict[str, object]") -> str:
+    """Serialize a manifest payload, re-validating it first."""
+    from repro.validate.schema import validate_artifact
+
+    validate_artifact(payload, kind=MANIFEST_KIND)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_manifest_from_json(text: str) -> "dict[str, object]":
+    """Parse and validate a serialized manifest."""
+    from repro.validate.schema import parse_artifact
+
+    return parse_artifact(text, kind=MANIFEST_KIND)
+
+
+def write_run_manifest(path: "str | pathlib.Path", payload: "dict[str, object]") -> pathlib.Path:
+    """Atomically write a validated manifest to *path*."""
+    from repro.io.atomic import atomic_write_text
+
+    return atomic_write_text(path, run_manifest_to_json(payload) + "\n")

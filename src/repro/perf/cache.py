@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.errors import AddressError
 from repro.net.addresses import p2p_peer, parse_ip
+from repro.obs.metrics import MetricsRegistry
 
 _MISS = object()
 
@@ -108,7 +109,13 @@ def clear_module_memos() -> None:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, reported by ``--profile``."""
+    """Hit/miss accounting, reported by ``--profile``.
+
+    Since the observability layer landed this is a *snapshot view*:
+    the canonical store is the cache's ``cache.*`` counters in its
+    :class:`~repro.obs.metrics.MetricsRegistry`, and
+    :attr:`InferenceCache.stats` materializes one of these on access.
+    """
 
     lookup_hits: int = 0
     lookup_misses: int = 0
@@ -140,15 +147,35 @@ class InferenceCache:
     survive invalidation.
     """
 
-    def __init__(self, rdns, parser) -> None:
+    def __init__(self, rdns, parser, metrics: "MetricsRegistry | None" = None) -> None:
         self.rdns = rdns
         self.parser = parser
-        self.stats = CacheStats()
+        #: Registry the hit/miss counters live in.  Sharing the run's
+        #: registry (the pipeline does) makes cache behaviour part of
+        #: the exported metrics snapshot; a private one is created
+        #: otherwise so the counters always exist.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_lookup_hits = self.metrics.counter("cache.lookup_hits")
+        self._c_lookup_misses = self.metrics.counter("cache.lookup_misses")
+        self._c_parse_hits = self.metrics.counter("cache.parse_hits")
+        self._c_parse_misses = self.metrics.counter("cache.parse_misses")
+        self._c_invalidations = self.metrics.counter("cache.invalidations")
         self._lookup: "dict[str, str | None]" = {}
         self._parse: "dict[str, object]" = {}
         self._threshold: "dict[tuple[int, ...], float]" = {}
         self._epoch = getattr(rdns, "epoch", 0)
         self._faults = getattr(rdns, "faults", None)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the registry-backed hit/miss counters."""
+        return CacheStats(
+            lookup_hits=int(self._c_lookup_hits.value),
+            lookup_misses=int(self._c_lookup_misses.value),
+            parse_hits=int(self._c_parse_hits.value),
+            parse_misses=int(self._c_parse_misses.value),
+            invalidations=int(self._c_invalidations.value),
+        )
 
     # ------------------------------------------------------------------
     def _check_generation(self) -> None:
@@ -159,7 +186,7 @@ class InferenceCache:
             self._lookup.clear()
             self._epoch = epoch
             self._faults = faults
-            self.stats.invalidations += 1
+            self._c_invalidations.inc()
 
     # ------------------------------------------------------------------
     def lookup(self, address: str) -> "str | None":
@@ -169,9 +196,9 @@ class InferenceCache:
         if cached is _MISS:
             cached = self.rdns.lookup(address)
             self._lookup[address] = cached
-            self.stats.lookup_misses += 1
+            self._c_lookup_misses.inc()
         else:
-            self.stats.lookup_hits += 1
+            self._c_lookup_hits.inc()
         return cached
 
     def parse(self, hostname: "str | None"):
@@ -182,9 +209,9 @@ class InferenceCache:
         if cached is _MISS:
             cached = self.parser.parse(hostname)
             self._parse[hostname] = cached
-            self.stats.parse_misses += 1
+            self._c_parse_misses.inc()
         else:
-            self.stats.parse_hits += 1
+            self._c_parse_hits.inc()
         return cached
 
     def parsed_lookup(self, address: str):

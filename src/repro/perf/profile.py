@@ -1,17 +1,21 @@
-"""Lightweight phase profiler: wall clock per pipeline phase, peak RSS.
+"""Phase profiler — a flat view over the observability span tree.
 
-Backs the CLI's ``--profile`` flag and the benchmark harness.  Peak RSS
-comes from ``resource.getrusage`` and is therefore monotone over the
-process lifetime — the benchmark harness runs each measured mode in its
-own subprocess for that reason.
+Historically this module owned its own wall-clock accounting; it is now
+a *view* over :class:`repro.obs.span.Tracer`: ``phase()`` opens a
+top-level span and the per-phase totals are
+:meth:`~repro.obs.span.Tracer.phase_totals`, so ``--profile`` output
+and the ``run-manifest`` stage summaries agree by construction (they
+read the same tree).  Peak RSS still comes from ``resource.getrusage``
+and is therefore monotone over the process lifetime — the benchmark
+harness runs each measured mode in its own subprocess for that reason.
 """
 
 from __future__ import annotations
 
-import contextlib
 import resource
 import sys
-import time
+
+from repro.obs.span import Tracer
 
 
 def peak_rss_kb() -> int:
@@ -30,19 +34,21 @@ class PhaseProfiler:
 
     Phases may repeat (the campaign runner executes several stages);
     durations accumulate under the same name, in first-seen order.
+    Construct it over an existing :class:`Tracer` to view a pipeline's
+    span tree, or bare to own a private one (the benchmark harness).
     """
 
-    def __init__(self) -> None:
-        self.phases: "dict[str, float]" = {}
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
 
-    @contextlib.contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+        """Context manager timing one (top-level) phase."""
+        return self.tracer.span(name)
+
+    @property
+    def phases(self) -> "dict[str, float]":
+        """Total seconds per top-level phase, in first-seen order."""
+        return self.tracer.phase_totals()
 
     @property
     def total_seconds(self) -> float:
@@ -58,8 +64,9 @@ class PhaseProfiler:
     def report(self) -> "list[str]":
         """Human-readable lines for CLI output."""
         lines = []
-        total = self.total_seconds
-        for name, seconds in self.phases.items():
+        phases = self.phases
+        total = sum(phases.values())
+        for name, seconds in phases.items():
             share = 100.0 * seconds / total if total else 0.0
             lines.append(f"{name:<16} {seconds:8.3f}s  {share:5.1f}%")
         lines.append(f"{'total':<16} {total:8.3f}s")

@@ -51,6 +51,13 @@ class InvariantGuard:
     def enabled(self) -> bool:
         return self.policy != "off"
 
+    def publish_metrics(self, metrics, prefix: str = "validate.") -> None:
+        """Publish quarantine totals (and per-category counts) as gauges."""
+        metrics.set_gauge(f"{prefix}quarantined", len(self.report))
+        metrics.set_gauge(f"{prefix}dropped", self.report.dropped_count())
+        for key, count in self.report.counts().items():
+            metrics.set_gauge(f"{prefix}records.{key}", count)
+
     # ------------------------------------------------------------------
     def _violation(self, stage: str, category: str, subject: str,
                    detail: str, region: "str | None" = None,

@@ -30,6 +30,7 @@ ARTIFACT_VERSIONS = {
     "campaign-health": 1,
     "campaign-checkpoint": 1,
     "quarantine-report": 1,
+    "run-manifest": 1,
 }
 
 
@@ -254,6 +255,39 @@ _QUARANTINE_REPORT = {
     "counts": MapOf(int),
 }
 
+_RUN_MANIFEST = {
+    "schema": int,
+    "kind": str,
+    "environment": {
+        "python": str,
+        "implementation": str,
+        "platform": str,
+        "package": str,
+    },
+    "invocation": {
+        "command": str,
+        "seed": int,
+        "parameters": MapOf(ANY),
+    },
+    "fault_plan_digest": (str, _NoneType),
+    "stages": ListOf({
+        "name": str,
+        "duration_s": float,
+        "spans": int,
+        "status": str,
+    }),
+    "span_count": int,
+    "metrics": {
+        "counters": MapOf(float),
+        "gauges": MapOf(float),
+        "histograms": MapOf(MapOf(float)),
+    },
+    "artifacts": MapOf({
+        "sha256": str,
+        "bytes": Opt(int),
+    }),
+}
+
 ARTIFACT_SCHEMAS = {
     "cable-region": _CABLE_REGION,
     "telco-region": _TELCO_REGION,
@@ -261,6 +295,7 @@ ARTIFACT_SCHEMAS = {
     "campaign-health": _CAMPAIGN_HEALTH,
     "campaign-checkpoint": _CAMPAIGN_CHECKPOINT,
     "quarantine-report": _QUARANTINE_REPORT,
+    "run-manifest": _RUN_MANIFEST,
 }
 
 

@@ -23,6 +23,49 @@ class TestParallelPipelineParity:
             ), f"region {name} diverged under --parallel"
         assert parallel.health.as_dict() == comcast_result.health.as_dict()
 
+    def test_span_tree_identical_serial_vs_parallel(
+        self, internet, standard_vps
+    ):
+        """Workers never open spans, so the span tree — ids, parents,
+        attributes — is byte-identical between serial and parallel runs,
+        and so are the exported regions."""
+
+        def one_run(parallel):
+            pipeline = CableInferencePipeline(
+                internet.network, internet.comcast, standard_vps,
+                sweep_vps=2, parallel=parallel,
+            )
+            result = pipeline.run()
+            return pipeline, result
+
+        serial_pipe, serial_result = one_run(parallel=0)
+        parallel_pipe, parallel_result = one_run(parallel=3)
+        assert (
+            serial_pipe.obs.structural_dicts()
+            == parallel_pipe.obs.structural_dicts()
+        )
+        for name in sorted(serial_result.regions):
+            assert region_to_json(parallel_result.regions[name]) == (
+                region_to_json(serial_result.regions[name])
+            ), f"region {name} diverged under parallel"
+
+    def test_trace_seed_changes_span_ids_not_structure(
+        self, internet, standard_vps
+    ):
+        def ids_for(trace_seed):
+            pipeline = CableInferencePipeline(
+                internet.network, internet.comcast, standard_vps,
+                sweep_vps=2, trace_seed=trace_seed,
+            )
+            pipeline.run()
+            names = [s.name for s in pipeline.obs.spans]
+            return names, [s.span_id for s in pipeline.obs.spans]
+
+        names_a, ids_a = ids_for(0)
+        names_b, ids_b = ids_for(99)
+        assert names_a == names_b
+        assert ids_a != ids_b
+
     def test_profiler_reported_phases(self, internet, standard_vps):
         pipeline = CableInferencePipeline(
             internet.network, internet.comcast, standard_vps, sweep_vps=6,

@@ -1,0 +1,139 @@
+"""MetricsRegistry semantics and parity with the component counters it
+replaced (CampaignHealth, Tracerouter, InferenceCache stats)."""
+
+import pytest
+
+from repro.net.dns import RdnsStore
+from repro.obs import MetricsRegistry
+from repro.perf import InferenceCache
+from repro.rdns.regexes import HostnameParser
+
+NAME = "ae-1-ar01.aggco.co.denver.comcast.net"
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("x")
+        metrics.inc("x", 4)
+        assert metrics.counter_value("x") == 5
+        assert metrics.counter_value("never-written") == 0
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("fleet", 12)
+        metrics.set_gauge("fleet", 9)
+        assert metrics.gauge_value("fleet") == 9
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for value in (2.0, 4.0, 6.0):
+            metrics.observe("rtt", value)
+        summary = metrics.snapshot()["histograms"]["rtt"]
+        assert summary == {
+            "count": 3, "sum": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0
+        }
+
+    def test_instruments_are_bound_once(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("hot")
+        counter.inc()
+        assert metrics.counter("hot") is counter
+        assert metrics.counter_value("hot") == 1
+
+
+class TestSnapshot:
+    def test_snapshot_keys_sorted_and_deterministic(self):
+        def fill(metrics):
+            metrics.inc("z.last", 2)
+            metrics.inc("a.first")
+            metrics.set_gauge("m.middle", 7)
+            metrics.observe("h.hist", 1.5)
+
+        one, two = MetricsRegistry(), MetricsRegistry()
+        fill(one)
+        fill(two)
+        assert one.snapshot() == two.snapshot()
+        assert list(one.snapshot()["counters"]) == ["a.first", "z.last"]
+
+    def test_to_json_kind(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        payload = json.loads(metrics.to_json())
+        assert payload["kind"] == "metrics-snapshot"
+        assert payload["counters"] == {"a": 1}
+
+
+class TestCacheParity:
+    """InferenceCache.stats is a snapshot over registry counters."""
+
+    def _cache(self, metrics=None):
+        store = RdnsStore()
+        store.set("10.0.0.1", NAME)
+        return InferenceCache(store, HostnameParser(), metrics=metrics)
+
+    def test_stats_mirror_registry_counters(self):
+        cache = self._cache()
+        cache.lookup("10.0.0.1")
+        cache.lookup("10.0.0.1")
+        cache.lookup("10.9.9.9")
+        stats = cache.stats
+        assert stats.lookup_hits == 1
+        assert stats.lookup_misses == 2
+        assert cache.metrics.counter_value("cache.lookup_hits") == 1
+        assert cache.metrics.counter_value("cache.lookup_misses") == 2
+
+    def test_shared_registry_is_used_not_copied(self):
+        metrics = MetricsRegistry()
+        cache = self._cache(metrics=metrics)
+        assert cache.metrics is metrics
+        cache.lookup("10.0.0.1")
+        assert metrics.counter_value("cache.lookup_misses") == 1
+
+
+class TestCampaignParity:
+    """Pipeline gauges equal the health/tracer counts they were
+    published from — the ad-hoc counters and the registry agree."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self, internet, standard_vps):
+        from repro.infer.pipeline import CableInferencePipeline
+
+        pipeline = CableInferencePipeline(
+            internet.network, internet.comcast, standard_vps, sweep_vps=2
+        )
+        result = pipeline.run()
+        return pipeline, result
+
+    def test_health_gauges_match(self, instrumented):
+        pipeline, result = instrumented
+        health = result.health.as_dict()
+        metrics = pipeline.metrics
+        assert metrics.gauge_value("campaign.probes_sent") == health["probes_sent"]
+        assert metrics.gauge_value("campaign.traces_run") == health["traces_run"]
+        assert metrics.gauge_value("campaign.empty_traces") == health["empty_traces"]
+        assert metrics.gauge_value("campaign.degraded") == int(health["degraded"])
+        assert metrics.gauge_value("campaign.vps_lost") == len(health["vps_lost"])
+
+    def test_tracer_gauges_match(self, instrumented):
+        pipeline, _ = instrumented
+        runner = pipeline.runner
+        counters = runner.tracer.counters()
+        for name, value in counters.items():
+            assert pipeline.metrics.gauge_value(f"tracer.{name}") == value
+
+    def test_pipeline_gauges_present(self, instrumented):
+        pipeline, result = instrumented
+        metrics = pipeline.metrics
+        assert metrics.gauge_value("pipeline.regions") == len(result.regions)
+        assert metrics.gauge_value("pipeline.traces") > 0
+        assert metrics.gauge_value("campaign.fleet_alive") > 0
+
+    def test_cache_counters_populated(self, instrumented):
+        pipeline, _ = instrumented
+        snapshot = pipeline.metrics.snapshot()["counters"]
+        assert snapshot.get("cache.lookup_hits", 0) + snapshot.get(
+            "cache.lookup_misses", 0
+        ) > 0

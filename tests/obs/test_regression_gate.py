@@ -1,0 +1,94 @@
+"""The CI benchmark regression gate must trip on injected slowdown,
+digest divergence, workload drift, and manifest corruption — and pass a
+faithful re-run."""
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+CHECKER = ROOT / "benchmarks" / "perf" / "check_regression.py"
+BASELINE = ROOT / "benchmarks" / "perf" / "BENCH_BASELINE.json"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE.read_text())
+
+
+@pytest.fixture()
+def current(baseline):
+    return copy.deepcopy(baseline)
+
+
+class TestGate:
+    def test_identical_run_passes(self, gate, baseline, current):
+        assert gate.evaluate(current, baseline) == []
+
+    def test_committed_baseline_manifests_are_schema_valid(
+        self, gate, baseline
+    ):
+        for mode in ("baseline", "optimized"):
+            manifest = baseline["inference"][mode]["manifest"]
+            assert gate._validate_manifest(manifest, mode) == []
+
+    def test_injected_slowdown_trips(self, gate, baseline, current):
+        current["inference"]["speedup"] = round(
+            baseline["inference"]["speedup"] * 0.5, 2
+        )
+        failures = gate.evaluate(current, baseline)
+        assert any("regressed" in f for f in failures), failures
+
+    def test_within_tolerance_slowdown_passes(self, gate, baseline, current):
+        current["inference"]["speedup"] = round(
+            baseline["inference"]["speedup"] * 0.9, 2
+        )
+        assert gate.evaluate(current, baseline) == []
+
+    def test_speedup_floor_trips(self, gate, baseline, current):
+        current["inference"]["speedup"] = 0.8
+        failures = gate.evaluate(current, baseline)
+        assert any("floor" in f for f in failures), failures
+
+    def test_serial_oracle_divergence_trips(self, gate, baseline, current):
+        current["inference"]["optimized"]["digest"] = "0" * 64
+        failures = gate.evaluate(current, baseline)
+        assert any("serial oracle" in f for f in failures), failures
+
+    def test_baseline_digest_drift_trips(self, gate, baseline, current):
+        drifted = "1" * 64
+        current["inference"]["baseline"]["digest"] = drifted
+        current["inference"]["optimized"]["digest"] = drifted
+        failures = gate.evaluate(current, baseline)
+        assert any("drifted" in f for f in failures), failures
+
+    def test_workload_drift_trips(self, gate, baseline, current):
+        current["inference"]["optimized"]["workload"]["traces"] += 1
+        failures = gate.evaluate(current, baseline)
+        assert any("workload" in f for f in failures), failures
+
+    def test_corrupt_manifest_trips(self, gate, baseline, current):
+        del current["inference"]["optimized"]["manifest"]["stages"]
+        failures = gate.evaluate(current, baseline)
+        assert any("schema validation" in f for f in failures), failures
+
+    def test_missing_manifest_trips(self, gate, baseline, current):
+        current["inference"]["baseline"].pop("manifest")
+        failures = gate.evaluate(current, baseline)
+        assert any("missing" in f for f in failures), failures
+
+    def test_empty_payload_fails_loudly(self, gate, baseline):
+        assert gate.evaluate({}, baseline) == [
+            "current payload lacks inference digests; wrong file?"
+        ]
