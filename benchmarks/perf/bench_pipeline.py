@@ -1,6 +1,6 @@
-"""PR-3 benchmark harness: inference-phase speedup and parallel parity.
+"""Benchmark harness: inference-phase speedup and supervised measurement.
 
-Two sections, written to ``BENCH_PR3.json``:
+Two sections, written to ``BENCH_PR6.json``:
 
 * **inference** — the phase-2 pipeline (IP→CO mapping, adjacency
   extraction/pruning, refinement) over a large synthetic region corpus
@@ -15,9 +15,17 @@ Two sections, written to ``BENCH_PR3.json``:
   region graphs; the orchestrator asserts the digests match and records
   the speedup.
 
-* **measurement** (full mode only) — the simulated-internet Comcast
-  campaign run serially and with ``parallel=4``, recording wall-clock
-  for each and that the exported region artifacts are byte-identical.
+* **measurement** (full mode only) — a paced slice of the
+  simulated-internet Comcast campaign run serially and under the
+  process-sharded :class:`SupervisedCampaignRunner` with
+  ``--workers 4``, recording wall-clock for each, the speedup, and
+  that the trace corpora are byte-identical.  Pacing
+  (``Tracerouter.pace_ms``) models the latency-bound regime real
+  campaigns run in — every probe waits on an RTT — which is the regime
+  sharded measurement exists for; an unpaced pure-CPU simulation would
+  only measure host core count.  (The thread-based
+  ``ParallelCampaignRunner`` is no longer benchmarked: it is the
+  in-process parity oracle, not the production path.)
 
 Usage::
 
@@ -165,35 +173,80 @@ def _best_of(repeats: int, mode: str, workload: "dict") -> "dict":
     return min(runs, key=lambda run: run["wall_s"])
 
 
+#: Measurement-section workload: a bounded, paced slice of the Comcast
+#: slash24 sweep.  1 ms inter-trace pacing ≈ a conservative probe RTT.
+MEASUREMENT = {"seed": 0, "jobs": 4000, "pace_ms": 1.0, "sweep_vps": 4,
+               "workers": 4}
+
+
 def run_measurement_section() -> "dict":
-    """Serial vs parallel campaign over the simulated internet."""
+    """Serial vs supervised (process-sharded) paced campaign."""
     from repro.infer.pipeline import CableInferencePipeline
-    from repro.io.export import region_to_json
+    from repro.io.checkpoint import trace_to_dict
+    from repro.measure.runner import CampaignRunner
+    from repro.measure.substrates import WorkerSpec
+    from repro.measure.supervisor import SupervisedCampaignRunner
     from repro.topology.internet import SimulatedInternet
 
-    def one_run(parallel: int) -> "tuple[float, dict]":
-        internet = SimulatedInternet(seed=3)
-        vps = list(internet.build_standard_vps())
-        pipeline = CableInferencePipeline(
-            internet.network, internet.comcast, vps, sweep_vps=6,
-            parallel=parallel,
+    def build():
+        internet = SimulatedInternet(
+            seed=MEASUREMENT["seed"], include_telco=False,
+            include_mobile=False,
         )
-        start = time.perf_counter()
-        result = pipeline.run()
-        wall = time.perf_counter() - start
-        artifacts = {
-            name: region_to_json(region)
-            for name, region in sorted(result.regions.items())
-        }
-        return round(wall, 3), artifacts
+        pipeline = CableInferencePipeline(
+            internet.network, internet.comcast,
+            list(internet.build_standard_vps()),
+            sweep_vps=MEASUREMENT["sweep_vps"],
+            pace_ms=MEASUREMENT["pace_ms"],
+        )
+        sweep = pipeline.vps[:MEASUREMENT["sweep_vps"]]
+        jobs = [
+            (vp, target)
+            for vp in sweep for target in pipeline.slash24_targets()
+        ][:MEASUREMENT["jobs"]]
+        return pipeline, jobs
 
-    serial_s, serial_artifacts = one_run(parallel=0)
-    parallel_s, parallel_artifacts = one_run(parallel=4)
+    def digest(traces) -> str:
+        blob = json.dumps([trace_to_dict(t) for t in traces],
+                          sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    pipeline, jobs = build()
+    start = time.perf_counter()
+    serial_traces = CampaignRunner(pipeline.tracer, pipeline.vps).run(
+        jobs, stage="slash24"
+    )
+    serial_s = round(time.perf_counter() - start, 3)
+    serial_digest = digest(serial_traces)
+
+    pipeline, jobs = build()
+    supervised = SupervisedCampaignRunner(
+        pipeline.tracer, pipeline.vps,
+        worker_spec=WorkerSpec(
+            "repro.measure.substrates:cable_substrate",
+            {"seed": MEASUREMENT["seed"], "include_telco": False,
+             "include_mobile": False},
+        ),
+        workers=MEASUREMENT["workers"],
+    )
+    start = time.perf_counter()
+    supervised_traces = supervised.run(jobs, stage="slash24")
+    supervised_s = round(time.perf_counter() - start, 3)
+
     return {
+        "workload": dict(MEASUREMENT),
         "serial_wall_s": serial_s,
-        "parallel4_wall_s": parallel_s,
-        "byte_identical": serial_artifacts == parallel_artifacts,
-        "regions": len(serial_artifacts),
+        "supervised_wall_s": supervised_s,
+        "speedup": round(serial_s / supervised_s, 2) if supervised_s else 0.0,
+        "corpus_digest_identical": digest(supervised_traces) == serial_digest,
+        "corpus_digest": serial_digest,
+        "traces": len(serial_traces),
+        "health": {
+            "shards_planned": supervised.health.shards_planned,
+            "workers_spawned": supervised.health.workers_spawned,
+            "shards_retried": supervised.health.shards_retried,
+            "shards_poisoned": supervised.health.shards_poisoned,
+        },
     }
 
 
@@ -207,7 +260,7 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=0,
                         help="best-of-N wall-clock per mode "
                              "(default: 3 for --smoke, 1 for full)")
-    parser.add_argument("--out", default=str(ROOT / "BENCH_PR3.json"))
+    parser.add_argument("--out", default=str(ROOT / "BENCH_PR6.json"))
     args = parser.parse_args()
 
     if args.mode:
@@ -234,7 +287,7 @@ def main() -> int:
     )
 
     payload = {
-        "benchmark": "PR3 inference-phase speedup",
+        "benchmark": "inference speedup + supervised measurement",
         "smoke": args.smoke,
         "inference": {
             "baseline": baseline,
@@ -244,7 +297,8 @@ def main() -> int:
         },
     }
     if not args.smoke:
-        print("measurement section (serial vs parallel=4)…", file=sys.stderr)
+        print("measurement section (serial vs supervised workers=4)…",
+              file=sys.stderr)
         payload["measurement"] = run_measurement_section()
 
     out = pathlib.Path(args.out)

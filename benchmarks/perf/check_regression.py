@@ -12,7 +12,11 @@ Compares a freshly produced benchmark payload (``bench_pipeline.py
 * the speedup ratio regressed more than ``--max-regression`` (default
   20%) relative to the committed baseline, or fell below
   ``--min-speedup``;
-* an embedded run manifest is missing or fails schema validation.
+* an embedded run manifest is missing or fails schema validation;
+* a ``measurement`` section is present (full-mode payloads only) whose
+  supervised corpus diverged from the serial oracle, or whose
+  supervised speedup fell below 1.0 — smoke payloads carry no
+  measurement section and skip this check.
 
 Speedup is a *ratio* of two wall-clocks measured on the same machine in
 the same run, so the gate is machine-independent; absolute wall times
@@ -116,6 +120,21 @@ def evaluate(
         failures.extend(
             _validate_manifest(cur.get(mode, {}).get("manifest"), f"current/{mode}")
         )
+
+    measurement = current.get("measurement")
+    if measurement is not None:
+        if not measurement.get("corpus_digest_identical"):
+            failures.append(
+                "supervised (process-sharded) corpus diverged from the "
+                "serial oracle in the measurement section"
+            )
+        sup_speedup = measurement.get("speedup")
+        if not isinstance(sup_speedup, (int, float)) or sup_speedup < 1.0:
+            failures.append(
+                f"supervised measurement speedup {sup_speedup!r} fell "
+                "below the 1.0x floor (workers must beat serial on the "
+                "paced workload)"
+            )
     return failures
 
 

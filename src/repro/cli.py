@@ -58,20 +58,37 @@ def cmd_map_cable(args) -> int:
     isp = getattr(internet, args.isp)
     fleet = list(internet.build_standard_vps())
     faults = None
-    if args.faults or args.vp_dropouts or args.stale_rdns:
+    if (args.faults or args.vp_dropouts or args.stale_rdns
+            or args.worker_crash or args.worker_stall or args.worker_slow):
         faults = FaultPlan(
             seed=args.fault_seed,
             probe_loss=args.faults,
             vp_dropout=args.vp_dropouts,
             vp_dropout_after=args.vp_dropout_after,
             stale_rdns=args.stale_rdns,
+            worker_crash=args.worker_crash,
+            worker_stall=args.worker_stall,
+            worker_slow=args.worker_slow,
+        )
+    worker_spec = None
+    if args.workers > 1:
+        from repro.measure.substrates import WorkerSpec
+
+        # Workers rebuild exactly the substrate this command built:
+        # same seed, same build flags.
+        worker_spec = WorkerSpec(
+            "repro.measure.substrates:cable_substrate",
+            {"seed": args.seed, "include_telco": False,
+             "include_mobile": False},
         )
     pipeline = CableInferencePipeline(
         internet.network, isp, fleet, sweep_vps=args.sweep_vps,
         attempts=args.attempts, faults=faults,
         checkpoint_path=args.resume or args.checkpoint,
         resume=bool(args.resume), min_vps=args.min_vps,
-        validate=args.validate, parallel=args.parallel,
+        validate=args.validate, workers=args.workers,
+        worker_spec=worker_spec, shard_deadline=args.shard_deadline,
+        max_shard_retries=args.max_shard_retries, pace_ms=args.pace_ms,
         profile=args.profile, trace_seed=args.seed,
     )
     result = pipeline.run()
@@ -88,7 +105,7 @@ def cmd_map_cable(args) -> int:
         print(f"wrote metrics snapshot to {path}")
     if result.health is not None and (
         faults is not None or args.resume or args.attempts > 1
-        or args.validate != "off"
+        or args.validate != "off" or args.workers > 1
     ):
         line = f"campaign health: {result.health.summary()}"
         if result.quarantine is not None:
@@ -119,6 +136,15 @@ def cmd_map_cable(args) -> int:
                 directory / f"{args.isp}-quarantine.json", text
             )
             print(f"wrote quarantine report to {path}")
+        if result.health is not None:
+            from repro.io.export import campaign_health_to_json
+
+            text = campaign_health_to_json(result.health)
+            artifacts[f"{args.isp}-health.json"] = text
+            path = atomic_write_text(
+                directory / f"{args.isp}-health.json", text
+            )
+            print(f"wrote campaign health to {path}")
         manifest = build_run_manifest(
             command="map-cable",
             seed=args.seed,
@@ -126,7 +152,7 @@ def cmd_map_cable(args) -> int:
                 "isp": args.isp,
                 "sweep_vps": args.sweep_vps,
                 "attempts": args.attempts,
-                "parallel": args.parallel,
+                "workers": args.workers,
                 "validate": args.validate,
             },
             tracer=pipeline.obs,
@@ -348,9 +374,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject this rate of stale PTR lookups (0..1), the "
              "paper's conflicting-rDNS noise source")
     map_cable.add_argument(
-        "--parallel", type=int, default=0, metavar="N",
-        help="precompute traces with N concurrent workers; the corpus "
-             "stays byte-identical to a serial run (default 0 = serial)")
+        "--workers", type=int, default=0, metavar="N",
+        help="run the campaign on N supervised worker processes "
+             "(crash-tolerant, byte-identical corpus; default 0 = serial)")
+    map_cable.add_argument(
+        "--shard-deadline", type=float, default=60.0, metavar="SECONDS",
+        help="wall-clock deadline per shard before the worker is killed "
+             "and the shard retried (default 60)")
+    map_cable.add_argument(
+        "--max-shard-retries", type=int, default=2, metavar="N",
+        help="retries before a failing shard is quarantined as poison "
+             "(default 2)")
+    map_cable.add_argument(
+        "--pace-ms", type=float, default=0.0, metavar="MS",
+        help="real inter-trace pacing, modelling probe RTT and ICMP "
+             "rate limits; the latency-bound regime where --workers "
+             "shows its speedup (default 0 = unpaced)")
+    map_cable.add_argument(
+        "--worker-crash", type=float, default=0.0, metavar="RATE",
+        help="chaos: per-(shard, attempt) probability a worker is "
+             "SIGKILLed mid-shard (0..1)")
+    map_cable.add_argument(
+        "--worker-stall", type=float, default=0.0, metavar="RATE",
+        help="chaos: per-(shard, attempt) probability a worker stops "
+             "heartbeating mid-shard (0..1)")
+    map_cable.add_argument(
+        "--worker-slow", type=float, default=0.0, metavar="RATE",
+        help="chaos: per-(shard, attempt) probability a worker runs "
+             "slow but completes (0..1)")
     map_cable.add_argument(
         "--profile", action="store_true",
         help="print per-phase wall-clock and peak-RSS accounting")

@@ -29,6 +29,9 @@ class FaultStats:
     vp_flaps: int = 0
     lsp_flaps: int = 0
     stale_lookups: int = 0
+    worker_crashes: int = 0
+    worker_stalls: int = 0
+    worker_slowdowns: int = 0
     vps_killed: "list[str]" = field(default_factory=list)
 
     def as_dict(self) -> "dict[str, object]":
@@ -39,6 +42,9 @@ class FaultStats:
             "vp_flaps": self.vp_flaps,
             "lsp_flaps": self.lsp_flaps,
             "stale_lookups": self.stale_lookups,
+            "worker_crashes": self.worker_crashes,
+            "worker_stalls": self.worker_stalls,
+            "worker_slowdowns": self.worker_slowdowns,
             "vps_killed": sorted(self.vps_killed),
         }
 
@@ -51,6 +57,9 @@ class FaultStats:
         stats.vp_flaps = int(payload.get("vp_flaps", 0))
         stats.lsp_flaps = int(payload.get("lsp_flaps", 0))
         stats.stale_lookups = int(payload.get("stale_lookups", 0))
+        stats.worker_crashes = int(payload.get("worker_crashes", 0))
+        stats.worker_stalls = int(payload.get("worker_stalls", 0))
+        stats.worker_slowdowns = int(payload.get("worker_slowdowns", 0))
         stats.vps_killed = list(payload.get("vps_killed", []))
         return stats
 

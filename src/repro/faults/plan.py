@@ -57,6 +57,17 @@ class FaultPlan:
         address, so every lookup of one address is consistently stale;
         this is the synthetic conflicting-rDNS campaign the
         inference-side guardrails quarantine.
+    ``worker_crash`` / ``worker_stall`` / ``worker_slow``
+        Process-level faults consulted by the supervised shard
+        executor's *workers* (never by the probe path, so the serial
+        oracle's corpus is untouched).  Each is the probability that
+        one (shard, attempt) execution crashes hard (SIGKILL mid-shard,
+        between heartbeats), stalls silently (stops heartbeating until
+        the supervisor kills it), or runs slow (sleeps
+        ``worker_slow_ms`` but completes).  Keyed on the shard id *and*
+        the attempt number, so a retried shard draws fresh fate — a
+        crash-prone shard recovers with probability 1 - rateᴺ across N
+        retries, and a chaos run is exactly reproducible from the seed.
     """
 
     seed: int = 0
@@ -69,6 +80,10 @@ class FaultPlan:
     vp_flap: float = 0.0
     lsp_flap: float = 0.0
     stale_rdns: float = 0.0
+    worker_crash: float = 0.0
+    worker_stall: float = 0.0
+    worker_slow: float = 0.0
+    worker_slow_ms: float = 100.0
 
     # ------------------------------------------------------------------
     def _draw(self, *key: object) -> float:
@@ -82,6 +97,7 @@ class FaultPlan:
         numeric = (
             self.probe_loss, self.rate_limit_share, self.rdns_timeout,
             self.vp_flap, self.lsp_flap, self.stale_rdns,
+            self.worker_crash, self.worker_stall, self.worker_slow,
         )
         return any(v > 0.0 for v in numeric) or self.vp_dropout > 0
 
@@ -148,6 +164,41 @@ class FaultPlan:
     def stale_donor_index(self, address: str, count: int) -> int:
         """Which of *count* donor hostnames a stale address borrows."""
         return int(self._draw("stale-donor", address) * count) % count
+
+    # ------------------------------------------------------------------
+    # Process-level (shard executor) decisions
+    # ------------------------------------------------------------------
+    def worker_crashed(self, shard_id: str, attempt: int) -> bool:
+        """Whether the worker running this (shard, attempt) dies hard."""
+        return (
+            self.worker_crash > 0.0
+            and self._draw("worker-crash", shard_id, attempt) < self.worker_crash
+        )
+
+    def worker_stalled(self, shard_id: str, attempt: int) -> bool:
+        """Whether the worker stops heartbeating mid-shard."""
+        return (
+            self.worker_stall > 0.0
+            and self._draw("worker-stall", shard_id, attempt) < self.worker_stall
+        )
+
+    def worker_slowed(self, shard_id: str, attempt: int) -> bool:
+        """Whether the worker runs slow (but completes) this attempt."""
+        return (
+            self.worker_slow > 0.0
+            and self._draw("worker-slow", shard_id, attempt) < self.worker_slow
+        )
+
+    def failure_point(
+        self, shard_id: str, attempt: int, job_count: int, kind: str = "crash"
+    ) -> int:
+        """Which job index a crash/stall interrupts (always < job_count)."""
+        if job_count <= 0:
+            return 0
+        index = int(
+            self._draw(f"worker-point-{kind}", shard_id, attempt) * job_count
+        )
+        return min(index, job_count - 1)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> "dict[str, object]":

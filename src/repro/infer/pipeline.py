@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import contextlib
 import ipaddress
+import pathlib
 from dataclasses import dataclass, field
 
 from repro.alias.resolve import AliasResolver, AliasSets
-from repro.errors import CheckpointError, MeasurementError
+from repro.errors import MeasurementError
 from repro.faults import FaultInjector, FaultPlan
 from repro.infer.adjacency import AdjacencyExtractor, RegionAdjacencies
 from repro.infer.aggtype import classify_aggregation
@@ -34,6 +35,7 @@ from repro.infer.refine import RefinedRegion, RegionRefiner
 from repro.io.checkpoint import CampaignCheckpoint
 from repro.measure.parallel import ParallelCampaignRunner
 from repro.measure.runner import CampaignHealth, CampaignRunner
+from repro.measure.supervisor import SupervisedCampaignRunner
 from repro.measure.traceroute import TraceResult, Tracerouter
 from repro.measure.vantage import VantagePoint
 from repro.net.network import Network
@@ -98,6 +100,12 @@ class CableInferencePipeline:
         stop_after: "int | None" = None,
         validate: str = "off",
         parallel: int = 0,
+        workers: int = 0,
+        worker_spec=None,
+        shard_size: "int | None" = None,
+        shard_deadline: float = 60.0,
+        max_shard_retries: int = 2,
+        pace_ms: float = 0.0,
         profile: bool = False,
         trace_seed: int = 0,
     ) -> None:
@@ -134,7 +142,8 @@ class CableInferencePipeline:
         self.sweep_vps = max(1, min(sweep_vps, len(self.vps)))
         self.parser = parser or HostnameParser()
         self.attempts = max(1, attempts)
-        self.tracer = Tracerouter(network, attempts=self.attempts)
+        self.tracer = Tracerouter(network, attempts=self.attempts,
+                                  pace_ms=pace_ms)
         self.faults = faults
         self.checkpoint_path = checkpoint_path
         self.resume = resume
@@ -147,9 +156,24 @@ class CableInferencePipeline:
         self.validate = validate
         self._guard = InvariantGuard(validate) if validate != "off" else None
         self.runner: "CampaignRunner | None" = None
-        #: Campaign parallelism: 0/1 = serial CampaignRunner, N>1 =
-        #: ParallelCampaignRunner with N workers (byte-identical corpus).
+        #: In-process thread parallelism: 0/1 = serial CampaignRunner,
+        #: N>1 = ParallelCampaignRunner with N threads.  Kept as the
+        #: parity oracle; ``workers`` is the production path.
         self.parallel = max(0, parallel)
+        #: Supervised process sharding: 0/1 = off, N>1 = a
+        #: SupervisedCampaignRunner with N spawned workers rebuilding
+        #: their substrate from ``worker_spec`` (byte-identical corpus,
+        #: crash-tolerant).  Takes precedence over ``parallel``.
+        self.workers = max(0, workers)
+        self.worker_spec = worker_spec
+        self.shard_size = shard_size
+        self.shard_deadline = shard_deadline
+        self.max_shard_retries = max_shard_retries
+        if self.workers > 1 and self.worker_spec is None:
+            raise MeasurementError(
+                "workers > 1 needs a worker_spec describing how spawned "
+                "workers rebuild the substrate"
+            )
         #: Observability: every run records a span tree (phases plus
         #: campaign stages) and a metrics registry.  Both are always on
         #: — recording is cheap and never alters inference output; the
@@ -221,27 +245,33 @@ class CableInferencePipeline:
             "metrics": self.metrics,
         }
         runner_cls = CampaignRunner
-        if self.parallel > 1:
+        if self.workers > 1:
+            runner_cls = SupervisedCampaignRunner
+            options["worker_spec"] = self.worker_spec
+            options["workers"] = self.workers
+            options["shard_size"] = self.shard_size
+            options["shard_deadline"] = self.shard_deadline
+            options["max_shard_retries"] = self.max_shard_retries
+            options["quarantine"] = (
+                self._guard.report if self._guard is not None else None
+            )
+        elif self.parallel > 1:
             runner_cls = ParallelCampaignRunner
             options["workers"] = self.parallel
         checkpoint = None
         if self.checkpoint_path is not None:
-            if self.resume:
-                try:
-                    checkpoint = CampaignCheckpoint.load(self.checkpoint_path)
-                except CheckpointError:
-                    # A corrupt checkpoint silently restarting a
-                    # multi-hour campaign is exactly what strict mode
-                    # exists to prevent.
-                    if self.validate == "strict":
-                        raise
-                    checkpoint = None  # nothing to resume: start fresh
-                else:
-                    return runner_cls.resumed(
-                        self.tracer, self.vps, checkpoint, **options
-                    )
-            if checkpoint is None:
-                checkpoint = CampaignCheckpoint(self.checkpoint_path)
+            if self.resume and pathlib.Path(self.checkpoint_path).exists():
+                # A corrupt or truncated checkpoint raises (the CLI
+                # surfaces it as a one-line ``error:`` diagnostic):
+                # silently restarting a multi-hour campaign is never
+                # what --resume meant.  A checkpoint that does not
+                # exist yet is not an error — first run of a resumable
+                # campaign — so that case starts fresh.
+                checkpoint = CampaignCheckpoint.load(self.checkpoint_path)
+                return runner_cls.resumed(
+                    self.tracer, self.vps, checkpoint, **options
+                )
+            checkpoint = CampaignCheckpoint(self.checkpoint_path)
         return runner_cls(
             self.tracer, self.vps, checkpoint=checkpoint, **options
         )
@@ -396,6 +426,13 @@ class CableInferencePipeline:
             span.attributes["entries"] = len(entries)
 
         self._publish_metrics(guard, regions, traces, followups)
+        quarantine = guard.report if guard is not None else None
+        if quarantine is None and isinstance(
+            self.runner, SupervisedCampaignRunner
+        ) and self.runner.quarantine:
+            # Poison-shard records exist even with validation off; a
+            # result must never hide quarantined coverage loss.
+            quarantine = self.runner.quarantine
         return CableInferenceResult(
             isp=self.isp.name,
             regions=regions,
@@ -406,5 +443,5 @@ class CableInferencePipeline:
             traces=traces,
             followup_traces=followups,
             health=self.runner.health if self.runner is not None else None,
-            quarantine=guard.report if guard is not None else None,
+            quarantine=quarantine,
         )

@@ -13,10 +13,29 @@ import pathlib
 
 
 def atomic_write_text(path: "str | pathlib.Path", text: str) -> pathlib.Path:
-    """Write *text* to *path* via write-temp-then-rename; returns the path."""
+    """Write *text* to *path* via write-temp-then-rename; returns the path.
+
+    The temp file is fsynced before the rename so a crash (or power
+    loss) immediately after the replace cannot surface a truncated
+    file; the parent directory is fsynced best-effort so the rename
+    itself is durable.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text)
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
     return path

@@ -81,6 +81,10 @@ class CampaignCheckpoint:
         self._stages: "dict[str, dict]" = {}
         self._health: "dict[str, object]" = {}
         self._injector: "dict[str, object]" = {}
+        #: Per-stage raw shard payloads from the supervised executor:
+        #: ``{stage: {shard_id: payload}}``.  Cleared when the stage
+        #: completes (its traces become canonical).
+        self._shards: "dict[str, dict[str, dict]]" = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -104,6 +108,7 @@ class CampaignCheckpoint:
         checkpoint._stages = payload.get("stages", {})
         checkpoint._health = payload.get("health", {})
         checkpoint._injector = payload.get("injector", {})
+        checkpoint._shards = payload.get("shards", {})
         return checkpoint
 
     def save(self) -> None:
@@ -114,6 +119,7 @@ class CampaignCheckpoint:
             "stages": self._stages,
             "health": self._health,
             "injector": self._injector,
+            "shards": self._shards,
         }
         atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
 
@@ -147,6 +153,22 @@ class CampaignCheckpoint:
     def stage_complete(self, name: str) -> bool:
         record = self._stages.get(name) or {}
         return bool(record.get("complete", False))
+
+    # ------------------------------------------------------------------
+    # Supervised-executor shard results
+    # ------------------------------------------------------------------
+    def record_shard(self, stage: str, shard_id: str,
+                     payload: "dict[str, object]") -> None:
+        """Store (in memory) one completed shard's raw results."""
+        self._shards.setdefault(stage, {})[shard_id] = payload
+
+    def shard_results(self, stage: str) -> "dict[str, dict]":
+        """Completed shard payloads for *stage*, keyed by shard id."""
+        return dict(self._shards.get(stage, {}))
+
+    def clear_shards(self, stage: str) -> None:
+        """Drop *stage*'s shard payloads (called once it completes)."""
+        self._shards.pop(stage, None)
 
     # ------------------------------------------------------------------
     @property

@@ -1,4 +1,15 @@
-"""Parallel campaign execution with byte-identical output.
+"""Thread-based speculate-then-replay runner: the **parity oracle**.
+
+.. note::
+   This runner is *not* the production parallel path.  Python threads
+   buy no speedup for this CPU-bound workload (the GIL serializes the
+   probing; benchmarks showed it slightly slower than serial), so the
+   CLI no longer exposes it.  It is kept because its two-pass
+   architecture is the simplest in-process demonstration that
+   speculation preserves byte-identical output — the property the
+   process-sharded :class:`~repro.measure.supervisor.SupervisedCampaignRunner`
+   (the production path, ``--workers N``) inherits from it and is
+   tested against.
 
 :class:`ParallelCampaignRunner` runs a campaign stage in two passes:
 
@@ -99,6 +110,10 @@ class ParallelCampaignRunner(CampaignRunner):
 
     Drop-in compatible: same constructor plus ``workers``, same
     :meth:`run` contract, same checkpoints, byte-identical corpus.
+
+    Kept as the in-process parity oracle (see the module docstring);
+    use :class:`~repro.measure.supervisor.SupervisedCampaignRunner`
+    for actual wall-clock speedup and crash tolerance.
     """
 
     def __init__(

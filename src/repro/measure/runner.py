@@ -55,6 +55,17 @@ class CampaignHealth:
     resumed: bool = False
     interrupted: bool = False
     degraded: bool = False
+    #: Supervised shard-executor accounting (all zero for in-process
+    #: runners).  ``shards_poisoned`` shards exhausted their retries
+    #: and were quarantined; their jobs show up in ``targets_skipped``.
+    shards_planned: int = 0
+    shards_reused: int = 0
+    shards_retried: int = 0
+    shards_poisoned: int = 0
+    workers_spawned: int = 0
+    workers_crashed: int = 0
+    workers_stalled: int = 0
+    workers_slow: int = 0
     fault_stats: "dict[str, object]" = field(default_factory=dict)
 
     def as_dict(self) -> "dict[str, object]":
@@ -73,6 +84,14 @@ class CampaignHealth:
             "resumed": self.resumed,
             "interrupted": self.interrupted,
             "degraded": self.degraded,
+            "shards_planned": self.shards_planned,
+            "shards_reused": self.shards_reused,
+            "shards_retried": self.shards_retried,
+            "shards_poisoned": self.shards_poisoned,
+            "workers_spawned": self.workers_spawned,
+            "workers_crashed": self.workers_crashed,
+            "workers_stalled": self.workers_stalled,
+            "workers_slow": self.workers_slow,
             "fault_stats": dict(self.fault_stats),
         }
 
@@ -117,6 +136,13 @@ class CampaignHealth:
             parts.append(f"{self.targets_reassigned} jobs reassigned")
         if self.targets_skipped:
             parts.append(f"{self.targets_skipped} jobs skipped")
+        if self.workers_crashed or self.workers_stalled:
+            parts.append(f"{self.workers_crashed} worker crash(es), "
+                         f"{self.workers_stalled} stall(s)")
+        if self.shards_retried:
+            parts.append(f"{self.shards_retried} shard(s) retried")
+        if self.shards_poisoned:
+            parts.append(f"{self.shards_poisoned} shard(s) poisoned")
         if self.degraded:
             parts.append("DEGRADED")
         if self.interrupted:
@@ -239,6 +265,15 @@ class CampaignRunner:
             vp.host, target, flow_id=flow_id, src_address=vp.src_address
         )
 
+    def _job_blocked(self, job_key: "tuple[str, str]") -> bool:
+        """Whether *job_key* must be skipped outright (quarantined work).
+
+        The serial runner blocks nothing; the supervised runner returns
+        True for jobs belonging to a poisoned shard, which the stage
+        loop then counts as skipped-and-degraded coverage loss.
+        """
+        return False
+
     def _execute_job(self, vp: VantagePoint, job_key, flow_id: int):
         """One traceroute from *vp*, with flap retries.
 
@@ -320,6 +355,11 @@ class CampaignRunner:
                     f"campaign stopped after {self._executed} jobs "
                     f"(checkpoint: {getattr(self.checkpoint, 'path', None)})"
                 )
+            if self._job_blocked(job_key):
+                self.health.targets_skipped += 1
+                self.health.degraded = True
+                done.add(job_key)
+                continue
             executor = vp
             if not self.fleet.is_alive(vp.name):
                 executor = self.fleet.stand_in(job_key) if self.failover else None

@@ -1,0 +1,122 @@
+"""Deterministic sharding of a campaign stage's job list.
+
+The supervised executor partitions a stage's ``(vantage point, target)``
+jobs into *shards* — the unit of work a worker process executes, the
+unit of retry after a crash, and the unit of quarantine when retries
+run out.  Partitioning is a pure function of the job list: contiguous
+chunks in job order, each with a **stable, content-addressed id**
+(``<stage>/<index>-<digest>``), so
+
+* a resumed campaign re-plans the identical shards and can reuse every
+  shard result already persisted in the checkpoint (the digest guards
+  against a done-set that shifted the partition);
+* merging is trivially deterministic: concatenating shard results in
+  shard-index order reproduces the original job order, which is what
+  keeps the serial runner the byte-identical digest oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+#: Default shards-per-worker over-partitioning factor.  More shards
+#: than workers keeps the pool load-balanced and bounds the blast
+#: radius of one crash to 1/(workers × factor) of the stage.
+OVERPARTITION = 8
+
+
+def _jobs_digest(jobs: "tuple[tuple[str, str], ...]") -> str:
+    """Short content digest of a shard's job list."""
+    blob = "|".join(f"{vp},{target}" for vp, target in jobs)
+    return hashlib.blake2b(blob.encode(), digest_size=4).hexdigest()
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a stage's jobs, with a stable identity."""
+
+    shard_id: str
+    stage: str
+    index: int
+    #: ``(vp_name, target)`` pairs, in original job order.
+    jobs: "tuple[tuple[str, str], ...]"
+    flow_id: int = 0
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "shard_id": self.shard_id,
+            "stage": self.stage,
+            "index": self.index,
+            "jobs": [list(job) for job in self.jobs],
+            "flow_id": self.flow_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "Shard":
+        return cls(
+            shard_id=payload["shard_id"],
+            stage=payload["stage"],
+            index=int(payload["index"]),
+            jobs=tuple((vp, target) for vp, target in payload["jobs"]),
+            flow_id=int(payload.get("flow_id", 0)),
+        )
+
+
+def shard_size_for(job_count: int, workers: int) -> int:
+    """The default shard size: ``workers × OVERPARTITION`` shards."""
+    target_shards = max(1, workers) * OVERPARTITION
+    return max(1, math.ceil(job_count / target_shards))
+
+
+def plan_shards(
+    jobs: "list[tuple[str, str]]",
+    stage: str,
+    flow_id: int = 0,
+    shard_size: "int | None" = None,
+    workers: int = 4,
+) -> "list[Shard]":
+    """Partition *jobs* (``(vp_name, target)`` pairs) into shards.
+
+    Deterministic: same jobs, same stage, same size → same shards with
+    the same ids.  Job order is preserved within and across shards.
+    """
+    if not jobs:
+        return []
+    size = shard_size if shard_size and shard_size > 0 else (
+        shard_size_for(len(jobs), workers)
+    )
+    shards: "list[Shard]" = []
+    for index, start in enumerate(range(0, len(jobs), size)):
+        chunk = tuple(
+            (str(vp), str(target)) for vp, target in jobs[start:start + size]
+        )
+        shard_id = f"{stage}/{index:04d}-{_jobs_digest(chunk)}"
+        shards.append(
+            Shard(shard_id=shard_id, stage=stage, index=index, jobs=chunk,
+                  flow_id=flow_id)
+        )
+    return shards
+
+
+def merge_shard_results(
+    shards: "list[Shard]", results_by_id: "dict[str, list]"
+) -> "list":
+    """Flatten per-shard result lists back into original job order.
+
+    Missing shards (poisoned, never completed) contribute nothing;
+    a present shard must carry exactly one result per job.
+    """
+    merged: "list" = []
+    for shard in sorted(shards, key=lambda s: s.index):
+        results = results_by_id.get(shard.shard_id)
+        if results is None:
+            continue
+        if len(results) != len(shard.jobs):
+            raise ValueError(
+                f"shard {shard.shard_id}: {len(results)} results for "
+                f"{len(shard.jobs)} jobs"
+            )
+        merged.extend(results)
+    return merged

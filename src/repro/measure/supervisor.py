@@ -1,0 +1,667 @@
+"""Supervised process-sharded campaign execution.
+
+:class:`SupervisedCampaignRunner` is the crash-tolerant big sibling of
+the thread-based :class:`~repro.measure.parallel.ParallelCampaignRunner`
+(kept as the in-process parity oracle).  It keeps the same two-pass
+speculate-then-replay architecture — which is what preserves the
+byte-identical-to-serial corpus guarantee — but moves speculation into
+**spawned worker processes** managed by a supervisor loop:
+
+1. **Shard** — the stage's pending jobs are partitioned by
+   :func:`repro.measure.shard.plan_shards` into contiguous,
+   content-addressed shards: the unit of work, of retry, and of
+   quarantine.
+2. **Supervise** — a pool of ``spawn``-context workers executes shards.
+   Each worker rebuilds its own substrate from a picklable
+   :class:`~repro.measure.substrates.WorkerSpec` (substrates are pure
+   functions of seed and flags), probes its shard's jobs, heartbeats
+   between jobs, and returns serialized traces plus the per-job probe
+   counter and fault-stat deltas each trace cost.  The supervisor
+   enforces per-shard heartbeat liveness and a wall-clock deadline,
+   kills and replaces workers that crash or stall, retries failed
+   shards with exponential backoff on a fresh worker, and — after a
+   shard exhausts ``max_shard_retries`` — poisons it: its jobs are
+   quarantined, skipped, and reported as degraded coverage.
+3. **Replay** — the inherited serial loop runs unchanged; its
+   ``_run_trace`` seam consumes the speculative traces and applies
+   their deltas, so checkpoints, health accounting, VP-death
+   thresholds, and the final corpus match a serial run byte for byte.
+
+Worker-level chaos (``worker_crash`` / ``worker_stall`` /
+``worker_slow`` in the :class:`~repro.faults.plan.FaultPlan`) is drawn
+inside the worker, keyed on ``(shard_id, attempt)`` — never on the
+probe path — so a seeded chaos run is exactly reproducible and the
+serial oracle's corpus is untouched by it.
+
+Completed shards are persisted into the campaign checkpoint as they
+finish, so a supervisor SIGKILLed mid-stage resumes from completed
+shards only (content-addressed ids guard against partition drift).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from multiprocessing.connection import wait as _conn_wait
+
+from repro.errors import MeasurementError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.measure.parallel import (
+    _TRACE_FAULT_FIELDS,
+    ParallelCampaignRunner,
+    _Speculative,
+)
+from repro.measure.runner import CampaignRunner
+from repro.measure.shard import Shard, plan_shards
+from repro.measure.substrates import WorkerSpec
+from repro.measure.traceroute import Hop, Tracerouter, TraceResult
+from repro.measure.vantage import VantagePoint
+from repro.validate.quarantine import QuarantineReport
+
+#: How long a stall-injected worker sleeps: effectively forever — the
+#: supervisor's heartbeat timeout is what ends it.
+_STALL_SLEEP_S = 3600.0
+#: How long a freshly spawned worker gets to import + build its
+#: substrate and send the ready handshake before being recycled.
+_BOOT_TIMEOUT_S = 60.0
+#: Supervisor poll tick (seconds) while waiting for worker messages.
+_POLL_TICK_S = 0.05
+#: Shards queued per worker.  Depth 2 keeps a worker probing its next
+#: shard while the supervisor ingests its last one; without it the two
+#: sides ping-pong (worker idle during ingest, supervisor idle during
+#: probing) and the pool runs no faster than serial.
+_PREFETCH_DEPTH = 2
+
+
+def _trace_to_wire(trace: TraceResult):
+    """Flatten one traceroute to positional tuples for the pipe.
+
+    Roughly 2x cheaper on both ends than the JSON-ready dicts of
+    :func:`repro.io.checkpoint.trace_to_dict` — and the supervisor
+    deserializes every trace the pool produces, so its per-trace cost
+    bounds the achievable speedup.  Tuples survive a JSON round trip
+    (as lists) when a completed shard is parked in the checkpoint,
+    which is why :func:`_trace_from_wire` accepts any sequence.
+    """
+    return (
+        trace.src_address, trace.dst_address, trace.completed,
+        trace.flow_id, trace.vp_name,
+        [(h.index, h.address, h.rdns, h.rtt_ms, h.reply_ttl, h.attempts)
+         for h in trace.hops],
+    )
+
+
+def _trace_from_wire(payload) -> TraceResult:
+    """Rebuild a traceroute from :func:`_trace_to_wire` output."""
+    src, dst, completed, flow_id, vp_name, hops = payload
+    return TraceResult(
+        src_address=src, dst_address=dst,
+        hops=[Hop(i, a, r, rtt, ttl, tries)
+              for i, a, r, rtt, ttl, tries in hops],
+        completed=completed, flow_id=flow_id, vp_name=vp_name,
+    )
+
+
+def _die_hard() -> None:
+    """Terminate this process without any Python-level cleanup."""
+    sigkill = getattr(signal, "SIGKILL", None)
+    if sigkill is not None:
+        os.kill(os.getpid(), sigkill)
+    os._exit(1)
+
+
+def _run_shard(conn, tracer, vps, injector, shard, attempt, heartbeat_interval):
+    """Execute one shard's jobs; returns ``(results, slow)``.
+
+    Results are ``(vp_name, target, trace_wire, tracer_delta,
+    fault_delta)`` tuples in job order — exactly the payload
+    :meth:`SupervisedCampaignRunner._ingest` replays.
+    """
+    conn.send(("start", shard.shard_id, attempt))
+    plan = injector.plan if injector is not None else None
+    crash_at = stall_at = None
+    slow = False
+    if plan is not None:
+        if plan.worker_crashed(shard.shard_id, attempt):
+            crash_at = plan.failure_point(
+                shard.shard_id, attempt, len(shard.jobs), kind="crash"
+            )
+        elif plan.worker_stalled(shard.shard_id, attempt):
+            stall_at = plan.failure_point(
+                shard.shard_id, attempt, len(shard.jobs), kind="stall"
+            )
+        elif plan.worker_slowed(shard.shard_id, attempt):
+            slow = True
+            time.sleep(plan.worker_slow_ms / 1000.0)
+    results = []
+    counters_before = tracer.counters()
+    faults_before = (
+        {name: getattr(injector.stats, name) for name in _TRACE_FAULT_FIELDS}
+        if injector is not None
+        else None
+    )
+    last_heartbeat = time.monotonic()
+    for index, (vp_name, target) in enumerate(shard.jobs):
+        if crash_at is not None and index == crash_at:
+            _die_hard()
+        if stall_at is not None and index == stall_at:
+            time.sleep(_STALL_SLEEP_S)
+        vp = vps.get(vp_name)
+        if vp is None:
+            raise MeasurementError(
+                f"worker substrate has no vantage point {vp_name!r}"
+            )
+        trace = tracer.trace(
+            vp.host, target, flow_id=shard.flow_id, src_address=vp.src_address
+        )
+        trace.vp_name = vp_name
+        counters_after = tracer.counters()
+        tracer_delta = {
+            key: counters_after[key] - counters_before[key]
+            for key in counters_after
+        }
+        counters_before = counters_after
+        fault_delta = None
+        if injector is not None:
+            faults_after = {
+                name: getattr(injector.stats, name)
+                for name in _TRACE_FAULT_FIELDS
+            }
+            fault_delta = {
+                name: faults_after[name] - faults_before[name]
+                for name in _TRACE_FAULT_FIELDS
+            }
+            faults_before = faults_after
+        results.append(
+            (vp_name, target, _trace_to_wire(trace), tracer_delta, fault_delta)
+        )
+        now = time.monotonic()
+        if now - last_heartbeat >= heartbeat_interval:
+            conn.send(("hb", shard.shard_id, index + 1))
+            last_heartbeat = now
+    return results, slow
+
+
+def _worker_main(conn, spec, plan_payload, tracer_config, heartbeat_interval):
+    """Worker process entry point: build substrate, serve shards.
+
+    Protocol (worker → supervisor): ``("ready",)`` once the substrate
+    is built, ``("start", shard_id, attempt)`` when a shard begins
+    executing (prefetched shards sit in the pipe until then),
+    ``("hb", shard_id, jobs_done)`` between jobs,
+    ``("done", shard_id, attempt, results, slow)`` per completed shard,
+    ``("error", shard_id, attempt, message)`` when a shard raises.
+    Supervisor → worker: ``("shard", Shard, attempt)`` and
+    ``("stop",)``.
+    """
+    tracer, vps = spec.build()
+    tracer.max_ttl = tracer_config["max_ttl"]
+    tracer.jitter_ms = tracer_config["jitter_ms"]
+    tracer.attempts = tracer_config["attempts"]
+    tracer.backoff_ms = tracer_config["backoff_ms"]
+    tracer.pace_ms = tracer_config.get("pace_ms", 0.0)
+    injector = None
+    if plan_payload is not None:
+        injector = FaultInjector(FaultPlan.from_dict(plan_payload))
+        tracer.network.attach_faults(injector)
+    conn.send(("ready",))
+    while True:
+        message = conn.recv()
+        if message[0] == "stop":
+            return
+        _, shard, attempt = message
+        try:
+            results, slow = _run_shard(
+                conn, tracer, vps, injector, shard, attempt, heartbeat_interval
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to supervisor
+            conn.send(
+                ("error", shard.shard_id, attempt,
+                 f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        conn.send(("done", shard.shard_id, attempt, results, slow))
+
+
+class _Worker:
+    """Supervisor-side record of one spawned worker process."""
+
+    __slots__ = (
+        "process", "conn", "ready", "assigned", "active",
+        "spawned_at", "started_at", "last_heartbeat",
+    )
+
+    def __init__(self, process, conn, now: float) -> None:
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        #: Shards sent to this worker, oldest first: the head is
+        #: running (once its ``start`` arrives), the rest are
+        #: prefetched and still sitting in the pipe.
+        self.assigned: "list[tuple[Shard, int]]" = []
+        #: shard_id the worker has confirmed it is executing.
+        self.active: "str | None" = None
+        self.spawned_at = now
+        self.started_at = 0.0
+        self.last_heartbeat = now
+
+    def kill(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class SupervisedCampaignRunner(ParallelCampaignRunner):
+    """A :class:`CampaignRunner` speculating in supervised processes.
+
+    Same ``run`` contract and checkpoints as the serial runner, same
+    byte-identical corpus; adds crash tolerance (worker death between
+    heartbeats loses at most one shard's progress), stall detection
+    (heartbeat timeout), wall-clock shard deadlines, bounded
+    retry-with-backoff on fresh workers, and poison-shard quarantine.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracerouter,
+        vps: "list[VantagePoint]",
+        worker_spec: WorkerSpec,
+        checkpoint=None,
+        min_vps: int = 1,
+        failover: bool = True,
+        checkpoint_every: int = 2000,
+        stop_after: "int | None" = None,
+        workers: int = 4,
+        shard_size: "int | None" = None,
+        shard_deadline: float = 60.0,
+        max_shard_retries: int = 2,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float = 2.0,
+        retry_backoff_s: float = 0.05,
+        quarantine: "QuarantineReport | None" = None,
+        obs=None,
+        metrics=None,
+    ) -> None:
+        super().__init__(
+            tracer, vps, checkpoint=checkpoint, min_vps=min_vps,
+            failover=failover, checkpoint_every=checkpoint_every,
+            stop_after=stop_after, workers=workers, obs=obs, metrics=metrics,
+        )
+        self.worker_spec = worker_spec
+        self.shard_size = shard_size
+        self.shard_deadline = float(shard_deadline)
+        self.max_shard_retries = max(0, int(max_shard_retries))
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.quarantine = (
+            quarantine if quarantine is not None
+            else QuarantineReport(policy="lenient")
+        )
+        #: Job keys belonging to poisoned shards — blocked during replay.
+        self._poisoned: "set[tuple[str, str]]" = set()
+
+    # ------------------------------------------------------------------
+    # Replay seams
+    # ------------------------------------------------------------------
+    def _job_blocked(self, job_key: "tuple[str, str]") -> bool:
+        return job_key in self._poisoned
+
+    def _save_checkpoint(self, stage, traces, done, complete) -> None:
+        if self.checkpoint is not None and complete:
+            # The stage's traces are now canonical; raw shard payloads
+            # would only bloat the file.
+            self.checkpoint.clear_shards(stage)
+        super()._save_checkpoint(stage, traces, done, complete)
+
+    def run(self, jobs, stage="campaign", flow_id=0, keep_empty=False):
+        self._precompute(jobs, stage, flow_id)
+        try:
+            # Skip ParallelCampaignRunner.run — it would call our
+            # _precompute a second time — and go straight to the serial
+            # replay loop.
+            return CampaignRunner.run(
+                self, jobs, stage=stage, flow_id=flow_id, keep_empty=keep_empty
+            )
+        finally:
+            self._speculative.clear()
+            self._poisoned.clear()
+
+    # ------------------------------------------------------------------
+    # Speculation: shard + supervise
+    # ------------------------------------------------------------------
+    def _precompute(self, jobs, stage: str, flow_id: int) -> None:
+        if self.checkpoint is not None and self.checkpoint.stage_complete(stage):
+            return
+        done: "set[tuple[str, str]]" = set()
+        if self.checkpoint is not None and self.checkpoint.stage(stage) is not None:
+            done = self.checkpoint.stage_done(stage)
+        pending = [
+            (vp, target) for vp, target in jobs if (vp.name, target) not in done
+        ]
+        if self.stop_after is not None:
+            budget = max(0, self.stop_after - self._executed)
+            pending = pending[:budget]
+        job_pairs: "list[tuple[str, str]]" = []
+        for vp, target in pending:
+            # Jobs on already-dead VPs fail over during replay; their
+            # stand-ins run synchronously on the canonical tracer.
+            if not self.fleet.is_alive(vp.name):
+                continue
+            job_pairs.append((vp.name, target))
+        if not job_pairs:
+            return
+        shards = plan_shards(
+            job_pairs, stage, flow_id=flow_id, shard_size=self.shard_size,
+            workers=self.workers,
+        )
+        self.health.shards_planned += len(shards)
+        stored = (
+            self.checkpoint.shard_results(stage)
+            if self.checkpoint is not None
+            else {}
+        )
+        pending_shards: "list[Shard]" = []
+        for shard in shards:
+            payload = stored.get(shard.shard_id)
+            if payload is not None:
+                self._ingest(shard, payload["results"])
+                self.health.shards_reused += 1
+            else:
+                pending_shards.append(shard)
+        attempts: "dict[str, int]" = {}
+        outcomes: "dict[str, str]" = {
+            shard.shard_id: "reused"
+            for shard in shards if shard not in pending_shards
+        }
+        if pending_shards:
+            if self.obs is not None:
+                with self.obs.span(
+                    f"supervise:{stage}",
+                    shards=len(pending_shards), workers=self.workers,
+                ) as span:
+                    self._run_pool(pending_shards, stage, attempts, outcomes)
+                    span.attributes["retried"] = self.health.shards_retried
+                    span.attributes["poisoned"] = self.health.shards_poisoned
+            else:
+                self._run_pool(pending_shards, stage, attempts, outcomes)
+        if self.obs is not None:
+            # Per-shard spans are created *after* the pool completes, in
+            # shard-id order: completion order is scheduling-dependent,
+            # the span tree must not be.
+            for shard in sorted(shards, key=lambda s: s.shard_id):
+                with self.obs.span(
+                    f"shard:{shard.shard_id}",
+                    jobs=len(shard.jobs),
+                    attempts=attempts.get(shard.shard_id, 0),
+                    outcome=outcomes.get(shard.shard_id, "unknown"),
+                ):
+                    pass
+        if self.metrics is not None:
+            self.metrics.set_gauge("supervisor.workers", self.workers)
+            self.metrics.inc("supervisor.shards_run", len(pending_shards))
+            self.metrics.inc(
+                "supervisor.speculated_jobs",
+                sum(
+                    len(s.jobs) for s in shards
+                    if outcomes.get(s.shard_id) in ("done", "reused")
+                ),
+            )
+
+    def _ingest(self, shard: Shard, results) -> None:
+        """Install one shard's worker results into the speculation table."""
+        for vp_name, target, trace_payload, tracer_delta, fault_delta in results:
+            self._speculative[(vp_name, target, shard.flow_id)] = _Speculative(
+                _trace_from_wire(trace_payload), tracer_delta, fault_delta
+            )
+
+    # ------------------------------------------------------------------
+    # The supervisor loop
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, plan_payload, tracer_config, now: float) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.worker_spec, plan_payload, tracer_config,
+                  self.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.health.workers_spawned += 1
+        return _Worker(process, parent_conn, now)
+
+    def _run_pool(self, pending_shards, stage, attempts, outcomes) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        plan_payload = (
+            self.injector.plan.as_dict() if self.injector is not None else None
+        )
+        tracer_config = {
+            "max_ttl": self.tracer.max_ttl,
+            "jitter_ms": self.tracer.jitter_ms,
+            "attempts": self.tracer.attempts,
+            "backoff_ms": self.tracer.backoff_ms,
+            "pace_ms": self.tracer.pace_ms,
+        }
+        by_id = {shard.shard_id: shard for shard in pending_shards}
+        #: (shard, eligible_at) — shards awaiting (re)assignment.
+        queue: "list[tuple[Shard, float]]" = [
+            (shard, 0.0) for shard in pending_shards
+        ]
+        finished = 0
+        since_save_jobs = 0
+        workers: "list[_Worker]" = []
+        #: Consecutive worker deaths before the ready handshake.  A
+        #: substrate that cannot even build (bad WorkerSpec kwargs,
+        #: import error in a spawned interpreter) would otherwise put
+        #: the supervisor in an infinite spawn-die-respawn loop.
+        boot_failures = 0
+        max_boot_failures = max(3, self.workers * 3)
+
+        def fail_shard(shard: Shard, reason: str, now: float) -> None:
+            nonlocal finished
+            made = attempts[shard.shard_id]
+            if made > self.max_shard_retries:
+                self.health.shards_poisoned += 1
+                self._poisoned.update(shard.jobs)
+                outcomes[shard.shard_id] = "poisoned"
+                self.quarantine.add(
+                    stage="supervisor",
+                    category="poison-shard",
+                    subject=shard.shard_id,
+                    detail=f"{reason} after {made} attempt(s)",
+                    dropped=True,
+                    count=len(shard.jobs),
+                )
+                finished += 1
+            else:
+                self.health.shards_retried += 1
+                backoff = self.retry_backoff_s * (2 ** (made - 1))
+                queue.append((shard, now + backoff))
+
+        def recycle(worker: _Worker, reason: str, now: float) -> None:
+            nonlocal boot_failures
+            worker.kill()
+            workers.remove(worker)
+            if not worker.ready:
+                boot_failures += 1
+                if boot_failures >= max_boot_failures:
+                    raise MeasurementError(
+                        f"supervised workers died {boot_failures} times "
+                        f"before booting (last: {reason}); check the "
+                        f"worker spec {self.worker_spec.factory!r}"
+                    )
+            # Blame the shard that was executing; if the worker died
+            # before its first ``start`` arrived, blame the head of its
+            # queue (so a worker that reliably dies on a shard cannot
+            # respawn forever without anything being charged).
+            blamed = worker.active
+            if blamed is None and worker.assigned:
+                blamed = worker.assigned[0][0].shard_id
+            for shard, _ in worker.assigned:
+                if shard.shard_id == blamed:
+                    fail_shard(shard, reason, now)
+                else:
+                    # Prefetched but never started — it shares no blame
+                    # for the death.  Refund the attempt and requeue.
+                    attempts[shard.shard_id] -= 1
+                    queue.append((shard, now))
+
+        try:
+            while finished < len(pending_shards):
+                now = time.monotonic()
+                outstanding = len(pending_shards) - finished
+                target = min(self.workers, outstanding)
+                while sum(1 for w in workers if w.process.is_alive()) < target:
+                    workers.append(
+                        self._spawn(ctx, plan_payload, tracer_config, now)
+                    )
+                # Fill every worker to one shard before giving anyone a
+                # second: the prefetch slot hides supervisor ingest
+                # latency, it must not unbalance the pool.
+                for depth in range(_PREFETCH_DEPTH):
+                    for worker in list(workers):
+                        if not worker.ready or len(worker.assigned) > depth:
+                            continue
+                        pick = None
+                        for entry in queue:
+                            if entry[1] <= now:
+                                pick = entry
+                                break
+                        if pick is None:
+                            continue
+                        queue.remove(pick)
+                        shard = pick[0]
+                        attempts[shard.shard_id] = (
+                            attempts.get(shard.shard_id, 0) + 1
+                        )
+                        attempt = attempts[shard.shard_id]
+                        try:
+                            worker.conn.send(("shard", shard, attempt))
+                        except (BrokenPipeError, OSError):
+                            # The worker died since the last poll; the
+                            # shard never reached it.  Refund, requeue,
+                            # and recycle (which charges whatever the
+                            # worker *was* running).
+                            attempts[shard.shard_id] -= 1
+                            queue.append((shard, now))
+                            self.health.workers_crashed += 1
+                            if self.injector is not None:
+                                self.injector.stats.worker_crashes += 1
+                            recycle(worker, "worker crashed", now)
+                            continue
+                        if not worker.assigned:
+                            worker.last_heartbeat = now
+                        worker.assigned.append((shard, attempt))
+                readable = _conn_wait(
+                    [w.conn for w in workers], timeout=_POLL_TICK_S
+                )
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.conn not in readable:
+                        continue
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Pipe closed without a goodbye: the worker
+                        # process died (crash fault, OOM kill, ...).
+                        self.health.workers_crashed += 1
+                        if self.injector is not None:
+                            self.injector.stats.worker_crashes += 1
+                        recycle(worker, "worker crashed", now)
+                        continue
+                    kind = message[0]
+                    if kind == "ready":
+                        worker.ready = True
+                        worker.last_heartbeat = now
+                        boot_failures = 0
+                    elif kind == "hb":
+                        worker.last_heartbeat = now
+                    elif kind == "start":
+                        _, shard_id, _ = message
+                        worker.active = shard_id
+                        worker.started_at = now
+                        worker.last_heartbeat = now
+                    elif kind == "done":
+                        _, shard_id, _, results, slow = message
+                        shard = by_id[shard_id]
+                        self._ingest(shard, results)
+                        outcomes[shard_id] = "done"
+                        finished += 1
+                        worker.assigned = [
+                            entry for entry in worker.assigned
+                            if entry[0].shard_id != shard_id
+                        ]
+                        if worker.active == shard_id:
+                            worker.active = None
+                        if slow:
+                            self.health.workers_slow += 1
+                            if self.injector is not None:
+                                self.injector.stats.worker_slowdowns += 1
+                        if self.checkpoint is not None:
+                            self.checkpoint.record_shard(
+                                stage, shard_id, {"results": results}
+                            )
+                            since_save_jobs += len(shard.jobs)
+                            if since_save_jobs >= self.checkpoint_every:
+                                self.checkpoint.save()
+                                since_save_jobs = 0
+                    elif kind == "error":
+                        _, shard_id, _, detail = message
+                        worker.assigned = [
+                            entry for entry in worker.assigned
+                            if entry[0].shard_id != shard_id
+                        ]
+                        if worker.active == shard_id:
+                            worker.active = None
+                        fail_shard(by_id[shard_id], detail, now)
+                for worker in list(workers):
+                    if not worker.process.is_alive():
+                        # Death is normally seen as pipe EOF above; this
+                        # catches a worker that died with the pipe
+                        # already drained.
+                        if worker.conn not in readable:
+                            self.health.workers_crashed += 1
+                            if self.injector is not None:
+                                self.injector.stats.worker_crashes += 1
+                            recycle(worker, "worker crashed", now)
+                        continue
+                    if not worker.ready:
+                        if now - worker.spawned_at > _BOOT_TIMEOUT_S:
+                            recycle(worker, "worker failed to boot", now)
+                        continue
+                    if not worker.assigned:
+                        continue
+                    if now - worker.last_heartbeat > self.heartbeat_timeout:
+                        self.health.workers_stalled += 1
+                        if self.injector is not None:
+                            self.injector.stats.worker_stalls += 1
+                        recycle(worker, "heartbeat timeout", now)
+                    elif (
+                        worker.active is not None
+                        and now - worker.started_at > self.shard_deadline
+                    ):
+                        self.health.workers_stalled += 1
+                        if self.injector is not None:
+                            self.injector.stats.worker_stalls += 1
+                        recycle(worker, "shard deadline exceeded", now)
+            if self.checkpoint is not None and since_save_jobs:
+                self.checkpoint.save()
+        finally:
+            for worker in workers:
+                if worker.ready and not worker.assigned:
+                    try:
+                        worker.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for worker in workers:
+                worker.kill()

@@ -205,6 +205,14 @@ _CAMPAIGN_HEALTH = {
         "resumed": bool,
         "interrupted": bool,
         "degraded": bool,
+        "shards_planned": Opt(int),
+        "shards_reused": Opt(int),
+        "shards_retried": Opt(int),
+        "shards_poisoned": Opt(int),
+        "workers_spawned": Opt(int),
+        "workers_crashed": Opt(int),
+        "workers_stalled": Opt(int),
+        "workers_slow": Opt(int),
         "fault_stats": MapOf(ANY),
     },
 }
@@ -237,6 +245,7 @@ _CAMPAIGN_CHECKPOINT = {
     }),
     "health": MapOf(ANY),
     "injector": MapOf(ANY),
+    "shards": Opt(MapOf(MapOf(ANY))),
 }
 
 _QUARANTINE_REPORT = {

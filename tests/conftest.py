@@ -28,28 +28,13 @@ hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 def toy_network():
     """A 6-router diamond with a routed customer prefix.
 
-    ::
-
-        src --- a --- b1 --- dst  (b1/b2 equal-cost: metric 1 each)
-                  \\-- b2 --/
-        dst owns 198.18.5.0/24 via a prefix route.
+    Delegates to :func:`repro.measure.substrates.toy_network` so the
+    fixture and the substrate a spawned supervisor worker rebuilds are
+    the same network by construction.
     """
-    net = Network()
-    routers = {}
-    for uid in ("src", "a", "b1", "b2", "dst"):
-        routers[uid] = net.add_router(Router(uid))
-    net.connect(routers["src"], routers["a"], "10.0.0.1", "10.0.0.2",
-                prefixlen=30, length_km=10)
-    net.connect(routers["a"], routers["b1"], "10.0.0.5", "10.0.0.6",
-                prefixlen=30, length_km=10, metric=1.0)
-    net.connect(routers["a"], routers["b2"], "10.0.0.9", "10.0.0.10",
-                prefixlen=30, length_km=10, metric=1.0)
-    net.connect(routers["b1"], routers["dst"], "10.0.0.13", "10.0.0.14",
-                prefixlen=30, length_km=10, metric=1.0)
-    net.connect(routers["b2"], routers["dst"], "10.0.0.17", "10.0.0.18",
-                prefixlen=30, length_km=10, metric=1.0)
-    net.add_prefix_route("198.18.5.0/24", routers["dst"])
-    return net, routers
+    from repro.measure.substrates import toy_network as build
+
+    return build()
 
 
 @pytest.fixture(scope="session")

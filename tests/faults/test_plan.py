@@ -95,3 +95,51 @@ class TestSerialization:
 
     def test_from_dict_ignores_unknown_keys(self):
         assert FaultPlan.from_dict({"seed": 1, "future_field": 3}).seed == 1
+
+
+class TestWorkerFaults:
+    def test_keyed_on_shard_and_attempt(self):
+        """A retried shard draws a fresh fate — the property that lets
+        a crash-fated attempt succeed on its retry."""
+        plan = FaultPlan(seed=11, worker_crash=0.5)
+        fates = {
+            (shard, attempt): plan.worker_crashed(shard, attempt)
+            for shard in (f"s/{i:04d}-abcd1234" for i in range(10))
+            for attempt in (1, 2, 3)
+        }
+        again = FaultPlan(seed=11, worker_crash=0.5)
+        assert fates == {
+            key: again.worker_crashed(*key) for key in fates
+        }
+        # Some shard's fate must differ across attempts.
+        assert any(
+            fates[(s, 1)] != fates[(s, 2)]
+            for s in {key[0] for key in fates}
+        )
+
+    def test_worker_faults_activate_the_plan(self):
+        assert FaultPlan(worker_crash=0.1).active
+        assert FaultPlan(worker_stall=0.1).active
+        assert FaultPlan(worker_slow=0.1).active
+        assert not FaultPlan().worker_crashed("s", 1)
+
+    def test_failure_point_always_within_shard(self):
+        plan = FaultPlan(seed=2, worker_crash=1.0)
+        for count in (1, 2, 7, 100):
+            for attempt in (1, 2):
+                index = plan.failure_point("s/0000-aa", attempt, count)
+                assert 0 <= index < count
+        assert plan.failure_point("s/0000-aa", 1, 0) == 0
+
+    def test_crash_and_stall_points_drawn_independently(self):
+        plan = FaultPlan(seed=8, worker_crash=1.0, worker_stall=1.0)
+        crash = [plan.failure_point(f"s{i}", 1, 1000, kind="crash")
+                 for i in range(20)]
+        stall = [plan.failure_point(f"s{i}", 1, 1000, kind="stall")
+                 for i in range(20)]
+        assert crash != stall
+
+    def test_round_trip_keeps_worker_fields(self):
+        plan = FaultPlan(seed=4, worker_crash=0.2, worker_stall=0.1,
+                         worker_slow=0.3, worker_slow_ms=25.0)
+        assert FaultPlan.from_dict(plan.as_dict()) == plan

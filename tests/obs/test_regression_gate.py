@@ -92,3 +92,31 @@ class TestGate:
         assert gate.evaluate({}, baseline) == [
             "current payload lacks inference digests; wrong file?"
         ]
+
+
+class TestSupervisedMeasurementGate:
+    def test_smoke_payload_without_measurement_skips_the_check(
+        self, gate, baseline, current
+    ):
+        assert "measurement" not in current
+        assert gate.evaluate(current, baseline) == []
+
+    def test_corpus_divergence_trips(self, gate, baseline, current):
+        current["measurement"] = {
+            "corpus_digest_identical": False, "speedup": 1.8,
+        }
+        failures = gate.evaluate(current, baseline)
+        assert any("diverged from the serial oracle" in f for f in failures)
+
+    def test_subunity_supervised_speedup_trips(self, gate, baseline, current):
+        current["measurement"] = {
+            "corpus_digest_identical": True, "speedup": 0.9,
+        }
+        failures = gate.evaluate(current, baseline)
+        assert any("1.0x floor" in f for f in failures), failures
+
+    def test_healthy_measurement_passes(self, gate, baseline, current):
+        current["measurement"] = {
+            "corpus_digest_identical": True, "speedup": 1.97,
+        }
+        assert gate.evaluate(current, baseline) == []

@@ -80,3 +80,45 @@ class TestMapAttCommand:
         code = main(["map-att", "nowhere"])
         assert code == 2
         assert "unknown region" in capsys.readouterr().err
+
+
+class TestSupervisedFlags:
+    def test_worker_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["map-cable", "comcast"])
+        assert args.workers == 0
+        assert args.shard_deadline == 60.0
+        assert args.max_shard_retries == 2
+        assert args.pace_ms == 0.0
+        assert args.worker_crash == args.worker_stall == args.worker_slow == 0.0
+
+    def test_worker_flags_accept_values(self):
+        args = build_parser().parse_args(
+            ["map-cable", "comcast", "--workers", "4",
+             "--shard-deadline", "5", "--max-shard-retries", "1",
+             "--pace-ms", "0.5", "--worker-crash", "0.2"]
+        )
+        assert args.workers == 4 and args.shard_deadline == 5.0
+        assert args.max_shard_retries == 1 and args.pace_ms == 0.5
+        assert args.worker_crash == 0.2
+
+    def test_parallel_flag_is_gone(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map-cable", "comcast", "--parallel", "4"])
+
+
+class TestCorruptCheckpointResume:
+    def test_resume_from_corrupt_checkpoint_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        """Satellite of the supervised-execution PR: a truncated or
+        garbled checkpoint on ``--resume`` must exit 3 with one
+        ``error:`` line, never a traceback."""
+        bad = tmp_path / "campaign.ckpt"
+        bad.write_text('{"version": 1, "stages": {TRUNCATED')
+        code = main(["map-cable", "comcast", "--sweep-vps", "2",
+                     "--resume", str(bad)])
+        assert code == 3
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert "\n" not in err
+        assert "Traceback" not in err
