@@ -7,7 +7,10 @@ Commands map one-to-one onto the paper's campaigns:
 * ``map-att``     — run the §6 pipeline against a telco region;
 * ``ship``        — run the §7 ShipTraceroute campaign and IPv6 analysis;
 * ``energy``      — print the Fig 14 energy comparison;
-* ``resilience``  — single-failure sweeps over inferred region graphs.
+* ``resilience``  — single-failure sweeps over inferred region graphs;
+* ``service``     — the resilient campaign service (``run`` / ``submit``
+  / ``status`` / ``drain``): a crash-safe job queue over the mapping
+  pipelines with leases, retries, backpressure, and graceful drain.
 
 Every command accepts ``--seed``; exporting commands accept ``--json-dir``
 (and ``--dot-dir`` for cable regions) to write artifacts.
@@ -320,6 +323,106 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def _spec_from_args(args) -> "object":
+    from repro.service.spec import JobSpec, job_spec_from_json
+
+    if args.spec:
+        source = pathlib.Path(args.spec)
+        return job_spec_from_json(source.read_text())
+    faults = {}
+    if args.faults:
+        faults["probe_loss"] = args.faults
+    if args.worker_crash:
+        faults["worker_crash"] = args.worker_crash
+    if args.worker_stall:
+        faults["worker_stall"] = args.worker_stall
+    chaos = {}
+    if args.chaos_fail_attempts:
+        chaos["fail_attempts"] = args.chaos_fail_attempts
+    return JobSpec(
+        pipeline=args.pipeline,
+        seed=args.job_seed,
+        fidelity=args.fidelity,
+        allow_degraded=args.allow_degraded,
+        workers=args.workers,
+        targets=args.targets,
+        hosts=args.hosts,
+        isp=args.isp,
+        sweep_vps=args.sweep_vps,
+        faults=faults,
+        chaos=chaos,
+        name=args.name,
+        priority=args.priority,
+    )
+
+
+def cmd_service(args) -> int:
+    """The resilient campaign service front end."""
+    from repro.io.atomic import atomic_write_text
+    from repro.service.service import DRAIN_MARKER, CampaignService
+    from repro.service.spec import job_id_for, job_spec_to_json
+    from repro.service.store import JobStore
+
+    state_dir = pathlib.Path(args.state_dir)
+    if args.service_command == "run":
+        service = CampaignService(
+            state_dir,
+            executor_id=args.executor_id,
+            queue_limit=args.queue_limit,
+            max_attempts=args.max_attempts,
+            lease_s=args.lease_s,
+            tick_s=args.tick_s,
+            backoff_base_s=args.backoff_base_s,
+            seed=args.seed,
+        )
+        executed = service.run(until_idle=args.until_idle,
+                               max_jobs=args.max_jobs)
+        jobs = service.store.jobs.values()
+        done = sum(1 for r in jobs if r.state == "done")
+        failed = sum(1 for r in jobs if r.state == "failed")
+        print(f"service: {executed} attempt(s) executed; "
+              f"{done} done, {failed} failed, "
+              f"{sum(1 for r in jobs if not r.terminal)} live")
+        return 0
+    if args.service_command == "submit":
+        spec = _spec_from_args(args)
+        job_id = job_id_for(spec)
+        inbox = state_dir / "inbox"
+        inbox.mkdir(parents=True, exist_ok=True)
+        # The spool write is atomic, so a concurrently running service
+        # never ingests a half-written spec.
+        atomic_write_text(inbox / f"{job_id}.json", job_spec_to_json(spec))
+        print(f"submitted {job_id} ({spec.pipeline}, fidelity "
+              f"{spec.fidelity}) to {inbox}")
+        return 0
+    if args.service_command == "status":
+        store = JobStore.open(state_dir, readonly=True)
+        jobs = sorted(store.jobs.values(), key=lambda r: r.submitted_seq)
+        states = Counter(record.state for record in jobs)
+        summary = ", ".join(
+            f"{states[state]} {state}" for state in
+            ("queued", "running", "done", "failed") if states[state]
+        ) or "empty"
+        print(f"service state at {state_dir}: {summary}; "
+              f"{len(store.rejected)} rejected")
+        for record in jobs:
+            lease = ""
+            if record.lease is not None:
+                lease = f" lease={record.lease['owner']}"
+            failure = ""
+            if record.failure is not None:
+                failure = f" failure={record.failure['reason']!r}"
+            print(f"  {record.job_id} {record.state:7s} "
+                  f"{record.spec.pipeline} fidelity={record.fidelity} "
+                  f"attempts={record.attempts}{lease}{failure}")
+        return 0
+    # drain: ask a running service to stop admitting and exit cleanly.
+    state_dir.mkdir(parents=True, exist_ok=True)
+    (state_dir / DRAIN_MARKER).touch()
+    print(f"drain requested at {state_dir}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
@@ -437,6 +540,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="invariant checking for loaded artifacts / the pipeline "
              "(default off; artifact schemas are always validated)")
 
+    service = sub.add_parser(
+        "service",
+        help="resilient campaign service: crash-safe job queue, leases, "
+             "backpressure, graceful drain",
+    )
+    ssub = service.add_subparsers(dest="service_command", required=True)
+
+    srun = ssub.add_parser("run", help="run the service loop")
+    srun.add_argument("state_dir", help="service state directory")
+    srun.add_argument("--executor-id", default="executor",
+                      help="stable lease-owner id; a restart with the same "
+                           "id reclaims its own leases immediately")
+    srun.add_argument("--queue-limit", type=int, default=32,
+                      help="admission limit on live jobs (default 32; "
+                           "halves while shedding load)")
+    srun.add_argument("--max-attempts", type=int, default=3,
+                      help="attempt budget before a job is quarantined "
+                           "as failed (default 3)")
+    srun.add_argument("--lease-s", type=float, default=30.0,
+                      help="lease duration; heartbeats extend it while an "
+                           "attempt runs (default 30)")
+    srun.add_argument("--tick-s", type=float, default=0.05,
+                      help="idle loop tick (default 0.05)")
+    srun.add_argument("--backoff-base-s", type=float, default=0.05,
+                      help="retry backoff base; doubles per attempt with "
+                           "seeded jitter (default 0.05)")
+    srun.add_argument("--until-idle", action="store_true",
+                      help="exit once every job is terminal and the inbox "
+                           "is empty (soak/CI mode)")
+    srun.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after N executed attempts")
+
+    ssubmit = ssub.add_parser(
+        "submit", help="spool a job spec into the service inbox"
+    )
+    ssubmit.add_argument("state_dir", help="service state directory")
+    ssubmit.add_argument("--spec", metavar="PATH",
+                         help="submit this job-spec artifact verbatim "
+                              "(overrides the flags below)")
+    ssubmit.add_argument("--pipeline", choices=("toy", "map-cable"),
+                         default="toy")
+    ssubmit.add_argument("--job-seed", type=int, default=0,
+                         help="campaign seed inside the job (default 0)")
+    ssubmit.add_argument("--fidelity",
+                         choices=("full", "reduced", "minimal"),
+                         default="full")
+    ssubmit.add_argument("--allow-degraded", action="store_true",
+                         help="let degraded attempts retry at lower "
+                              "fidelity instead of shipping degraded maps")
+    ssubmit.add_argument("--workers", type=int, default=0,
+                         help="supervised worker processes (default 0 = "
+                              "serial)")
+    ssubmit.add_argument("--targets", type=int, default=8,
+                         help="toy pipeline: probed targets (default 8)")
+    ssubmit.add_argument("--hosts", type=int, default=2,
+                         help="toy pipeline: per-side host count")
+    ssubmit.add_argument("--isp", choices=("comcast", "charter"),
+                         default="comcast",
+                         help="map-cable pipeline: target ISP")
+    ssubmit.add_argument("--sweep-vps", type=int, default=8,
+                         help="map-cable pipeline: sweep VP count")
+    ssubmit.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                         help="inject this probe-loss rate (0..1)")
+    ssubmit.add_argument("--worker-crash", type=float, default=0.0,
+                         metavar="RATE",
+                         help="chaos: per-(shard, attempt) worker SIGKILL "
+                              "probability")
+    ssubmit.add_argument("--worker-stall", type=float, default=0.0,
+                         metavar="RATE",
+                         help="chaos: per-(shard, attempt) worker stall "
+                              "probability")
+    ssubmit.add_argument("--chaos-fail-attempts", type=int, default=0,
+                         metavar="N",
+                         help="service chaos: fail the job's first N "
+                              "attempts (exercises retry/poison paths)")
+    ssubmit.add_argument("--name", default="",
+                         help="submission label (not part of the dedup "
+                              "hash)")
+    ssubmit.add_argument("--priority", type=int, default=0,
+                         help="scheduling priority, higher first "
+                              "(default 0)")
+
+    sstatus = ssub.add_parser(
+        "status", help="print the job table from a state directory"
+    )
+    sstatus.add_argument("state_dir", help="service state directory")
+
+    sdrain = ssub.add_parser(
+        "drain", help="ask a running service to drain and exit"
+    )
+    sdrain.add_argument("state_dir", help="service state directory")
+
     return parser
 
 
@@ -447,6 +642,7 @@ _COMMANDS = {
     "ship": cmd_ship,
     "energy": cmd_energy,
     "resilience": cmd_resilience,
+    "service": cmd_service,
 }
 
 

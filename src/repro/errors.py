@@ -37,6 +37,14 @@ class CheckpointError(ReproError):
     """A campaign checkpoint file was missing, corrupt, or incompatible."""
 
 
+class ServiceError(ReproError):
+    """The campaign service hit unusable state (corrupt journal, bad spec)."""
+
+
+class AdmissionRejected(ServiceError):
+    """A job submission was rejected by admission control (queue full)."""
+
+
 class InferenceError(ReproError):
     """The inference pipeline received input it cannot process."""
 

@@ -189,6 +189,18 @@ class FaultPlan:
             and self._draw("worker-slow", shard_id, attempt) < self.worker_slow
         )
 
+    def retry_jitter(self, key: object, attempt: int) -> float:
+        """A U(0,1) jitter factor for retry backoff, keyed per attempt.
+
+        Both the supervised shard executor and the campaign service
+        scale their exponential backoff by ``0.5 + retry_jitter(...)``
+        so retries desynchronize without losing reproducibility: the
+        jitter comes from the same seeded, event-keyed stream as every
+        other fault decision, so a chaos soak run is identical
+        run-to-run.
+        """
+        return self._draw("retry-jitter", key, attempt)
+
     def failure_point(
         self, shard_id: str, attempt: int, job_count: int, kind: str = "crash"
     ) -> int:

@@ -43,10 +43,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from multiprocessing.connection import wait as _conn_wait
 
-from repro.errors import MeasurementError
+from repro.errors import CampaignInterrupted, MeasurementError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.measure.parallel import (
@@ -467,6 +468,13 @@ class SupervisedCampaignRunner(ParallelCampaignRunner):
         boot_failures = 0
         max_boot_failures = max(3, self.workers * 3)
 
+        #: Backoff jitter draws from the fault plan when one is attached
+        #: (so a seeded chaos run replays the identical retry schedule)
+        #: and from the default zero-fault plan otherwise.
+        jitter_plan = (
+            self.injector.plan if self.injector is not None else FaultPlan()
+        )
+
         def fail_shard(shard: Shard, reason: str, now: float) -> None:
             nonlocal finished
             made = attempts[shard.shard_id]
@@ -485,7 +493,11 @@ class SupervisedCampaignRunner(ParallelCampaignRunner):
                 finished += 1
             else:
                 self.health.shards_retried += 1
-                backoff = self.retry_backoff_s * (2 ** (made - 1))
+                backoff = (
+                    self.retry_backoff_s
+                    * (2 ** (made - 1))
+                    * (0.5 + jitter_plan.retry_jitter(shard.shard_id, made))
+                )
                 queue.append((shard, now + backoff))
 
         def recycle(worker: _Worker, reason: str, now: float) -> None:
@@ -516,6 +528,21 @@ class SupervisedCampaignRunner(ParallelCampaignRunner):
                     attempts[shard.shard_id] -= 1
                     queue.append((shard, now))
 
+        #: SIGTERM behaves like Ctrl-C while the pool runs: terminate
+        #: workers, flush the checkpoint, exit cleanly.  Installed only
+        #: when nothing else claimed the signal (the campaign service
+        #: installs its own drain handler) and only on the main thread
+        #: (signal.signal raises elsewhere).
+        previous_sigterm = None
+        if threading.current_thread() is threading.main_thread():
+            current = signal.getsignal(signal.SIGTERM)
+            if current in (signal.SIG_DFL, signal.default_int_handler):
+
+                def _sigterm(signum, frame):  # pragma: no cover - signal glue
+                    raise KeyboardInterrupt
+
+                previous_sigterm = current
+                signal.signal(signal.SIGTERM, _sigterm)
         try:
             while finished < len(pending_shards):
                 now = time.monotonic()
@@ -656,7 +683,25 @@ class SupervisedCampaignRunner(ParallelCampaignRunner):
                         recycle(worker, "shard deadline exceeded", now)
             if self.checkpoint is not None and since_save_jobs:
                 self.checkpoint.save()
+        except KeyboardInterrupt:
+            # Graceful shutdown: the finally block below terminates the
+            # spawn-context workers (no leaked processes), completed
+            # shards stay parked in the checkpoint for the next resume,
+            # and the caller gets a clean CampaignInterrupted instead
+            # of a KeyboardInterrupt traceback.
+            self.health.interrupted = True
+            if self.checkpoint is not None:
+                self.checkpoint.health = self.health.as_dict()
+                if self.injector is not None:
+                    self.checkpoint.injector_state = self.injector.state_dict()
+                self.checkpoint.save()
+            raise CampaignInterrupted(
+                "supervised campaign interrupted (checkpoint: "
+                f"{getattr(self.checkpoint, 'path', None)})"
+            ) from None
         finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
             for worker in workers:
                 if worker.ready and not worker.assigned:
                     try:

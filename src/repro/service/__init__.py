@@ -1,0 +1,53 @@
+"""The resilient campaign service: crash-safe job queue + executor.
+
+A long-running front end over the measurement/inference stack: jobs
+are submitted as validated ``job-spec`` artifacts, persisted in an
+append-only journal with atomic snapshots, executed under lease with
+heartbeats, retried with seeded-jittered backoff, degraded down the
+fidelity ladder when campaigns come back unhealthy, and drained
+gracefully on SIGINT/SIGTERM.  SIGKILL at any instant loses nothing:
+the next ``repro service run`` replays the journal, reclaims the dead
+executor's leases, and resumes interrupted attempts from their
+campaign checkpoints.
+"""
+
+from repro.service.executor import ExecutionResult, JobExecutor
+from repro.service.scheduler import Scheduler
+from repro.service.service import CampaignService
+from repro.service.spec import (
+    FIDELITY_LEVELS,
+    PIPELINES,
+    JobSpec,
+    degrade,
+    job_id_for,
+    job_spec_from_json,
+    job_spec_to_json,
+    spec_hash,
+)
+from repro.service.store import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+    job_record_from_json,
+    job_record_to_json,
+)
+
+__all__ = [
+    "FIDELITY_LEVELS",
+    "PIPELINES",
+    "TERMINAL_STATES",
+    "CampaignService",
+    "ExecutionResult",
+    "JobExecutor",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
+    "degrade",
+    "job_id_for",
+    "job_record_from_json",
+    "job_record_to_json",
+    "job_spec_from_json",
+    "job_spec_to_json",
+    "spec_hash",
+]

@@ -1,0 +1,221 @@
+"""Job execution: one attempt of one job, through the campaign stack.
+
+The executor is deliberately thin: it maps a :class:`JobSpec` plus a
+fidelity level onto the existing measurement machinery —
+:class:`~repro.measure.runner.CampaignRunner` serially, or
+:class:`~repro.measure.supervisor.SupervisedCampaignRunner` when the
+spec asks for workers — and exports the resulting artifacts atomically
+into the job's directory.  Everything that makes execution resumable
+already exists one layer down: the campaign checkpoint lives at
+``jobs/<id>/checkpoint.json``, so an attempt interrupted by a crash (or
+a reclaimed lease) resumes mid-campaign instead of restarting, and the
+event-keyed fault plan guarantees the resumed corpus converges on the
+uninterrupted one.
+
+Every attempt writes a ``health.json`` (campaign-health artifact) and,
+when the supervised runner quarantined poison shards, a validated
+``quarantine.json`` the job record links to.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError, ServiceError
+from repro.faults import FaultInjector, FaultPlan
+from repro.io.atomic import atomic_write_text
+from repro.io.checkpoint import CampaignCheckpoint, trace_to_dict
+from repro.obs import sha256_text
+from repro.service.spec import JobSpec
+from repro.validate.quarantine import quarantine_report_to_json
+
+#: Fidelity → fraction of the spec's nominal workload that runs.
+_FIDELITY_SCALE = {"full": 1.0, "reduced": 0.5, "minimal": 0.25}
+
+
+@dataclass
+class ExecutionResult:
+    """What one successful attempt produced."""
+
+    artifacts: "dict[str, dict]" = field(default_factory=dict)
+    degraded: bool = False
+    summary: str = ""
+
+
+def _scaled(count: int, fidelity: str, floor: int = 1) -> int:
+    return max(floor, int(count * _FIDELITY_SCALE[fidelity]))
+
+
+def _load_or_new_checkpoint(path: pathlib.Path) -> CampaignCheckpoint:
+    """Resume the job's campaign checkpoint; start fresh if corrupt.
+
+    A corrupt checkpoint is attempt-local damage, not poison: it is
+    removed so the retry restarts the campaign from zero, and the
+    attempt is charged via :class:`ServiceError`.
+    """
+    if not path.exists():
+        return CampaignCheckpoint(path)
+    try:
+        return CampaignCheckpoint.load(path)
+    except CheckpointError as exc:
+        path.unlink(missing_ok=True)
+        raise ServiceError(
+            f"job checkpoint was corrupt and has been discarded: {exc}"
+        ) from exc
+
+
+class JobExecutor:
+    """Executes job attempts into per-job artifact directories."""
+
+    def __init__(self, jobs_dir: "str | pathlib.Path", obs=None,
+                 metrics=None) -> None:
+        self.jobs_dir = pathlib.Path(jobs_dir)
+        self.obs = obs
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    def execute(self, job_id: str, spec: JobSpec, fidelity: str,
+                attempt: int) -> ExecutionResult:
+        """Run one attempt; raises on failure (the service charges it)."""
+        fail_until = int(spec.chaos.get("fail_attempts", 0))
+        if attempt <= fail_until:
+            raise ServiceError(
+                f"injected chaos failure (attempt {attempt}/{fail_until})"
+            )
+        job_dir = self.jobs_dir / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        if spec.pipeline == "toy":
+            return self._execute_toy(job_id, spec, fidelity, job_dir)
+        return self._execute_cable(job_id, spec, fidelity, job_dir)
+
+    # ------------------------------------------------------------------
+    def _write(self, job_dir: pathlib.Path, name: str, text: str,
+               artifacts: "dict[str, dict]") -> None:
+        atomic_write_text(job_dir / name, text)
+        artifacts[name] = {"sha256": sha256_text(text), "bytes": len(text)}
+
+    def _export_campaign(self, job_dir: pathlib.Path, runner,
+                         artifacts: "dict[str, dict]") -> None:
+        """Health always; quarantine when poison shards were recorded."""
+        from repro.io.export import campaign_health_to_json
+
+        self._write(job_dir, "health.json",
+                    campaign_health_to_json(runner.health), artifacts)
+        quarantine = getattr(runner, "quarantine", None)
+        if quarantine is not None and quarantine:
+            self._write(job_dir, "quarantine.json",
+                        quarantine_report_to_json(quarantine), artifacts)
+
+    def _execute_toy(self, job_id: str, spec: JobSpec, fidelity: str,
+                     job_dir: pathlib.Path) -> ExecutionResult:
+        from repro.measure.runner import CampaignRunner
+        from repro.measure.substrates import WorkerSpec, toy_substrate
+        from repro.measure.supervisor import SupervisedCampaignRunner
+
+        hosts = max(1, spec.hosts)
+        targets = _scaled(min(200, spec.targets), fidelity)
+        tracer, vps = toy_substrate(hosts=hosts)
+        plan = FaultPlan(**spec.faults) if spec.faults else None
+        if plan is not None and plan.active:
+            tracer.network.attach_faults(FaultInjector(plan))
+        checkpoint_path = job_dir / "checkpoint.json"
+        resumed = checkpoint_path.exists()
+        checkpoint = _load_or_new_checkpoint(checkpoint_path)
+        options = {
+            "obs": self.obs,
+            "metrics": self.metrics,
+            "checkpoint_every": max(1, targets // 2),
+        }
+        runner_cls = CampaignRunner
+        if spec.workers > 1:
+            runner_cls = SupervisedCampaignRunner
+            options["worker_spec"] = WorkerSpec(
+                "repro.measure.substrates:toy_substrate", {"hosts": hosts},
+            )
+            options["workers"] = spec.workers
+            options["shard_size"] = max(1, targets // 2)
+        if resumed:
+            # The canonical resume path: restores health counters and
+            # the injector's per-VP probe state, so dropout thresholds
+            # fire where the interrupted attempt left them.
+            runner = runner_cls.resumed(
+                tracer, list(vps.values()), checkpoint, **options
+            )
+        else:
+            runner = runner_cls(
+                tracer, list(vps.values()), checkpoint=checkpoint, **options
+            )
+        jobs = [
+            (vp, f"198.18.5.{index}")
+            for vp in vps.values()
+            for index in range(1, targets + 1)
+        ]
+        traces = runner.run(jobs, stage="campaign")
+        corpus = json.dumps(
+            [trace_to_dict(trace) for trace in traces], sort_keys=True
+        )
+        artifacts: "dict[str, dict]" = {}
+        self._write(job_dir, "corpus.json", corpus, artifacts)
+        self._export_campaign(job_dir, runner, artifacts)
+        return ExecutionResult(
+            artifacts=artifacts,
+            degraded=runner.health.degraded,
+            summary=runner.health.summary(),
+        )
+
+    def _execute_cable(self, job_id: str, spec: JobSpec, fidelity: str,
+                       job_dir: pathlib.Path) -> ExecutionResult:
+        from repro.infer.pipeline import CableInferencePipeline
+        from repro.io.export import region_to_json
+        from repro.measure.substrates import WorkerSpec
+        from repro.topology.internet import SimulatedInternet
+
+        internet = SimulatedInternet(
+            seed=spec.seed, include_telco=False, include_mobile=False,
+        )
+        isp = getattr(internet, spec.isp, None)
+        if isp is None:
+            raise ServiceError(f"unknown ISP {spec.isp!r}") from None
+        worker_spec = None
+        if spec.workers > 1:
+            worker_spec = WorkerSpec(
+                "repro.measure.substrates:cable_substrate",
+                {"seed": spec.seed, "include_telco": False,
+                 "include_mobile": False},
+            )
+        plan = FaultPlan(**spec.faults) if spec.faults else None
+        checkpoint_path = job_dir / "checkpoint.json"
+        # Discard-if-corrupt guard: a damaged checkpoint costs this
+        # attempt, not the job.
+        _load_or_new_checkpoint(checkpoint_path)
+        pipeline = CableInferencePipeline(
+            internet.network, isp, list(internet.build_standard_vps()),
+            sweep_vps=_scaled(spec.sweep_vps, fidelity, floor=2),
+            faults=plan,
+            checkpoint_path=checkpoint_path,
+            resume=checkpoint_path.exists(),
+            workers=spec.workers, worker_spec=worker_spec,
+            trace_seed=spec.seed,
+        )
+        result = pipeline.run()
+        artifacts: "dict[str, dict]" = {}
+        for name, region in sorted(result.regions.items()):
+            self._write(job_dir, f"{spec.isp}-{name}.json",
+                        region_to_json(region), artifacts)
+        if result.quarantine is not None and result.quarantine:
+            self._write(job_dir, "quarantine.json",
+                        quarantine_report_to_json(result.quarantine),
+                        artifacts)
+        health = result.health
+        if health is not None:
+            from repro.io.export import campaign_health_to_json
+
+            self._write(job_dir, "health.json",
+                        campaign_health_to_json(health), artifacts)
+        return ExecutionResult(
+            artifacts=artifacts,
+            degraded=bool(health.degraded) if health is not None else False,
+            summary=health.summary() if health is not None else "",
+        )

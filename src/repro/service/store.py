@@ -1,0 +1,498 @@
+"""Crash-safe on-disk job store: append-only journal + atomic snapshot.
+
+The service must never lose a submitted job, no matter where it is
+SIGKILLed.  The store gets that from two files and one rule:
+
+* ``journal.jsonl`` — an append-only log of state transitions, one
+  JSON object per line, fsynced per append.  Every mutation goes
+  through :meth:`JobStore.append`, which writes the line *before*
+  applying it to memory — the write-ahead rule.
+* ``snapshot.json`` — a validated ``service-snapshot`` artifact written
+  atomically (:func:`repro.io.atomic.atomic_write_text`) by
+  :meth:`JobStore.compact`; the journal is then truncated.  A crash
+  between the two is safe: journal lines at or below the snapshot's
+  ``seq`` are skipped on replay.
+
+On restart :meth:`JobStore.open` loads the snapshot (if any) and
+replays the journal tail.  A **torn final line** — the half-written
+append of a crashed process — is expected damage and is silently
+truncated; a corrupt line *before* the tail, or a corrupt snapshot, is
+real corruption and raises :class:`~repro.errors.ServiceError` (the CLI
+surfaces it as a one-line ``error:`` and exit 3).
+
+Replay is deterministic because every journal op carries **all** the
+data its transition needs (artifact digests, backoff deadlines, lease
+expiries); applying an op never consults the wall clock or any state
+outside the record it names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+try:  # pragma: no cover - always present on the linux CI image
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None
+
+from repro.errors import ServiceError
+from repro.io.atomic import atomic_write_text
+from repro.service.spec import JobSpec, job_id_for, spec_hash
+from repro.validate.schema import (
+    ARTIFACT_VERSIONS,
+    validate_artifact,
+)
+
+#: Journal appends between automatic compactions.
+COMPACT_EVERY = 200
+
+#: Job states.  ``queued`` and ``running`` are live; ``done`` and
+#: ``failed`` are terminal.
+STATES = ("queued", "running", "done", "failed")
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle, serializable as a ``job-record``."""
+
+    job_id: str
+    spec: JobSpec
+    spec_hash: str
+    state: str = "queued"
+    fidelity: str = "full"
+    attempts: int = 0
+    attempt_log: "list[dict]" = field(default_factory=list)
+    not_before: float = 0.0
+    lease: "dict | None" = None
+    artifacts: "dict[str, dict]" = field(default_factory=dict)
+    failure: "dict | None" = None
+    submitted_seq: int = 0
+    dedup_count: int = 0
+
+    # ------------------------------------------------------------------
+    def open_attempt(self) -> "dict | None":
+        """The in-flight attempt entry, if one is open."""
+        if self.attempt_log and self.attempt_log[-1]["finished_at"] is None:
+            return self.attempt_log[-1]
+        return None
+
+    def lease_expired(self, now: float) -> bool:
+        return self.lease is not None and self.lease["expires_at"] <= now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> "dict[str, object]":
+        """The validated ``job-record`` artifact payload."""
+        return {
+            "schema": ARTIFACT_VERSIONS["job-record"],
+            "kind": "job-record",
+            "job_id": self.job_id,
+            "spec_hash": self.spec_hash,
+            "spec": self.spec.as_dict(),
+            "state": self.state,
+            "fidelity": self.fidelity,
+            "attempts": self.attempts,
+            "attempt_log": [dict(entry) for entry in self.attempt_log],
+            "not_before": self.not_before,
+            "lease": dict(self.lease) if self.lease is not None else None,
+            "artifacts": {
+                name: dict(meta) for name, meta in sorted(self.artifacts.items())
+            },
+            "failure": dict(self.failure) if self.failure is not None else None,
+            "submitted_seq": self.submitted_seq,
+            "dedup_count": self.dedup_count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, object]") -> "JobRecord":
+        validate_artifact(payload, kind="job-record")
+        return cls(
+            job_id=payload["job_id"],
+            spec=JobSpec.from_dict(payload["spec"]),
+            spec_hash=payload["spec_hash"],
+            state=payload["state"],
+            fidelity=payload["fidelity"],
+            attempts=payload["attempts"],
+            attempt_log=[dict(entry) for entry in payload["attempt_log"]],
+            not_before=payload["not_before"],
+            lease=dict(payload["lease"]) if payload["lease"] else None,
+            artifacts={k: dict(v) for k, v in payload["artifacts"].items()},
+            failure=dict(payload["failure"]) if payload["failure"] else None,
+            submitted_seq=payload["submitted_seq"],
+            dedup_count=payload["dedup_count"],
+        )
+
+
+def job_record_to_json(record: JobRecord) -> str:
+    """Serialize a record as a validated ``job-record`` artifact."""
+    return json.dumps(record.as_dict(), indent=2, sort_keys=True)
+
+
+def job_record_from_json(text: str) -> JobRecord:
+    from repro.validate.schema import parse_artifact
+
+    return JobRecord.from_dict(parse_artifact(text, kind="job-record"))
+
+
+class JobStore:
+    """The service's persistent state: jobs, rejections, the journal.
+
+    All mutation goes through :meth:`append`; read access goes through
+    :attr:`jobs` and the query helpers.  One store instance assumes one
+    writing process (the service); cross-process submission rides the
+    ``inbox/`` spool directory, not the journal.
+    """
+
+    def __init__(self, state_dir: "str | pathlib.Path",
+                 clock=time.time, readonly: bool = False) -> None:
+        self.state_dir = pathlib.Path(state_dir)
+        self.journal_path = self.state_dir / "journal.jsonl"
+        self.snapshot_path = self.state_dir / "snapshot.json"
+        self.inbox_dir = self.state_dir / "inbox"
+        self.jobs_dir = self.state_dir / "jobs"
+        self.clock = clock
+        self.readonly = readonly
+        self.jobs: "dict[str, JobRecord]" = {}
+        self.rejected: "list[dict]" = []
+        self.seq = 0
+        self._journal_fd = None
+        self._since_compact = 0
+        #: Reentrant: the heartbeat thread appends while the main
+        #: thread may be mid-append/compact.
+        self._mutex = threading.RLock()
+        self._flock_fd = None
+
+    # ------------------------------------------------------------------
+    # Load / replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, state_dir: "str | pathlib.Path",
+             clock=time.time, readonly: bool = False) -> "JobStore":
+        """Load (or initialize) the store at *state_dir*.
+
+        Replays snapshot + journal; corruption anywhere but the torn
+        final journal line raises :class:`ServiceError`.  A writable
+        open takes an exclusive ``flock`` on ``state_dir/lock`` — the
+        kernel releases it even on SIGKILL, so a crashed service never
+        wedges its state dir, while two live services can never
+        interleave journal writes.  ``readonly`` opens (status
+        inspection) skip the lock and never mutate anything, including
+        the torn-tail repair.
+        """
+        store = cls(state_dir, clock=clock, readonly=readonly)
+        store.state_dir.mkdir(parents=True, exist_ok=True)
+        store.inbox_dir.mkdir(exist_ok=True)
+        store.jobs_dir.mkdir(exist_ok=True)
+        if not readonly:
+            store._acquire_flock()
+        snapshot_seq = store._load_snapshot()
+        store._replay_journal(snapshot_seq)
+        return store
+
+    def _acquire_flock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-posix fallback
+            return
+        fd = os.open(self.state_dir / "lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise ServiceError(
+                f"state dir {self.state_dir} is held by another running "
+                "service instance"
+            ) from None
+        self._flock_fd = fd
+
+    def _load_snapshot(self) -> int:
+        if not self.snapshot_path.exists():
+            return 0
+        try:
+            payload = json.loads(self.snapshot_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"corrupt service snapshot {self.snapshot_path}: {exc}"
+            ) from exc
+        try:
+            validate_artifact(payload, kind="service-snapshot")
+            self.jobs = {
+                job_id: JobRecord.from_dict(record)
+                for job_id, record in payload["jobs"].items()
+            }
+        except ServiceError:
+            raise
+        except Exception as exc:  # SchemaError and friends
+            raise ServiceError(
+                f"corrupt service snapshot {self.snapshot_path}: {exc}"
+            ) from exc
+        self.rejected = [dict(entry) for entry in payload["rejected"]]
+        self.seq = payload["seq"]
+        return payload["seq"]
+
+    def _replay_journal(self, snapshot_seq: int) -> None:
+        """Apply journal lines past the snapshot; truncate a torn tail."""
+        if not self.journal_path.exists():
+            return
+        data = self.journal_path.read_bytes()
+        offset = 0
+        valid_end = 0
+        lines = data.split(b"\n")
+        for index, raw in enumerate(lines):
+            line_start = offset
+            offset += len(raw) + 1
+            text = raw.strip()
+            if not text:
+                continue
+            is_tail = all(not rest.strip() for rest in lines[index + 1:])
+            try:
+                entry = json.loads(text)
+                if not isinstance(entry, dict) or "seq" not in entry \
+                        or "op" not in entry:
+                    raise ValueError("not a journal entry")
+            except ValueError as exc:
+                if is_tail:
+                    # The torn append of a killed process: expected
+                    # damage, dropped.  valid_end already marks the last
+                    # good line; the append path truncates to it.
+                    break
+                raise ServiceError(
+                    f"corrupt service journal {self.journal_path} "
+                    f"line {index + 1}: {exc}"
+                ) from exc
+            valid_end = line_start + len(raw) + 1
+            if entry["seq"] <= snapshot_seq:
+                continue
+            self._apply(entry)
+            self.seq = entry["seq"]
+        if valid_end < len(data) and not self.readonly:
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(valid_end)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _fd(self):
+        if self._journal_fd is None:
+            self._journal_fd = open(self.journal_path, "a")
+        return self._journal_fd
+
+    def append(self, op: str, **fields) -> "dict[str, object]":
+        """Write one journal line (write-ahead) and apply it."""
+        if self.readonly:
+            raise ServiceError("job store was opened read-only")
+        with self._mutex:
+            self.seq += 1
+            entry = {
+                "seq": self.seq, "op": op, "at": float(self.clock()), **fields,
+            }
+            handle = self._fd()
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._apply(entry)
+            self._since_compact += 1
+            if self._since_compact >= COMPACT_EVERY:
+                self.compact()
+            return entry
+
+    def compact(self) -> None:
+        """Snapshot atomically, then truncate the journal.
+
+        Crash-safe in both orders of failure: an old journal's lines
+        replay as no-ops below the snapshot seq, and a missing snapshot
+        just means a longer replay.
+        """
+        if self.readonly:
+            raise ServiceError("job store was opened read-only")
+        with self._mutex:
+            payload = {
+                "schema": ARTIFACT_VERSIONS["service-snapshot"],
+                "kind": "service-snapshot",
+                "seq": self.seq,
+                "jobs": {
+                    job_id: record.as_dict()
+                    for job_id, record in sorted(self.jobs.items())
+                },
+                "rejected": list(self.rejected),
+            }
+            atomic_write_text(
+                self.snapshot_path, json.dumps(payload, sort_keys=True)
+            )
+            if self._journal_fd is not None:
+                self._journal_fd.close()
+                self._journal_fd = None
+            atomic_write_text(self.journal_path, "")
+            self._since_compact = 0
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._journal_fd is not None:
+                self._journal_fd.close()
+                self._journal_fd = None
+        if self._flock_fd is not None:
+            if fcntl is not None:  # pragma: no branch
+                fcntl.flock(self._flock_fd, fcntl.LOCK_UN)
+            os.close(self._flock_fd)
+            self._flock_fd = None
+
+    # ------------------------------------------------------------------
+    # The state machine
+    # ------------------------------------------------------------------
+    def _apply(self, entry: "dict[str, object]") -> None:
+        op = entry["op"]
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        if handler is None:
+            raise ServiceError(f"unknown journal op {op!r} (seq {entry['seq']})")
+        handler(entry)
+
+    def _record(self, entry) -> JobRecord:
+        record = self.jobs.get(entry["job_id"])
+        if record is None:
+            raise ServiceError(
+                f"journal names unknown job {entry['job_id']!r} "
+                f"(seq {entry['seq']})"
+            )
+        return record
+
+    def _op_submit(self, entry) -> None:
+        spec = JobSpec.from_dict(entry["spec"])
+        record = JobRecord(
+            job_id=entry["job_id"],
+            spec=spec,
+            spec_hash=entry["spec_hash"],
+            state="queued",
+            fidelity=spec.fidelity,
+            not_before=entry.get("not_before", 0.0),
+            submitted_seq=entry["seq"],
+        )
+        self.jobs[record.job_id] = record
+
+    def _op_dedup(self, entry) -> None:
+        self._record(entry).dedup_count += 1
+
+    def _op_reject(self, entry) -> None:
+        self.rejected.append({
+            "spec_hash": entry["spec_hash"],
+            "reason": entry["reason"],
+            "at": entry["at"],
+        })
+
+    def _op_start(self, entry) -> None:
+        record = self._record(entry)
+        record.state = "running"
+        record.attempts += 1
+        record.fidelity = entry["fidelity"]
+        record.lease = {
+            "owner": entry["owner"],
+            "expires_at": entry["expires_at"],
+        }
+        record.attempt_log.append({
+            "attempt": record.attempts,
+            "executor": entry["owner"],
+            "fidelity": entry["fidelity"],
+            "outcome": "running",
+            "error": None,
+            "degraded": False,
+            "started_at": entry["at"],
+            "finished_at": None,
+        })
+
+    def _op_heartbeat(self, entry) -> None:
+        record = self._record(entry)
+        if record.lease is not None:
+            record.lease["expires_at"] = entry["expires_at"]
+
+    def _close_attempt(self, record, entry, outcome, error=None,
+                       degraded=False) -> None:
+        attempt = record.open_attempt()
+        if attempt is not None:
+            attempt["outcome"] = outcome
+            attempt["error"] = error
+            attempt["degraded"] = bool(degraded)
+            attempt["finished_at"] = entry["at"]
+        record.lease = None
+
+    def _op_done(self, entry) -> None:
+        record = self._record(entry)
+        self._close_attempt(record, entry, "done",
+                            degraded=entry.get("degraded", False))
+        record.state = "done"
+        record.artifacts = {
+            name: dict(meta) for name, meta in entry["artifacts"].items()
+        }
+
+    def _op_retry(self, entry) -> None:
+        record = self._record(entry)
+        self._close_attempt(record, entry, entry.get("outcome", "error"),
+                            error=entry.get("error"),
+                            degraded=entry.get("degraded", False))
+        record.state = "queued"
+        record.not_before = entry["not_before"]
+        record.fidelity = entry["fidelity"]
+
+    def _op_failed(self, entry) -> None:
+        record = self._record(entry)
+        self._close_attempt(record, entry, "error", error=entry.get("error"))
+        record.state = "failed"
+        record.failure = {
+            "reason": entry["reason"],
+            "artifact": entry.get("artifact"),
+        }
+        record.artifacts = {
+            name: dict(meta)
+            for name, meta in entry.get("artifacts", {}).items()
+        }
+
+    def _op_release(self, entry) -> None:
+        record = self._record(entry)
+        self._close_attempt(record, entry, "interrupted",
+                            error=entry.get("reason"))
+        record.state = "queued"
+        record.not_before = entry.get("not_before", 0.0)
+
+    # ------------------------------------------------------------------
+    # Submission / queries
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> "tuple[JobRecord, bool]":
+        """Admit *spec*; returns ``(record, created)``.
+
+        An identical spec (by content hash) dedupes to the existing
+        job — including a finished one, whose cached artifacts satisfy
+        the resubmission for free.
+        """
+        digest = spec_hash(spec)
+        job_id = job_id_for(spec)
+        existing = self.jobs.get(job_id)
+        if existing is not None:
+            self.append("dedup", job_id=job_id)
+            return existing, False
+        self.append("submit", job_id=job_id, spec_hash=digest,
+                    spec=spec.as_dict(), not_before=0.0)
+        return self.jobs[job_id], True
+
+    def reject(self, spec: JobSpec, reason: str) -> None:
+        self.append("reject", spec_hash=spec_hash(spec), reason=reason)
+
+    def queued(self) -> "list[JobRecord]":
+        return [r for r in self.jobs.values() if r.state == "queued"]
+
+    def running(self) -> "list[JobRecord]":
+        return [r for r in self.jobs.values() if r.state == "running"]
+
+    def live_count(self) -> int:
+        """Jobs occupying queue capacity (non-terminal)."""
+        return sum(1 for r in self.jobs.values() if not r.terminal)
+
+    def all_terminal(self) -> bool:
+        return all(r.terminal for r in self.jobs.values())
+
+    def job_dir(self, job_id: str) -> pathlib.Path:
+        return self.jobs_dir / job_id

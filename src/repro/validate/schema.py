@@ -31,6 +31,9 @@ ARTIFACT_VERSIONS = {
     "campaign-checkpoint": 1,
     "quarantine-report": 1,
     "run-manifest": 1,
+    "job-spec": 1,
+    "job-record": 1,
+    "service-snapshot": 1,
 }
 
 
@@ -120,6 +123,19 @@ def check(value, spec, path: str = "$") -> None:
                 raise SchemaError(f"{path}: non-string key {key!r}")
             check(item, spec.value, f"{path}.{key}")
         return
+    if isinstance(spec, tuple) and any(not isinstance(t, type) for t in spec):
+        # A union with structured alternatives (e.g. an object spec or
+        # null): accept the first alternative that validates.
+        errors = []
+        for alternative in spec:
+            try:
+                check(value, alternative, path)
+                return
+            except SchemaError as exc:
+                errors.append(str(exc))
+        raise SchemaError(
+            f"{path}: no union alternative matched ({'; '.join(errors)})"
+        )
     expected = spec if isinstance(spec, tuple) else (spec,)
     if not any(_matches_type(value, t) for t in expected):
         raise SchemaError(
@@ -297,6 +313,66 @@ _RUN_MANIFEST = {
     }),
 }
 
+_JOB_SPEC = {
+    "schema": int,
+    "kind": str,
+    "name": Opt(str),
+    "pipeline": str,
+    "seed": int,
+    "priority": Opt(int),
+    "fidelity": str,
+    "allow_degraded": bool,
+    "workers": int,
+    "targets": Opt(int),
+    "hosts": Opt(int),
+    "isp": Opt(str),
+    "sweep_vps": Opt(int),
+    "faults": MapOf(ANY),
+    "chaos": Opt({"fail_attempts": Opt(int)}),
+}
+
+_JOB_RECORD = {
+    "schema": int,
+    "kind": str,
+    "job_id": str,
+    "spec_hash": str,
+    "spec": _JOB_SPEC,
+    "state": str,
+    "fidelity": str,
+    "attempts": int,
+    "attempt_log": ListOf({
+        "attempt": int,
+        "executor": str,
+        "fidelity": str,
+        "outcome": str,
+        "error": (str, _NoneType),
+        "degraded": bool,
+        "started_at": float,
+        "finished_at": (float, _NoneType),
+    }),
+    "not_before": float,
+    "lease": ({"owner": str, "expires_at": float}, _NoneType),
+    "artifacts": MapOf({
+        "sha256": str,
+        "bytes": Opt(int),
+    }),
+    "failure": ({"reason": str, "artifact": (str, _NoneType)}, _NoneType),
+    "submitted_seq": int,
+    "dedup_count": int,
+}
+
+_SERVICE_SNAPSHOT = {
+    "schema": int,
+    "kind": str,
+    "seq": int,
+    "jobs": MapOf(_JOB_RECORD),
+    "rejected": ListOf({
+        "spec_hash": str,
+        "reason": str,
+        "at": float,
+    }),
+}
+
 ARTIFACT_SCHEMAS = {
     "cable-region": _CABLE_REGION,
     "telco-region": _TELCO_REGION,
@@ -305,6 +381,9 @@ ARTIFACT_SCHEMAS = {
     "campaign-checkpoint": _CAMPAIGN_CHECKPOINT,
     "quarantine-report": _QUARANTINE_REPORT,
     "run-manifest": _RUN_MANIFEST,
+    "job-spec": _JOB_SPEC,
+    "job-record": _JOB_RECORD,
+    "service-snapshot": _SERVICE_SNAPSHOT,
 }
 
 

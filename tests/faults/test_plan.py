@@ -143,3 +143,32 @@ class TestWorkerFaults:
         plan = FaultPlan(seed=4, worker_crash=0.2, worker_stall=0.1,
                          worker_slow=0.3, worker_slow_ms=25.0)
         assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+
+class TestRetryJitter:
+    """Satellite 6: retry backoff jitter rides the seeded fault RNG."""
+
+    def test_seeded_and_reproducible(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        draws = [(key, n) for key in ("shard-0", "job-abc") for n in (1, 2, 3)]
+        assert [a.retry_jitter(k, n) for k, n in draws] \
+            == [b.retry_jitter(k, n) for k, n in draws]
+
+    def test_seed_and_key_dependent(self):
+        base = FaultPlan(seed=7).retry_jitter("shard-0", 1)
+        assert base != FaultPlan(seed=8).retry_jitter("shard-0", 1)
+        assert base != FaultPlan(seed=7).retry_jitter("shard-1", 1)
+        assert base != FaultPlan(seed=7).retry_jitter("shard-0", 2)
+
+    def test_unit_interval(self):
+        plan = FaultPlan(seed=0)
+        for attempt in range(1, 20):
+            assert 0.0 <= plan.retry_jitter("s", attempt) < 1.0
+
+    def test_order_independent(self):
+        plan = FaultPlan(seed=5)
+        first = plan.retry_jitter("s9", 3)
+        for n in range(200):
+            plan.retry_jitter(f"other-{n}", 1)
+        assert plan.retry_jitter("s9", 3) == first

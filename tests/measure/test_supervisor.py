@@ -161,3 +161,60 @@ class TestValidation:
     def test_bad_worker_spec_fails_eagerly(self):
         with pytest.raises(Exception, match="not importable"):
             WorkerSpec("repro.not.a.module:factory")
+
+
+class TestGracefulShutdown:
+    """Satellite: Ctrl-C / SIGTERM must checkpoint and leak nothing."""
+
+    def test_interrupt_flushes_checkpoint_and_terminates_workers(
+        self, tmp_path, monkeypatch
+    ):
+        import multiprocessing
+        import time
+
+        from repro.errors import CampaignInterrupted
+        from repro.measure import supervisor as supervisor_module
+
+        path = tmp_path / "campaign.ckpt"
+        tracer, vps = toy_substrate(hosts=3)
+        runner = SupervisedCampaignRunner(
+            tracer, list(vps.values()), worker_spec=SPEC,
+            checkpoint=CampaignCheckpoint(path), workers=2, shard_size=10,
+        )
+        real_wait = supervisor_module._conn_wait
+        polls = {"count": 0}
+
+        def interrupting_wait(conns, timeout=None):
+            polls["count"] += 1
+            if polls["count"] > 6:
+                raise KeyboardInterrupt
+            return real_wait(conns, timeout=timeout)
+
+        monkeypatch.setattr(supervisor_module, "_conn_wait",
+                            interrupting_wait)
+        with pytest.raises(CampaignInterrupted, match="checkpoint"):
+            runner.run(_jobs(vps), stage="s")
+
+        assert runner.health.interrupted
+        # The checkpoint was flushed on the way out with honest health.
+        saved = CampaignCheckpoint.load(path)
+        assert saved.health["interrupted"] is True
+        # No leaked spawn processes: the pool was torn down.
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children() \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+        # A resume from that checkpoint completes the campaign and the
+        # corpus is byte-identical to the serial reference.
+        monkeypatch.setattr(supervisor_module, "_conn_wait", real_wait)
+        tracer2, vps2 = toy_substrate(hosts=3)
+        resumed = SupervisedCampaignRunner.resumed(
+            tracer2, list(vps2.values()), CampaignCheckpoint.load(path),
+            worker_spec=SPEC, workers=2, shard_size=10,
+        )
+        corpus = _corpus(resumed.run(_jobs(vps2), stage="s"))
+        assert corpus == _serial_corpus()
+        assert resumed.health.resumed
+        assert not resumed.health.interrupted

@@ -1,0 +1,76 @@
+"""JobSpec: validation, content addressing, fidelity ladder."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.spec import (
+    FIDELITY_LEVELS,
+    JobSpec,
+    degrade,
+    job_id_for,
+    job_spec_from_json,
+    job_spec_to_json,
+    spec_hash,
+)
+
+
+class TestValidation:
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ServiceError, match="unknown pipeline"):
+            JobSpec(pipeline="warp")
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ServiceError, match="unknown fidelity"):
+            JobSpec(fidelity="ultra")
+
+    def test_unknown_fault_field_rejected(self):
+        with pytest.raises(ServiceError, match="unknown fault-plan field"):
+            JobSpec(faults={"probe_loss": 0.1, "gamma_rays": 1.0})
+
+    def test_known_fault_fields_accepted(self):
+        spec = JobSpec(faults={"probe_loss": 0.2, "worker_crash": 0.1})
+        assert spec.faults["probe_loss"] == 0.2
+
+
+class TestContentAddressing:
+    def test_hash_stable_and_id_is_prefix(self):
+        spec = JobSpec(seed=3, targets=12)
+        assert spec_hash(spec) == spec_hash(JobSpec(seed=3, targets=12))
+        assert job_id_for(spec) == spec_hash(spec)[:12]
+
+    def test_name_and_priority_do_not_enter_the_hash(self):
+        base = JobSpec(seed=5)
+        renamed = JobSpec(seed=5, name="portfolio-a", priority=9)
+        assert spec_hash(base) == spec_hash(renamed)
+
+    def test_output_relevant_fields_change_the_hash(self):
+        base = JobSpec(seed=5)
+        assert spec_hash(base) != spec_hash(JobSpec(seed=6))
+        assert spec_hash(base) != spec_hash(JobSpec(seed=5, fidelity="reduced"))
+        assert spec_hash(base) != spec_hash(
+            JobSpec(seed=5, faults={"probe_loss": 0.1})
+        )
+
+    def test_json_round_trip_preserves_hash_and_metadata(self):
+        spec = JobSpec(
+            pipeline="map-cable", seed=2, isp="charter", sweep_vps=6,
+            faults={"probe_loss": 0.05}, chaos={"fail_attempts": 2},
+            name="charter-map", priority=3,
+        )
+        clone = job_spec_from_json(job_spec_to_json(spec))
+        assert clone == spec
+        assert spec_hash(clone) == spec_hash(spec)
+
+    def test_invalid_artifact_rejected(self):
+        with pytest.raises(Exception, match="kind"):
+            job_spec_from_json('{"schema": 1, "kind": "job-record"}')
+
+
+class TestFidelityLadder:
+    def test_degrade_walks_down_and_sticks_at_bottom(self):
+        assert degrade("full") == "reduced"
+        assert degrade("reduced") == "minimal"
+        assert degrade("minimal") == "minimal"
+
+    def test_ladder_order(self):
+        assert FIDELITY_LEVELS == ("full", "reduced", "minimal")

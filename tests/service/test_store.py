@@ -1,0 +1,187 @@
+"""JobStore: write-ahead journal, replay, snapshots, corruption fuzz."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.spec import JobSpec
+from repro.service.store import COMPACT_EVERY, JobStore
+
+
+def _store(tmp_path, **kwargs):
+    return JobStore.open(tmp_path / "state", **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_dedup_and_replay(self, tmp_path):
+        store = _store(tmp_path)
+        spec = JobSpec(seed=1, targets=4)
+        record, created = store.submit(spec)
+        assert created and record.state == "queued"
+        again, created_again = store.submit(spec)
+        assert not created_again
+        assert again.job_id == record.job_id
+        assert again.dedup_count == 1
+        store.close()
+
+        replayed = _store(tmp_path)
+        clone = replayed.jobs[record.job_id]
+        assert clone.state == "queued"
+        assert clone.dedup_count == 1
+        assert clone.spec == spec
+        replayed.close()
+
+    def test_full_transition_history_replays_identically(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=2, targets=4))
+        job_id = record.job_id
+        store.append("start", job_id=job_id, owner="e1",
+                     expires_at=100.0, fidelity="full")
+        store.append("heartbeat", job_id=job_id, expires_at=200.0)
+        store.append("retry", job_id=job_id, outcome="error",
+                     error="boom", degraded=True, not_before=5.0,
+                     fidelity="reduced")
+        store.append("start", job_id=job_id, owner="e1",
+                     expires_at=300.0, fidelity="reduced")
+        store.append("done", job_id=job_id, degraded=False,
+                     artifacts={"corpus.json": {"sha256": "ab", "bytes": 2}})
+        before = store.jobs[job_id].as_dict()
+        store.close()
+
+        replayed = _store(tmp_path)
+        assert replayed.jobs[job_id].as_dict() == before
+        assert replayed.jobs[job_id].state == "done"
+        assert replayed.jobs[job_id].attempts == 2
+        replayed.close()
+
+    def test_compaction_snapshot_plus_tail_replay(self, tmp_path):
+        store = _store(tmp_path)
+        first, _ = store.submit(JobSpec(seed=3, targets=4))
+        store.compact()
+        assert store.journal_path.read_text() == ""
+        second, _ = store.submit(JobSpec(seed=4, targets=4))
+        store.close()
+
+        replayed = _store(tmp_path)
+        assert set(replayed.jobs) == {first.job_id, second.job_id}
+        replayed.close()
+
+    def test_auto_compaction_after_threshold(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=5, targets=4))
+        for _ in range(COMPACT_EVERY):
+            store.append("heartbeat", job_id=record.job_id, expires_at=9.0)
+        assert store.snapshot_path.exists()
+        assert len(store.journal_path.read_text().splitlines()) < COMPACT_EVERY
+        store.close()
+
+    def test_release_requeues_with_backoff_deadline(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=6, targets=4))
+        store.append("start", job_id=record.job_id, owner="e1",
+                     expires_at=10.0, fidelity="full")
+        store.append("release", job_id=record.job_id,
+                     reason="lease expired", not_before=42.0)
+        assert record.state == "queued"
+        assert record.not_before == 42.0
+        assert record.lease is None
+        assert record.attempt_log[-1]["outcome"] == "interrupted"
+        store.close()
+
+
+class TestCorruptionFuzz:
+    """The journal variants of the satellite-3 fuzz matrix."""
+
+    def _seeded(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=7, targets=4))
+        store.append("heartbeat", job_id=record.job_id, expires_at=1.0)
+        store.close()
+        return store.journal_path, record.job_id
+
+    def test_torn_final_line_is_tolerated_and_repaired(self, tmp_path):
+        journal, job_id = self._seeded(tmp_path)
+        with open(journal, "a") as handle:
+            handle.write('{"seq": 99, "op": "done", "job_id"')
+        replayed = _store(tmp_path)
+        assert replayed.jobs[job_id].state == "queued"
+        # The repair truncated the torn bytes so the next append is clean.
+        assert not journal.read_text().rstrip().endswith('"job_id"')
+        replayed.close()
+
+    def test_garbled_mid_file_line_raises_service_error(self, tmp_path):
+        journal, _ = self._seeded(tmp_path)
+        lines = journal.read_text().splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServiceError, match="corrupt service journal"):
+            _store(tmp_path)
+
+    def test_non_object_line_raises_service_error(self, tmp_path):
+        journal, _ = self._seeded(tmp_path)
+        content = journal.read_text()
+        journal.write_text('["not", "an", "entry"]\n' + content)
+        with pytest.raises(ServiceError, match="corrupt service journal"):
+            _store(tmp_path)
+
+    def test_empty_journal_is_fine(self, tmp_path):
+        journal, job_id = self._seeded(tmp_path)
+        store = _store(tmp_path)
+        store.compact()
+        store.close()
+        replayed = _store(tmp_path)
+        assert job_id in replayed.jobs
+        replayed.close()
+
+    def test_corrupt_snapshot_raises_service_error(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(seed=8, targets=4))
+        store.compact()
+        store.close()
+        text = store.snapshot_path.read_text()
+        store.snapshot_path.write_text(text[: len(text) // 2])
+        with pytest.raises(ServiceError, match="corrupt service snapshot"):
+            _store(tmp_path)
+
+    def test_schema_invalid_snapshot_raises_service_error(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(seed=9, targets=4))
+        store.compact()
+        store.close()
+        payload = json.loads(store.snapshot_path.read_text())
+        del payload["jobs"]
+        store.snapshot_path.write_text(json.dumps(payload))
+        with pytest.raises(ServiceError, match="corrupt service snapshot"):
+            _store(tmp_path)
+
+
+class TestAccessControl:
+    def test_second_writer_is_locked_out(self, tmp_path):
+        store = _store(tmp_path)
+        with pytest.raises(ServiceError, match="held by another"):
+            _store(tmp_path)
+        store.close()
+        reopened = _store(tmp_path)
+        reopened.close()
+
+    def test_readonly_open_coexists_and_refuses_writes(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=10, targets=4))
+        reader = _store(tmp_path, readonly=True)
+        assert record.job_id in reader.jobs
+        with pytest.raises(ServiceError, match="read-only"):
+            reader.append("heartbeat", job_id=record.job_id, expires_at=1.0)
+        reader.close()
+        store.close()
+
+    def test_readonly_open_does_not_repair_a_torn_tail(self, tmp_path):
+        store = _store(tmp_path)
+        store.submit(JobSpec(seed=11, targets=4))
+        store.close()
+        with open(store.journal_path, "a") as handle:
+            handle.write('{"torn')
+        before = store.journal_path.read_bytes()
+        reader = _store(tmp_path, readonly=True)
+        reader.close()
+        assert store.journal_path.read_bytes() == before
