@@ -1,6 +1,6 @@
 """Benchmark harness: inference-phase speedup and supervised measurement.
 
-Two sections, written to ``BENCH_PR6.json``:
+Three sections, written to ``BENCH_PR8.json``:
 
 * **inference** — the phase-2 pipeline (IP→CO mapping, adjacency
   extraction/pruning, refinement) over a large synthetic region corpus
@@ -14,6 +14,15 @@ Two sections, written to ``BENCH_PR6.json``:
   process-monotonic, hence the isolation), and a digest of the inferred
   region graphs; the orchestrator asserts the digests match and records
   the speedup.
+
+* **columnar** — the same phases over the unpaced 1000-CO workload
+  (4 regions × 250 COs, 500k traces), comparing the object-graph
+  oracle (``optimized`` mode) against the vectorized columnar path
+  (:class:`~repro.corpus.columnar.TraceCorpus` +
+  ``Ip2CoMapper.build_columnar`` / ``AdjacencyExtractor
+  .extract_columnar``).  Corpus construction is untimed in both modes;
+  the inferred-region digests must be identical — the columnar path is
+  a pure representation change, not an approximation.
 
 * **measurement** (full mode only) — a paced slice of the
   simulated-internet Comcast campaign run serially and under the
@@ -51,6 +60,15 @@ FULL_WORKLOAD = {"regions": 2, "cos_per_region": 30, "traces": 20000,
                  "followups": 1200, "seed": 2021}
 SMOKE_WORKLOAD = {"regions": 2, "cos_per_region": 8, "traces": 1500,
                   "followups": 200, "seed": 2021}
+#: Columnar-section workload: 4 × 250 = 1000 COs, unpaced.  20 AggCOs
+#: per region keeps the synthetic address scheme's per-agg link count
+#: inside one octet at this CO density.
+COLUMNAR_WORKLOAD = {"regions": 4, "cos_per_region": 250,
+                     "aggs_per_region": 20, "traces": 500000,
+                     "followups": 8000, "seed": 2021}
+COLUMNAR_SMOKE_WORKLOAD = {"regions": 2, "cos_per_region": 40,
+                           "traces": 20000, "followups": 2000,
+                           "seed": 2021}
 
 
 def _region_digest(regions) -> str:
@@ -79,30 +97,49 @@ def run_inference_mode(mode: str, workload: "dict") -> "dict":
     from repro.obs import build_run_manifest
     from repro.perf import InferenceCache, PhaseProfiler, memoization_disabled
     from repro.perf.cache import clear_module_memos
-    from repro.perf.synthetic import build_synthetic_region_corpus
+    from repro.perf.synthetic import (
+        build_synthetic_columnar_corpus,
+        build_synthetic_region_corpus,
+    )
     from repro.rdns.regexes import HostnameParser
 
-    corpus = build_synthetic_region_corpus(**workload)
+    columnar = mode == "columnar"
+    optimized = mode != "baseline"
+    if columnar:
+        plan, col_corpus, followup_corpus = (
+            build_synthetic_columnar_corpus(**workload)
+        )
+        rdns, isp = plan.rdns, plan.isp
+        aliases, co_count = plan.aliases, plan.co_count
+    else:
+        corpus = build_synthetic_region_corpus(**workload)
+        rdns, isp = corpus.rdns, corpus.isp
+        aliases, co_count = corpus.aliases, corpus.co_count
     parser = HostnameParser()
     clear_module_memos()  # corpus generation must not pre-warm the memos
 
-    optimized = mode == "optimized"
     guard = contextlib.nullcontext() if optimized else memoization_disabled()
     profiler = PhaseProfiler()
     start = time.perf_counter()
     with guard:
-        cache = InferenceCache(corpus.rdns, parser) if optimized else None
-        mapper = Ip2CoMapper(corpus.rdns, corpus.isp, parser=parser,
-                             cache=cache)
+        cache = InferenceCache(rdns, parser) if optimized else None
+        mapper = Ip2CoMapper(rdns, isp, parser=parser, cache=cache)
         with profiler.phase("ip2co"):
-            mapping = mapper.build(corpus.traces, corpus.aliases)
+            mapping = (
+                mapper.build_columnar(col_corpus, aliases) if columnar
+                else mapper.build(corpus.traces, aliases)
+            )
         extractor = AdjacencyExtractor(
-            mapping, corpus.rdns, corpus.isp, parser=parser, cache=cache,
+            mapping, rdns, isp, parser=parser, cache=cache,
             use_followup_index=optimized,
         )
         with profiler.phase("adjacency"):
-            adjacencies = extractor.extract(
-                corpus.traces, followup_traces=corpus.followups
+            adjacencies = (
+                extractor.extract_columnar(col_corpus, followup_corpus)
+                if columnar
+                else extractor.extract(
+                    corpus.traces, followup_traces=corpus.followups
+                )
             )
         refiner = RegionRefiner(cache=cache)
         with profiler.phase("refine"):
@@ -134,7 +171,7 @@ def run_inference_mode(mode: str, workload: "dict") -> "dict":
         "digest": digest,
         "manifest": manifest,
         "checks": {
-            "co_count": corpus.co_count,
+            "co_count": co_count,
             "mapped_addresses": len(mapping),
             "regions": sorted(regions),
             "initial_ip": stats.initial_ip,
@@ -252,7 +289,7 @@ def run_measurement_section() -> "dict":
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--mode", choices=("baseline", "optimized"),
+    parser.add_argument("--mode", choices=("baseline", "optimized", "columnar"),
                         help="internal: run one inference mode and print JSON")
     parser.add_argument("--workload", help="internal: workload JSON")
     parser.add_argument("--smoke", action="store_true",
@@ -260,7 +297,7 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=0,
                         help="best-of-N wall-clock per mode "
                              "(default: 3 for --smoke, 1 for full)")
-    parser.add_argument("--out", default=str(ROOT / "BENCH_PR6.json"))
+    parser.add_argument("--out", default=str(ROOT / "BENCH_PR8.json"))
     args = parser.parse_args()
 
     if args.mode:
@@ -296,6 +333,36 @@ def main() -> int:
             "results_identical": True,
         },
     }
+
+    # Columnar section: object-graph oracle vs vectorized columnar path
+    # over the (unpaced) 1000-CO workload.  Digest identity is fatal —
+    # the columnar path must reproduce the oracle's graphs exactly.
+    col_workload = (
+        COLUMNAR_SMOKE_WORKLOAD if args.smoke else COLUMNAR_WORKLOAD
+    )
+    print(f"columnar workload: {col_workload} (best of {repeats})",
+          file=sys.stderr)
+    oracle = _best_of(repeats, "optimized", col_workload)
+    print(f"oracle (object): {oracle['wall_s']}s, "
+          f"rss {oracle['peak_rss_kb']}kB", file=sys.stderr)
+    columnar = _best_of(repeats, "columnar", col_workload)
+    print(f"columnar:        {columnar['wall_s']}s, "
+          f"rss {columnar['peak_rss_kb']}kB", file=sys.stderr)
+    if oracle["digest"] != columnar["digest"]:
+        print("FATAL: columnar path diverged from the object-graph oracle",
+              file=sys.stderr)
+        return 1
+    col_speedup = (
+        oracle["wall_s"] / columnar["wall_s"]
+        if columnar["wall_s"] else float("inf")
+    )
+    payload["columnar"] = {
+        "oracle": oracle,
+        "columnar": columnar,
+        "speedup": round(col_speedup, 2),
+        "results_identical": True,
+    }
+    print(f"columnar speedup: {col_speedup:.2f}x", file=sys.stderr)
     if not args.smoke:
         print("measurement section (serial vs supervised workers=4)…",
               file=sys.stderr)

@@ -12,6 +12,11 @@ Compares a freshly produced benchmark payload (``bench_pipeline.py
 * the speedup ratio regressed more than ``--max-regression`` (default
   20%) relative to the committed baseline, or fell below
   ``--min-speedup``;
+* the ``columnar`` section is missing, its columnar digest diverged
+  from the object-graph oracle's (within the run or vs the committed
+  baseline), or — for full (non-smoke) payloads — its speedup fell
+  below ``--min-columnar-speedup`` (default 3.0) on the unpaced
+  1000-CO workload;
 * an embedded run manifest is missing or fails schema validation;
 * a ``measurement`` section is present (full-mode payloads only) whose
   supervised corpus diverged from the serial oracle, or whose
@@ -42,6 +47,8 @@ if str(SRC) not in sys.path:
 
 DEFAULT_MAX_REGRESSION = 0.20
 DEFAULT_MIN_SPEEDUP = 1.0
+#: Floor for the columnar path on the full unpaced 1000-CO workload.
+DEFAULT_MIN_COLUMNAR_SPEEDUP = 3.0
 
 
 def _validate_manifest(manifest: object, label: str) -> "list[str]":
@@ -62,6 +69,7 @@ def evaluate(
     baseline: "dict",
     max_regression: float = DEFAULT_MAX_REGRESSION,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_columnar_speedup: float = DEFAULT_MIN_COLUMNAR_SPEEDUP,
 ) -> "list[str]":
     """Return a list of failure messages (empty means the gate passes)."""
     failures: "list[str]" = []
@@ -121,6 +129,10 @@ def evaluate(
             _validate_manifest(cur.get(mode, {}).get("manifest"), f"current/{mode}")
         )
 
+    failures.extend(_evaluate_columnar(
+        current, baseline, min_columnar_speedup
+    ))
+
     measurement = current.get("measurement")
     if measurement is not None:
         if not measurement.get("corpus_digest_identical"):
@@ -135,6 +147,66 @@ def evaluate(
                 "below the 1.0x floor (workers must beat serial on the "
                 "paced workload)"
             )
+    return failures
+
+
+def _evaluate_columnar(
+    current: "dict", baseline: "dict", min_columnar_speedup: float
+) -> "list[str]":
+    """Gate the columnar (vectorized 1000-CO) benchmark section."""
+    failures: "list[str]" = []
+    col = current.get("columnar")
+    if not isinstance(col, dict):
+        return ["current payload lacks a columnar section; wrong file?"]
+
+    oracle_digest = col.get("oracle", {}).get("digest")
+    col_digest = col.get("columnar", {}).get("digest")
+    if not oracle_digest or not col_digest:
+        return ["columnar section lacks digests; wrong file?"]
+    if oracle_digest != col_digest:
+        failures.append(
+            "columnar path diverged from the object-graph oracle: "
+            f"oracle digest {oracle_digest[:12]}… != "
+            f"columnar digest {col_digest[:12]}…"
+        )
+
+    base_col = baseline.get("columnar", {})
+    cur_workload = col.get("columnar", {}).get("workload")
+    base_workload = base_col.get("columnar", {}).get("workload")
+    if cur_workload != base_workload:
+        failures.append(
+            "columnar workloads differ between current run and committed "
+            f"baseline ({cur_workload!r} vs {base_workload!r}); "
+            "re-baseline deliberately"
+        )
+    else:
+        base_digest = base_col.get("columnar", {}).get("digest")
+        if base_digest and col_digest != base_digest:
+            failures.append(
+                "columnar inferred-region digest drifted from the "
+                f"committed baseline: {col_digest[:12]}… != "
+                f"{base_digest[:12]}…; if the inference change is "
+                "intentional, regenerate the baseline in the same commit"
+            )
+
+    speedup = col.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("columnar section lacks a speedup figure")
+    elif not current.get("smoke") and speedup < min_columnar_speedup:
+        # The ≥3x floor is defined over the full unpaced 1000-CO
+        # workload; the smoke corpus is far too small for the ratio to
+        # be meaningful, so smoke payloads only gate digest identity.
+        failures.append(
+            f"columnar speedup {speedup:.2f}x fell below the "
+            f"{min_columnar_speedup:.2f}x floor on the 1000-CO workload"
+        )
+
+    for mode in ("oracle", "columnar"):
+        failures.extend(
+            _validate_manifest(
+                col.get(mode, {}).get("manifest"), f"columnar/{mode}"
+            )
+        )
     return failures
 
 
@@ -158,6 +230,12 @@ def main() -> int:
         default=DEFAULT_MIN_SPEEDUP,
         help="absolute speedup floor (default 1.0)",
     )
+    parser.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=DEFAULT_MIN_COLUMNAR_SPEEDUP,
+        help="columnar-path speedup floor on full payloads (default 3.0)",
+    )
     args = parser.parse_args()
 
     current = json.loads(pathlib.Path(args.current).read_text())
@@ -167,6 +245,7 @@ def main() -> int:
         baseline,
         max_regression=args.max_regression,
         min_speedup=args.min_speedup,
+        min_columnar_speedup=args.min_columnar_speedup,
     )
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
@@ -174,9 +253,11 @@ def main() -> int:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     cur = current["inference"]
+    col = current.get("columnar", {})
     print(
         f"benchmark regression gate passed: speedup {cur['speedup']:.2f}x "
-        f"(baseline {baseline['inference']['speedup']:.2f}x), digests stable"
+        f"(baseline {baseline['inference']['speedup']:.2f}x), columnar "
+        f"{col.get('speedup', 0.0):.2f}x, digests stable"
     )
     return 0
 

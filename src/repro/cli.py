@@ -49,6 +49,30 @@ def cmd_build(args) -> int:
     return 0
 
 
+def _export_corpus(args, result) -> None:
+    """Write the collected corpora to ``--corpus-out`` (+ ``.followup``).
+
+    JSON mode writes the validated ``trace-corpus`` artifact; binary
+    mode writes the columnar ``.npz`` container.  Both load back through
+    the schema layer.
+    """
+    from repro.corpus import TraceCorpus, corpus_to_json, save_corpus
+    from repro.io.atomic import atomic_write_text
+
+    out = pathlib.Path(args.corpus_out)
+    followup_out = out.with_name(f"{out.stem}.followup{out.suffix}")
+    corpora = (
+        (out, TraceCorpus.from_traces(result.traces)),
+        (followup_out, TraceCorpus.from_traces(result.followup_traces)),
+    )
+    for path, corpus in corpora:
+        if args.corpus_format == "binary":
+            save_corpus(path, corpus)
+        else:
+            atomic_write_text(path, corpus_to_json(corpus) + "\n")
+        print(f"wrote {len(corpus)}-trace corpus to {path}")
+
+
 def cmd_map_cable(args) -> int:
     """Run the §5 pipeline against a cable ISP, optionally exporting."""
     from repro.faults import FaultPlan
@@ -93,8 +117,11 @@ def cmd_map_cable(args) -> int:
         worker_spec=worker_spec, shard_deadline=args.shard_deadline,
         max_shard_retries=args.max_shard_retries, pace_ms=args.pace_ms,
         profile=args.profile, trace_seed=args.seed,
+        corpus_format=args.corpus_format,
     )
     result = pipeline.run()
+    if args.corpus_out:
+        _export_corpus(args, result)
     if pipeline.profiler is not None:
         for line in pipeline.profiler.report():
             print(line)
@@ -514,6 +541,17 @@ def build_parser() -> argparse.ArgumentParser:
     map_cable.add_argument(
         "--metrics-out", metavar="PATH",
         help="write the run's metrics-registry snapshot (JSON) to PATH")
+    map_cable.add_argument(
+        "--corpus-format", choices=("json", "binary"), default="json",
+        help="corpus representation: json keeps the object-graph "
+             "inference path and inline checkpoint traces; binary runs "
+             "the vectorized columnar path with .npz checkpoint "
+             "sidecars (digest-identical output; default json)")
+    map_cable.add_argument(
+        "--corpus-out", metavar="PATH",
+        help="export the collected trace corpus to PATH (validated "
+             "trace-corpus JSON, or .npz when --corpus-format binary); "
+             "the follow-up corpus lands next to it as *.followup")
 
     map_att = sub.add_parser("map-att", help="run the §6 telco pipeline")
     map_att.add_argument("region", nargs="?", default="sndgca")

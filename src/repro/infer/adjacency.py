@@ -50,7 +50,9 @@ class AdjacencyStats:
     def as_rows(self) -> "list[tuple[str, str, str]]":
         """Render the Table 4 rows (percentages relative to Initial)."""
         def pct(n: int, total: int) -> str:
-            return f"{100.0 * n / total:.2f}%" if total else "0%"
+            # A zero denominator renders like any other 0 ("0.00%", not
+            # "0%") so Table 4 output diffs cleanly across runs.
+            return f"{100.0 * n / total:.2f}%" if total else "0.00%"
 
         return [
             ("Initial", f"{self.initial_ip}", f"{self.initial_co}"),
@@ -84,26 +86,52 @@ class FollowupIndex:
     """Positional index over the follow-up (DPR) corpus.
 
     Built in one pass: for every responding address, the earliest and
-    latest hop position it occupies in each follow-up trace.  A pair
-    ``(first, second)`` is MPLS-separated exactly when some trace shows
-    an occurrence of *second* more than one hop after an occurrence of
-    *first* — i.e. when ``max(second positions) > min(first positions)
-    + 1`` in a trace containing both.  That is equivalent to scanning
-    all occurrence pairs in path order, without the
-    O(pairs × followups × length) rescans of the naive approach.
+    latest *hop index* (TTL) it occupies in each follow-up trace.  A
+    pair ``(first, second)`` is MPLS-separated exactly when some trace
+    shows an occurrence of *second* more than one hop after an
+    occurrence of *first* — i.e. when ``max(second hop indexes) >
+    min(first hop indexes) + 1`` in a trace containing both.  That is
+    equivalent to scanning all occurrence pairs in path order, without
+    the O(pairs × followups × length) rescans of the naive approach.
+
+    Spacing is measured in hop-index (TTL) space, not in positions over
+    ``responsive_addresses()``: a follow-up trace ``A, *, B`` reveals an
+    interior hop even though it never responded, so the pair *is*
+    tunnel-separated — compressing out silent hops would hide it.
     """
 
     def __init__(self, traces: "list[TraceResult]") -> None:
-        #: address -> {trace index: (earliest position, latest position)}
+        #: address -> {trace index: (earliest hop idx, latest hop idx)}
         self._spans: "dict[str, dict[int, tuple[int, int]]]" = {}
         for t_index, trace in enumerate(traces):
-            for position, address in enumerate(trace.responsive_addresses()):
-                spans = self._spans.setdefault(address, {})
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                spans = self._spans.setdefault(hop.address, {})
                 seen = spans.get(t_index)
                 if seen is None:
-                    spans[t_index] = (position, position)
+                    spans[t_index] = (hop.index, hop.index)
                 else:
-                    spans[t_index] = (seen[0], position)
+                    spans[t_index] = (seen[0], hop.index)
+
+    @classmethod
+    def from_columnar(cls, corpus) -> "FollowupIndex":
+        """Build the index from a columnar corpus without materializing
+        ``TraceResult`` objects: spans come from one grouped min/max
+        reduction over the hop columns
+        (:func:`repro.corpus.columnar.hop_span_groups`).
+        """
+        from repro.corpus.columnar import hop_span_groups
+
+        index = cls([])
+        addr_ids, trace_ids, earliest, latest = hop_span_groups(corpus)
+        addresses = corpus.addresses
+        spans = index._spans
+        for row in range(addr_ids.shape[0]):
+            spans.setdefault(addresses[int(addr_ids[row])], {})[
+                int(trace_ids[row])
+            ] = (int(earliest[row]), int(latest[row]))
+        return index
 
     def separated(self, first: str, second: str) -> bool:
         """Whether any follow-up trace shows hops *between* the pair."""
@@ -173,19 +201,23 @@ class AdjacencyExtractor:
         Considers every occurrence pair in path order — the earliest
         occurrence of *first* against any later occurrence of *second*
         — so reversed or duplicate-hop DPR traces cannot mis-classify.
-        Kept as the :class:`FollowupIndex` equivalence oracle and the
-        benchmark's pre-index baseline.
+        Spacing is measured over ``Hop.index`` (TTL space): an
+        unresponsive interior hop in ``A, *, B`` still separates the
+        pair.  Kept as the :class:`FollowupIndex` equivalence oracle
+        and the benchmark's pre-index baseline.
         """
         first, second = pair
         for trace in followup_traces:
             earliest = None
-            for position, address in enumerate(trace.responsive_addresses()):
-                if address == first and earliest is None:
-                    earliest = position
+            for hop in trace.hops:
+                if hop.address is None:
+                    continue
+                if hop.address == first and earliest is None:
+                    earliest = hop.index
                 elif (
-                    address == second
+                    hop.address == second
                     and earliest is not None
-                    and position > earliest + 1
+                    and hop.index > earliest + 1
                 ):
                     return True
         return False
@@ -198,20 +230,57 @@ class AdjacencyExtractor:
     ) -> RegionAdjacencies:
         """Lift IP adjacencies to pruned per-region CO adjacencies."""
         followups = followup_traces or []
-        result = RegionAdjacencies()
-        stats = result.stats
-
         ip_pairs: Counter = Counter()
         for trace in traces:
             for pair in trace.adjacent_pairs():
                 ip_pairs[pair] += 1
-        stats.initial_ip = len(ip_pairs)
-
         followup_index = (
             FollowupIndex(followups)
             if followups and self.use_followup_index
             else None
         )
+        return self._classify(ip_pairs.items(), followups, followup_index)
+
+    def extract_columnar(
+        self, corpus, followup_corpus=None
+    ) -> RegionAdjacencies:
+        """:meth:`extract` over columnar corpora.
+
+        Pair extraction and follow-up span computation run as numpy
+        reductions (:func:`repro.corpus.columnar.adjacent_pair_counts`
+        emits unique pairs in first-occurrence order, matching the
+        object path's Counter insertion order exactly); the
+        classification itself is shared with :meth:`extract`, so the
+        object-graph path remains the digest-parity oracle.
+        """
+        from repro.corpus.columnar import adjacent_pair_counts
+
+        addresses = corpus.addresses
+        pair_items = [
+            ((addresses[first], addresses[second]), count)
+            for first, second, count in adjacent_pair_counts(corpus)
+        ]
+        followups: "list[TraceResult]" = []
+        followup_index = None
+        if followup_corpus is not None and len(followup_corpus):
+            if self.use_followup_index:
+                followup_index = FollowupIndex.from_columnar(followup_corpus)
+            else:
+                followups = followup_corpus.to_traces()
+        return self._classify(pair_items, followups, followup_index)
+
+    def _classify(
+        self,
+        pair_counts,
+        followups: "list[TraceResult]",
+        followup_index: "FollowupIndex | None",
+    ) -> RegionAdjacencies:
+        """The shared pruning/accounting pass over ``(pair, count)``
+        items (insertion-ordered — output ordering follows it)."""
+        result = RegionAdjacencies()
+        stats = result.stats
+        has_followups = bool(followups) or followup_index is not None
+
         # Reference-path memo: pair -> separated? (one scan per pair).
         separated_memo: "dict[tuple[str, str], bool]" = {}
 
@@ -230,7 +299,8 @@ class AdjacencyExtractor:
         universe: set = set()
         backbone_keys: set = set()
 
-        for (ip_a, ip_b), count in ip_pairs.items():
+        for (ip_a, ip_b), count in pair_counts:
+            stats.initial_ip += 1
             bb_tag = self._backbone_tag(ip_a)
             co_b = self.mapping.co_of(ip_b)
             if bb_tag is not None:
@@ -253,7 +323,7 @@ class AdjacencyExtractor:
                 stats.cross_region_ip += 1
                 co_cross[(region_a, tag_a, region_b, tag_b)] += count
                 continue
-            if followups:
+            if has_followups:
                 if followup_index is not None:
                     separated = followup_index.separated(ip_a, ip_b)
                 else:

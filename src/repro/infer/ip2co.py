@@ -59,7 +59,7 @@ class Ip2CoStats:
     def as_rows(self) -> "list[tuple[str, str]]":
         """Render the Table 3 rows (percentages relative to `initial`)."""
         def pct(n: int) -> str:
-            return f"{100.0 * n / self.initial:.2f}%" if self.initial else "0%"
+            return f"{100.0 * n / self.initial:.2f}%" if self.initial else "0.00%"
 
         return [
             ("Initial", f"{self.initial}"),
@@ -121,6 +121,25 @@ class Ip2CoMapper:
                 peer = p2p_peer_str(hop.address, self.p2p_prefixlen)
                 if peer is not None:
                     addresses.add(peer)
+        return addresses
+
+    def observed_addresses_columnar(self, corpus) -> "set[str]":
+        """:meth:`observed_addresses` over a columnar corpus.
+
+        The p2p-peer derivation runs once per *unique* responding
+        address (one ``np.unique`` over the hop column) instead of once
+        per hop occurrence.
+        """
+        from repro.corpus.columnar import responding_address_ids
+
+        addresses: set[str] = set()
+        table = corpus.addresses
+        for addr_id in responding_address_ids(corpus):
+            address = table[int(addr_id)]
+            addresses.add(address)
+            peer = p2p_peer_str(address, self.p2p_prefixlen)
+            if peer is not None:
+                addresses.add(peer)
         return addresses
 
     def initial_mapping(self, addresses: "set[str]") -> "dict[str, CoRef]":
@@ -190,6 +209,46 @@ class Ip2CoMapper:
                 # The peer of the inbound interface most likely sits on
                 # the previous-hop router (Fig 19).
                 votes.setdefault(prev_addr, Counter())[peer_co] += 1
+        self._resolve_p2p_votes(mapping, votes, stats, conflicts)
+
+    def _apply_p2p_votes_columnar(
+        self,
+        mapping: "dict[str, CoRef]",
+        corpus,
+        stats: Ip2CoStats,
+        conflicts: "list[CoConflict]",
+    ) -> None:
+        """Stage 3 over columnar pair counts.
+
+        Votes aggregate from unique-pair counts (pairs emitted in
+        first-occurrence order, so the votes dict — and therefore the
+        conflicts list — is ordered exactly as the object path's).
+        Vote *application* is order-independent per address: votes are
+        collected in one read-only pass before any mapping mutation.
+        """
+        from repro.corpus.columnar import adjacent_pair_counts
+
+        table = corpus.addresses
+        votes: "dict[str, Counter]" = {}
+        for first, second, count in adjacent_pair_counts(
+            corpus, exclude_final_echo=True
+        ):
+            peer = p2p_peer_str(table[second], self.p2p_prefixlen)
+            if peer is None:
+                continue
+            peer_co = mapping.get(peer)
+            if peer_co is None:
+                continue
+            votes.setdefault(table[first], Counter())[peer_co] += count
+        self._resolve_p2p_votes(mapping, votes, stats, conflicts)
+
+    def _resolve_p2p_votes(
+        self,
+        mapping: "dict[str, CoRef]",
+        votes: "dict[str, Counter]",
+        stats: Ip2CoStats,
+        conflicts: "list[CoConflict]",
+    ) -> None:
         for address, counter in votes.items():
             ranked = counter.most_common()
             top_co, top_count = ranked[0]
@@ -227,5 +286,28 @@ class Ip2CoMapper:
         self._apply_alias_groups(mapping, aliases, stats, conflicts)
         stats.after_alias = len(mapping)
         self._apply_p2p_votes(mapping, traces, stats, conflicts)
+        stats.final = len(mapping)
+        return Ip2CoMapping(mapping=mapping, stats=stats, conflicts=conflicts)
+
+    def build_columnar(self, corpus, aliases: AliasSets,
+                       extra_addresses: "set[str] | None" = None) -> Ip2CoMapping:
+        """:meth:`build` over a columnar corpus.
+
+        Stages 1 and 3 read the hop columns directly (unique responding
+        addresses, vectorized pair counts); stage 2 is already
+        per-alias-group and shared verbatim.  Output is identical to
+        ``build(corpus.to_traces(), ...)`` — the object path stays the
+        parity oracle.
+        """
+        stats = Ip2CoStats()
+        addresses = self.observed_addresses_columnar(corpus)
+        if extra_addresses:
+            addresses |= {normalize_address(a) for a in extra_addresses}
+        mapping = self.initial_mapping(addresses)
+        stats.initial = len(mapping)
+        conflicts: "list[CoConflict]" = []
+        self._apply_alias_groups(mapping, aliases, stats, conflicts)
+        stats.after_alias = len(mapping)
+        self._apply_p2p_votes_columnar(mapping, corpus, stats, conflicts)
         stats.final = len(mapping)
         return Ip2CoMapping(mapping=mapping, stats=stats, conflicts=conflicts)

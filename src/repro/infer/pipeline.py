@@ -108,6 +108,7 @@ class CableInferencePipeline:
         pace_ms: float = 0.0,
         profile: bool = False,
         trace_seed: int = 0,
+        corpus_format: str = "json",
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -179,6 +180,19 @@ class CableInferencePipeline:
         #: — recording is cheap and never alters inference output; the
         #: CLI decides whether to export them.  Span ids derive from
         #: ``trace_seed``, so equal-seed runs are diffable span-by-span.
+        #: Corpus representation for phase 2 and checkpointing: "json"
+        #: keeps the historical object-graph path (checkpoint traces
+        #: inline); "binary" lifts the collected traces into a columnar
+        #: :class:`~repro.corpus.columnar.TraceCorpus`, runs the
+        #: vectorized ip2co/adjacency paths, and stores checkpoint
+        #: stage traces in ``.npz`` sidecars.  Output is digest-
+        #: identical either way — the object path is the parity oracle.
+        if corpus_format not in ("json", "binary"):
+            raise MeasurementError(
+                f"unknown corpus format {corpus_format!r} "
+                "(expected 'json' or 'binary')"
+            )
+        self.corpus_format = corpus_format
         self.obs = Tracer(seed=trace_seed)
         self.metrics = MetricsRegistry()
         #: Phase-level wall-clock view over the span tree; None unless
@@ -271,7 +285,9 @@ class CableInferencePipeline:
                 return runner_cls.resumed(
                     self.tracer, self.vps, checkpoint, **options
                 )
-            checkpoint = CampaignCheckpoint(self.checkpoint_path)
+            checkpoint = CampaignCheckpoint(
+                self.checkpoint_path, corpus_format=self.corpus_format
+            )
         return runner_cls(
             self.tracer, self.vps, checkpoint=checkpoint, **options
         )
@@ -380,6 +396,32 @@ class CableInferencePipeline:
                 span.attributes["followups"] = len(followups)
             with obs.span("aliases"):
                 aliases = self.resolve_aliases(traces)
+            corpus = followup_corpus = None
+            if self.corpus_format == "binary":
+                from repro.corpus import TraceCorpus
+
+                # Columnar lift: one pass over the collected objects,
+                # after which phase 2's hot loops run as numpy
+                # reductions over the corpus columns.
+                with obs.span("corpus") as span:
+                    corpus = TraceCorpus.from_traces(traces)
+                    followup_corpus = TraceCorpus.from_traces(followups)
+                    span.attributes["traces"] = len(corpus)
+                    span.attributes["followups"] = len(followup_corpus)
+                    span.attributes["hops"] = (
+                        corpus.hop_count + followup_corpus.hop_count
+                    )
+                    span.attributes["addresses"] = len(corpus.addresses)
+                self.metrics.inc(
+                    "corpus.traces", len(corpus) + len(followup_corpus)
+                )
+                self.metrics.inc(
+                    "corpus.hops",
+                    corpus.hop_count + followup_corpus.hop_count,
+                )
+                self.metrics.set_gauge(
+                    "corpus.interned_addresses", len(corpus.addresses)
+                )
             # The cache is built *inside* the fault context so its
             # generation check captures the campaign's injector; it is
             # shared by every phase-2 stage, which all re-lookup and
@@ -393,9 +435,15 @@ class CableInferencePipeline:
                 cache=cache,
             )
             with obs.span("ip2co") as span:
-                mapping = mapper.build(
-                    traces, aliases, extra_addresses=set(self.rdns_targets())
-                )
+                extras = set(self.rdns_targets())
+                if corpus is not None:
+                    mapping = mapper.build_columnar(
+                        corpus, aliases, extra_addresses=extras
+                    )
+                else:
+                    mapping = mapper.build(
+                        traces, aliases, extra_addresses=extras
+                    )
                 span.attributes["mapped_addresses"] = len(mapping)
             if guard is not None:
                 guard.check_mapping(mapping, aliases)
@@ -404,7 +452,14 @@ class CableInferencePipeline:
                 cache=cache,
             )
             with obs.span("adjacency") as span:
-                adjacencies = extractor.extract(traces, followup_traces=followups)
+                if corpus is not None:
+                    adjacencies = extractor.extract_columnar(
+                        corpus, followup_corpus
+                    )
+                else:
+                    adjacencies = extractor.extract(
+                        traces, followup_traces=followups
+                    )
                 span.attributes["regions"] = len(adjacencies.per_region)
         if guard is not None:
             guard.check_adjacencies(adjacencies)

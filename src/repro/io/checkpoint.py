@@ -12,6 +12,7 @@ final output as a run that was never interrupted.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 
@@ -76,8 +77,18 @@ class CampaignCheckpoint:
     the remaining jobs re-run).
     """
 
-    def __init__(self, path: "str | pathlib.Path") -> None:
+    def __init__(self, path: "str | pathlib.Path",
+                 corpus_format: str = "json") -> None:
+        if corpus_format not in ("json", "binary"):
+            raise CheckpointError(
+                f"unknown corpus format {corpus_format!r} "
+                "(expected 'json' or 'binary')"
+            )
         self.path = pathlib.Path(path)
+        #: "json" inlines stage traces in the checkpoint document;
+        #: "binary" stores them in a columnar ``.npz`` sidecar per
+        #: stage, with the stage record carrying file + sha256.
+        self.corpus_format = corpus_format
         self._stages: "dict[str, dict]" = {}
         self._health: "dict[str, object]" = {}
         self._injector: "dict[str, object]" = {}
@@ -85,6 +96,9 @@ class CampaignCheckpoint:
         #: ``{stage: {shard_id: payload}}``.  Cleared when the stage
         #: completes (its traces become canonical).
         self._shards: "dict[str, dict[str, dict]]" = {}
+        #: Stage traces recorded but not yet flushed to their binary
+        #: sidecar (written by :meth:`save`).
+        self._pending_corpora: "dict[str, list[TraceResult]]" = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,10 +123,22 @@ class CampaignCheckpoint:
         checkpoint._health = payload.get("health", {})
         checkpoint._injector = payload.get("injector", {})
         checkpoint._shards = payload.get("shards", {})
+        if any(record.get("corpus") for record in checkpoint._stages.values()):
+            # A checkpoint written with binary sidecars keeps that
+            # format across resume cycles.
+            checkpoint.corpus_format = "binary"
         return checkpoint
 
     def save(self) -> None:
-        """Atomically write the checkpoint (write-then-rename)."""
+        """Atomically write the checkpoint (write-then-rename).
+
+        Binary-format stages flush their trace corpus to an ``.npz``
+        sidecar first, so the JSON document (written last) only ever
+        points at a sidecar that is already fully on disk.
+        """
+        for name, traces in self._pending_corpora.items():
+            self._stages[name]["corpus"] = self._write_sidecar(name, traces)
+        self._pending_corpora.clear()
         payload = {
             "schema": CHECKPOINT_SCHEMA_VERSION,
             "kind": "campaign-checkpoint",
@@ -122,6 +148,52 @@ class CampaignCheckpoint:
             "shards": self._shards,
         }
         atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    # Binary corpus sidecars
+    # ------------------------------------------------------------------
+    def _sidecar_path(self, stage: str) -> pathlib.Path:
+        return self.path.with_name(f"{self.path.stem}.{stage}.corpus.npz")
+
+    def _write_sidecar(self, stage: str,
+                       traces: "list[TraceResult]") -> "dict[str, str]":
+        from repro.corpus import TraceCorpus, save_corpus
+
+        sidecar = self._sidecar_path(stage)
+        save_corpus(sidecar, TraceCorpus.from_traces(traces))
+        return {
+            "format": "binary",
+            "file": sidecar.name,
+            "sha256": hashlib.sha256(sidecar.read_bytes()).hexdigest(),
+        }
+
+    def _load_sidecar(self, stage: str, pointer: "dict[str, str]"
+                      ) -> "list[TraceResult]":
+        from repro.corpus import load_corpus
+
+        if pointer.get("format") != "binary":
+            raise CheckpointError(
+                f"stage {stage!r}: unknown corpus format "
+                f"{pointer.get('format')!r}"
+            )
+        sidecar = self.path.with_name(pointer["file"])
+        try:
+            digest = hashlib.sha256(sidecar.read_bytes()).hexdigest()
+        except OSError as exc:
+            raise CheckpointError(
+                f"stage {stage!r}: missing corpus sidecar {sidecar}: {exc}"
+            ) from exc
+        if digest != pointer["sha256"]:
+            raise CheckpointError(
+                f"stage {stage!r}: corpus sidecar {sidecar} digest "
+                f"mismatch (expected {pointer['sha256']}, got {digest})"
+            )
+        try:
+            return load_corpus(sidecar).to_traces()
+        except SchemaError as exc:
+            raise CheckpointError(
+                f"stage {stage!r}: corrupt corpus sidecar {sidecar}: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     def stage(self, name: str) -> "dict | None":
@@ -136,6 +208,14 @@ class CampaignCheckpoint:
         complete: bool,
     ) -> None:
         """Store (in memory) a stage's progress; call :meth:`save` to persist."""
+        if self.corpus_format == "binary":
+            self._stages[name] = {
+                "complete": complete,
+                "done": [list(pair) for pair in done],
+                "traces": [],
+            }
+            self._pending_corpora[name] = list(traces)
+            return
         self._stages[name] = {
             "complete": complete,
             "done": [list(pair) for pair in done],
@@ -144,6 +224,11 @@ class CampaignCheckpoint:
 
     def stage_traces(self, name: str) -> "list[TraceResult]":
         record = self._stages.get(name) or {}
+        if name in self._pending_corpora:
+            return list(self._pending_corpora[name])
+        pointer = record.get("corpus")
+        if pointer:
+            return self._load_sidecar(name, pointer)
         return [trace_from_dict(t) for t in record.get("traces", [])]
 
     def stage_done(self, name: str) -> "set[tuple[str, str]]":

@@ -420,10 +420,18 @@ class SupervisedCampaignRunner(ParallelCampaignRunner):
 
     def _ingest(self, shard: Shard, results) -> None:
         """Install one shard's worker results into the speculation table."""
+        hops = 0
         for vp_name, target, trace_payload, tracer_delta, fault_delta in results:
+            trace = _trace_from_wire(trace_payload)
+            hops += len(trace.hops)
             self._speculative[(vp_name, target, shard.flow_id)] = _Speculative(
-                _trace_from_wire(trace_payload), tracer_delta, fault_delta
+                trace, tracer_delta, fault_delta
             )
+        if self.metrics is not None:
+            # Shard-merge corpus accounting: how much trace volume each
+            # worker round-trip contributed to the assembled corpus.
+            self.metrics.inc("corpus.shard_traces", len(results))
+            self.metrics.inc("corpus.shard_hops", hops)
 
     # ------------------------------------------------------------------
     # The supervisor loop

@@ -36,19 +36,48 @@ class SyntheticCorpus:
     link_pairs: int = 0
 
 
+@dataclass
+class SyntheticPlan:
+    """A generated campaign as bare address chains, before any trace
+    materialization.
+
+    The plan is the single source both corpus shapes derive from:
+    :func:`build_synthetic_region_corpus` lifts the chains into
+    :class:`TraceResult` object graphs (the digest-parity oracle),
+    :func:`build_synthetic_columnar_corpus` streams them straight into
+    a :class:`~repro.corpus.columnar.CorpusBuilder` with no per-hop
+    objects at all — the rewritten trace-accumulation path.  Every RNG
+    draw happens while planning, so both shapes are byte-equivalent
+    views of the same campaign.
+    """
+
+    isp: str
+    rdns: RdnsStore
+    trace_chains: "list[list[str]]" = field(default_factory=list)
+    followup_chains: "list[list[str]]" = field(default_factory=list)
+    aliases: AliasSets = field(default_factory=lambda: AliasSets([]))
+    co_count: int = 0
+    link_pairs: int = 0
+
+
+#: Chain endpoints shared by both materializations.
+_SRC_ADDRESS = "192.0.2.1"
+_EMPTY_DST = "192.0.2.2"
+
+
 def _trace(addresses: "list[str]") -> TraceResult:
     hops = [
         Hop(index=i + 1, address=address)
         for i, address in enumerate(addresses)
     ]
     return TraceResult(
-        src_address="192.0.2.1",
-        dst_address=addresses[-1] if addresses else "192.0.2.2",
+        src_address=_SRC_ADDRESS,
+        dst_address=addresses[-1] if addresses else _EMPTY_DST,
         hops=hops,
     )
 
 
-def build_synthetic_region_corpus(
+def build_synthetic_region_plan(
     regions: int = 2,
     cos_per_region: int = 30,
     aggs_per_region: int = 3,
@@ -59,14 +88,14 @@ def build_synthetic_region_corpus(
     backbone_pops: int = 4,
     tunnel_share: float = 0.25,
     seed: int = 2021,
-) -> SyntheticCorpus:
-    """Generate a campaign over ``regions × cos_per_region`` COs.
+) -> SyntheticPlan:
+    """Generate a campaign plan over ``regions × cos_per_region`` COs.
 
-    Defaults produce 60 COs and 20k main-corpus traces — the "large
+    Defaults produce 60 COs and 20k main-corpus chains — the "large
     synthetic region" scale the PR-3 benchmark is defined over.
     """
     rng = random.Random(seed)
-    corpus = SyntheticCorpus(isp="comcast", rdns=RdnsStore())
+    corpus = SyntheticPlan(isp="comcast", rdns=RdnsStore())
     rdns = corpus.rdns
     corpus.co_count = regions * cos_per_region
 
@@ -158,7 +187,7 @@ def build_synthetic_region_corpus(
                 chain.append(other["pairs"][0][1])
         elif roll < 0.4:
             chain.append(f"10.{link['region']}.{link['edge']}.{200 + rng.randrange(4)}")
-        corpus.traces.append(_trace(chain))
+        corpus.trace_chains.append(chain)
 
     # ------------------------------------------------------------------
     # Follow-up (DPR) corpus: one probe per revealed interior.  Tunnel
@@ -167,18 +196,20 @@ def build_synthetic_region_corpus(
     # traces are deliberately present: correct extraction must scan
     # occurrence pairs in path order, not first-occurrence indices.
     # ------------------------------------------------------------------
-    followup_pool: "list[TraceResult]" = []
+    followup_pool: "list[list[str]]" = []
     for link in links:
         for agg_ip, edge_ip in link["pairs"]:
             if link["tunnel"]:
-                followup_pool.append(_trace([agg_ip, link["mid"], edge_ip]))
+                followup_pool.append([agg_ip, link["mid"], edge_ip])
             else:
-                followup_pool.append(_trace([agg_ip, edge_ip]))
+                followup_pool.append([agg_ip, edge_ip])
                 # Red herrings that must NOT separate the pair:
-                followup_pool.append(_trace([edge_ip, link["mid"], agg_ip]))
-                followup_pool.append(_trace([agg_ip, edge_ip, agg_ip]))
+                followup_pool.append([edge_ip, link["mid"], agg_ip])
+                followup_pool.append([agg_ip, edge_ip, agg_ip])
     rng.shuffle(followup_pool)
-    corpus.followups = followup_pool[: followups if followups else len(followup_pool)]
+    corpus.followup_chains = (
+        followup_pool[: followups if followups else len(followup_pool)]
+    )
 
     # Alias sets: each AggCO's interfaces belong to one router.
     groups = [
@@ -186,3 +217,42 @@ def build_synthetic_region_corpus(
     ]
     corpus.aliases = AliasSets(groups)
     return corpus
+
+
+def build_synthetic_region_corpus(**kwargs) -> SyntheticCorpus:
+    """The planned campaign as :class:`TraceResult` object graphs."""
+    plan = build_synthetic_region_plan(**kwargs)
+    return SyntheticCorpus(
+        isp=plan.isp,
+        rdns=plan.rdns,
+        traces=[_trace(chain) for chain in plan.trace_chains],
+        followups=[_trace(chain) for chain in plan.followup_chains],
+        aliases=plan.aliases,
+        co_count=plan.co_count,
+        link_pairs=plan.link_pairs,
+    )
+
+
+def build_synthetic_columnar_corpus(**kwargs):
+    """The planned campaign accumulated straight into columnar corpora.
+
+    Returns ``(plan, corpus, followup_corpus)``: the chains stream
+    through :class:`~repro.corpus.columnar.CorpusBuilder.add_path`
+    without constructing a single :class:`Hop` or :class:`TraceResult`
+    — the trace-accumulation hot path the benchmark measures.  The
+    result is column-identical to ``TraceCorpus.from_traces`` over
+    :func:`build_synthetic_region_corpus`'s objects for equal kwargs.
+    """
+    from repro.corpus import CorpusBuilder
+
+    plan = build_synthetic_region_plan(**kwargs)
+
+    def accumulate(chains: "list[list[str]]"):
+        builder = CorpusBuilder()
+        for chain in chains:
+            builder.add_path(
+                _SRC_ADDRESS, chain[-1] if chain else _EMPTY_DST, chain
+            )
+        return builder.build()
+
+    return plan, accumulate(plan.trace_chains), accumulate(plan.followup_chains)

@@ -84,11 +84,21 @@ class JobExecutor:
             raise ServiceError(
                 f"injected chaos failure (attempt {attempt}/{fail_until})"
             )
+        from repro.perf.cache import clear_module_memos
+
         job_dir = self.jobs_dir / job_id
         job_dir.mkdir(parents=True, exist_ok=True)
-        if spec.pipeline == "toy":
-            return self._execute_toy(job_id, spec, fidelity, job_dir)
-        return self._execute_cable(job_id, spec, fidelity, job_dir)
+        # The normalize/p2p memos are process-wide and keyed by address
+        # string: in a long-running service each job's address space
+        # would accrete forever.  Jobs never share addresses by design
+        # (seeds differ), so drop the memos between attempts.
+        clear_module_memos()
+        try:
+            if spec.pipeline == "toy":
+                return self._execute_toy(job_id, spec, fidelity, job_dir)
+            return self._execute_cable(job_id, spec, fidelity, job_dir)
+        finally:
+            clear_module_memos()
 
     # ------------------------------------------------------------------
     def _write(self, job_dir: pathlib.Path, name: str, text: str,

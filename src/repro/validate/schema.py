@@ -34,6 +34,7 @@ ARTIFACT_VERSIONS = {
     "job-spec": 1,
     "job-record": 1,
     "service-snapshot": 1,
+    "trace-corpus": 1,
 }
 
 
@@ -258,6 +259,13 @@ _CAMPAIGN_CHECKPOINT = {
         "complete": bool,
         "done": ListOf(ListOf(str)),
         "traces": ListOf(_CHECKPOINT_TRACE),
+        # Binary-corpus stages store traces in an .npz sidecar instead
+        # of inline JSON; the stage record carries the pointer + digest.
+        "corpus": Opt({
+            "format": str,
+            "file": str,
+            "sha256": str,
+        }),
     }),
     "health": MapOf(ANY),
     "injector": MapOf(ANY),
@@ -361,6 +369,12 @@ _JOB_RECORD = {
     "dedup_count": int,
 }
 
+_TRACE_CORPUS = {
+    "schema": int,
+    "kind": str,
+    "traces": ListOf(_CHECKPOINT_TRACE),
+}
+
 _SERVICE_SNAPSHOT = {
     "schema": int,
     "kind": str,
@@ -384,6 +398,7 @@ ARTIFACT_SCHEMAS = {
     "job-spec": _JOB_SPEC,
     "job-record": _JOB_RECORD,
     "service-snapshot": _SERVICE_SNAPSHOT,
+    "trace-corpus": _TRACE_CORPUS,
 }
 
 

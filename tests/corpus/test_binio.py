@@ -1,0 +1,200 @@
+"""On-disk corpus formats: binary/JSON round-trips and the
+SchemaError-never-KeyError validation contract on corrupt containers."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CORPUS_KIND,
+    CORPUS_SCHEMA_VERSION,
+    TraceCorpus,
+    corpus_from_json,
+    corpus_to_json,
+    load_corpus,
+    save_corpus,
+)
+from repro.errors import SchemaError
+
+from test_columnar import rich_traces
+
+
+@pytest.fixture()
+def corpus():
+    return TraceCorpus.from_traces(rich_traces())
+
+
+def _rewrite(src, dst, drop=None, **replace):
+    """Copy the npz container, dropping or replacing named arrays."""
+    with np.load(src, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    if drop is not None:
+        arrays.pop(drop)
+    arrays.update(replace)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    dst.write_bytes(buffer.getvalue())
+    return dst
+
+
+def _header_bytes(header: dict) -> np.ndarray:
+    return np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+
+
+class TestBinaryRoundTrip:
+    def test_save_load_lossless(self, tmp_path, corpus):
+        path = save_corpus(tmp_path / "corpus.npz", corpus)
+        assert load_corpus(path) == corpus
+
+    def test_empty_corpus_round_trips(self, tmp_path):
+        empty = TraceCorpus.from_traces([])
+        path = save_corpus(tmp_path / "empty.npz", empty)
+        assert load_corpus(path) == empty
+
+    def test_write_is_atomic(self, tmp_path, corpus):
+        save_corpus(tmp_path / "corpus.npz", corpus)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_overwrite_replaces(self, tmp_path, corpus):
+        path = tmp_path / "corpus.npz"
+        save_corpus(path, TraceCorpus.from_traces([]))
+        save_corpus(path, corpus)
+        assert len(load_corpus(path)) == len(corpus)
+
+
+class TestJsonInterchange:
+    def test_round_trip(self, corpus):
+        assert corpus_from_json(corpus_to_json(corpus)) == corpus
+
+    def test_not_json_is_schema_error(self):
+        with pytest.raises(SchemaError):
+            corpus_from_json("{not json")
+
+    def test_wrong_kind_is_schema_error(self, corpus):
+        payload = json.loads(corpus_to_json(corpus))
+        payload["kind"] = "checkpoint"
+        with pytest.raises(SchemaError):
+            corpus_from_json(json.dumps(payload))
+
+    def test_malformed_trace_item_is_schema_error_not_keyerror(self, corpus):
+        payload = json.loads(corpus_to_json(corpus))
+        payload["traces"] = [{"src": "192.0.2.1"}]
+        with pytest.raises(SchemaError):
+            corpus_from_json(json.dumps(payload))
+
+
+class TestBinaryValidation:
+    @pytest.fixture()
+    def saved(self, tmp_path, corpus):
+        return save_corpus(tmp_path / "corpus.npz", corpus)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SchemaError, match="no corpus file"):
+            load_corpus(tmp_path / "absent.npz")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz container")
+        with pytest.raises(SchemaError, match="unreadable"):
+            load_corpus(path)
+
+    def test_dropped_array_names_the_path(self, tmp_path, saved):
+        broken = _rewrite(saved, tmp_path / "broken.npz", drop="addr_id")
+        with pytest.raises(SchemaError, match=r"\$\.addr_id"):
+            load_corpus(broken)
+
+    def test_dropped_header(self, tmp_path, saved):
+        broken = _rewrite(saved, tmp_path / "broken.npz", drop="header")
+        with pytest.raises(SchemaError, match=r"\$\.header"):
+            load_corpus(broken)
+
+    def test_wrong_dtype(self, tmp_path, saved, corpus):
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz",
+            addr_id=corpus.addr_id.astype(np.float64),
+        )
+        with pytest.raises(SchemaError, match="dtype"):
+            load_corpus(broken)
+
+    def test_non_1d_array(self, tmp_path, saved, corpus):
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz",
+            rtt=corpus.rtt.reshape(1, -1),
+        )
+        with pytest.raises(SchemaError, match="1-d"):
+            load_corpus(broken)
+
+    def test_decreasing_offsets(self, tmp_path, saved, corpus):
+        offsets = corpus.hop_offsets.copy()
+        offsets[1], offsets[2] = offsets[2] + 1, offsets[1]
+        offsets[1] = offsets[-1]  # keep endpoints plausible
+        offsets[2] = 0
+        broken = _rewrite(saved, tmp_path / "broken.npz", hop_offsets=offsets)
+        with pytest.raises(SchemaError, match="non-decreasing"):
+            load_corpus(broken)
+
+    def test_bad_offset_endpoint(self, tmp_path, saved, corpus):
+        offsets = corpus.hop_offsets.copy()
+        offsets[-1] += 1
+        broken = _rewrite(saved, tmp_path / "broken.npz", hop_offsets=offsets)
+        with pytest.raises(SchemaError, match="hop_offsets"):
+            load_corpus(broken)
+
+    def test_id_out_of_table_range(self, tmp_path, saved, corpus):
+        addr = corpus.addr_id.copy()
+        addr[0] = len(corpus.addresses) + 5
+        broken = _rewrite(saved, tmp_path / "broken.npz", addr_id=addr)
+        with pytest.raises(SchemaError, match="out of table range"):
+            load_corpus(broken)
+
+    def test_header_count_mismatch(self, tmp_path, saved):
+        header = {
+            "schema": CORPUS_SCHEMA_VERSION, "kind": CORPUS_KIND,
+            "traces": 999, "hops": 999,
+            "tables": {"addresses": 0, "hostnames": 0, "vps": 0},
+        }
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz", header=_header_bytes(header)
+        )
+        with pytest.raises(SchemaError, match="header says"):
+            load_corpus(broken)
+
+    def test_wrong_kind(self, tmp_path, saved):
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz",
+            header=_header_bytes({"schema": CORPUS_SCHEMA_VERSION,
+                                  "kind": "checkpoint"}),
+        )
+        with pytest.raises(SchemaError, match="kind"):
+            load_corpus(broken)
+
+    def test_unsupported_schema_version(self, tmp_path, saved):
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz",
+            header=_header_bytes({"schema": 99, "kind": CORPUS_KIND}),
+        )
+        with pytest.raises(SchemaError, match="schema"):
+            load_corpus(broken)
+
+    def test_undecodable_string_table(self, tmp_path, saved):
+        broken = _rewrite(
+            saved, tmp_path / "broken.npz",
+            addresses=np.frombuffer(b"\xff\xfe not json", dtype=np.uint8),
+        )
+        with pytest.raises(SchemaError, match=r"\$\.addresses"):
+            load_corpus(broken)
+
+    def test_no_corruption_raises_keyerror(self, tmp_path, saved, corpus):
+        """The umbrella contract: every mutation above surfaces as
+        SchemaError; spot-check that nothing leaks a KeyError."""
+        for drop in ("header", "rtt", "vps", "hop_offsets"):
+            broken = _rewrite(saved, tmp_path / f"drop-{drop}.npz", drop=drop)
+            try:
+                load_corpus(broken)
+            except SchemaError:
+                pass

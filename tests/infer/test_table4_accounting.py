@@ -168,6 +168,80 @@ class TestDprOrderRegressions:
             self._separated(followups)
 
 
+class TestSilentHopSeparation:
+    """Spacing is measured in hop-index (TTL) space: ``A, *, B``
+    separates even though the interior hop never responded.  A
+    position-based scan over ``responsive_addresses()`` compressed the
+    silent hop out and concluded "immediately adjacent"."""
+
+    def _all_agree(self, followup, pair=(AGG1, E2)):
+        from repro.corpus import TraceCorpus
+
+        followups = [followup]
+        reference = AdjacencyExtractor._mpls_separated(pair, followups)
+        indexed = FollowupIndex(followups).separated(*pair)
+        columnar = FollowupIndex.from_columnar(
+            TraceCorpus.from_traces(followups)
+        ).separated(*pair)
+        assert reference == indexed == columnar
+        return reference
+
+    def test_silent_interior_hop_separates(self):
+        followup = TraceResult(
+            "192.0.2.1", E2,
+            [Hop(1, AGG1), Hop(2, None), Hop(3, E2)],
+        )
+        assert self._all_agree(followup)
+
+    def test_ttl_gap_without_recorded_hop_separates(self):
+        # Same evidence, thinner record: the unresponsive probe was
+        # dropped entirely, leaving a gap in the hop indices.
+        followup = TraceResult("192.0.2.1", E2, [Hop(1, AGG1), Hop(3, E2)])
+        assert self._all_agree(followup)
+
+    def test_consecutive_indices_do_not_separate(self):
+        followup = TraceResult("192.0.2.1", E2, [Hop(1, AGG1), Hop(2, E2)])
+        assert not self._all_agree(followup)
+
+    def test_extract_prunes_pair_revealed_by_silent_hop(self, mapping, rdns):
+        extractor = AdjacencyExtractor(mapping, rdns, "comcast")
+        followup = TraceResult(
+            "192.0.2.1", E2, [Hop(1, AGG1), Hop(2, None), Hop(3, E2)],
+        )
+        result = extractor.extract(
+            [_trace([AGG1, E2])] * 2, followup_traces=[followup]
+        )
+        assert result.stats.mpls_ip == 1
+        assert all(
+            (AGG1, E2) not in counts for counts in result.per_region.values()
+        )
+
+
+class TestZeroDenominatorRows:
+    """Percentage rows render "0.00%" — not a ZeroDivisionError, not
+    "0%" — when the denominator corpus is empty."""
+
+    def test_adjacency_rows_on_empty_corpus(self, mapping, rdns):
+        stats = AdjacencyExtractor(mapping, rdns, "comcast").extract([]).stats
+        rows = stats.as_rows()
+        assert rows[0] == ("Initial", "0", "0")
+        assert rows[1:] == [
+            (label, "0.00%", "0.00%")
+            for label in ("MPLS", "Backbone", "Cross-Region", "Single")
+        ]
+
+    def test_ip2co_rows_on_empty_corpus(self):
+        from repro.alias.resolve import AliasSets
+        from repro.infer.ip2co import Ip2CoMapper
+
+        mapping = Ip2CoMapper(RdnsStore(), "comcast").build([], AliasSets([]))
+        rows = dict(mapping.stats.as_rows())
+        assert rows["Initial"] == "0"
+        for label in ("Alias changed", "Alias added", "Alias removed",
+                      "P2P changed", "P2P added"):
+            assert rows[label] == "0.00%"
+
+
 class TestBackboneIspMatching:
     def test_prefix_isp_rejected(self, mapping, rdns):
         extractor = AdjacencyExtractor(mapping, rdns, "comcast")

@@ -1,0 +1,48 @@
+"""Integration: the columnar inference path (``corpus_format="binary"``)
+must produce byte-identical region artifacts to the object-graph path.
+
+One measured run writes a checkpoint; the second run resumes from it
+with the columnar path, so both infer over the *same* corpus and only
+the inference implementation differs.
+"""
+
+import pytest
+
+from repro.io.export import region_to_json
+
+
+@pytest.fixture(scope="module")
+def parity_runs(internet, standard_vps, tmp_path_factory):
+    from repro.infer.pipeline import CableInferencePipeline
+
+    checkpoint = tmp_path_factory.mktemp("parity") / "campaign.json"
+    object_run = CableInferencePipeline(
+        internet.network, internet.charter, standard_vps, sweep_vps=2,
+        checkpoint_path=checkpoint, corpus_format="json",
+    ).run()
+    columnar_run = CableInferencePipeline(
+        internet.network, internet.charter, standard_vps, sweep_vps=2,
+        checkpoint_path=checkpoint, resume=True, corpus_format="binary",
+    ).run()
+    return object_run, columnar_run
+
+
+class TestCorpusFormatParity:
+    def test_same_regions(self, parity_runs):
+        object_run, columnar_run = parity_runs
+        assert sorted(object_run.regions) == sorted(columnar_run.regions)
+
+    def test_region_artifacts_byte_identical(self, parity_runs):
+        object_run, columnar_run = parity_runs
+        for name, region in object_run.regions.items():
+            assert region_to_json(region) == \
+                region_to_json(columnar_run.regions[name]), name
+
+    def test_adjacency_accounting_identical(self, parity_runs):
+        object_run, columnar_run = parity_runs
+        assert object_run.adjacencies.stats == columnar_run.adjacencies.stats
+
+    def test_ip2co_accounting_identical(self, parity_runs):
+        object_run, columnar_run = parity_runs
+        assert object_run.mapping.stats == columnar_run.mapping.stats
+        assert object_run.mapping.mapping == columnar_run.mapping.mapping

@@ -1,0 +1,93 @@
+"""Campaign checkpoints with binary corpus sidecars: round-trip,
+auto-detection on load, and tamper detection."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.io.checkpoint import CampaignCheckpoint, trace_to_dict
+from repro.measure.traceroute import Hop, TraceResult
+
+
+def _traces():
+    return [
+        TraceResult(
+            "192.0.2.1", "10.0.0.9",
+            [Hop(1, "10.0.0.1", rtt_ms=1.5), Hop(2, None), Hop(3, "10.0.0.9")],
+            completed=True, flow_id=3, vp_name="vp-east",
+        ),
+        TraceResult("192.0.2.1", "10.0.1.1", [Hop(1, "10.0.0.1")]),
+    ]
+
+
+def _dicts(traces):
+    return [trace_to_dict(t) for t in traces]
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    path = tmp_path / "campaign.json"
+    checkpoint = CampaignCheckpoint(path, corpus_format="binary")
+    checkpoint.record_stage(
+        "slash24", _traces(), done=[("vp-east", "10.0.0.9")], complete=True
+    )
+    checkpoint.save()
+    return path
+
+
+class TestBinarySidecars:
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(CheckpointError, match="unknown corpus format"):
+            CampaignCheckpoint(tmp_path / "c.json", corpus_format="msgpack")
+
+    def test_save_writes_sidecar_and_pointer(self, saved):
+        sidecar = saved.with_name("campaign.slash24.corpus.npz")
+        assert sidecar.exists()
+        import json
+
+        record = json.loads(saved.read_text())["stages"]["slash24"]
+        assert record["traces"] == []
+        assert record["corpus"]["format"] == "binary"
+        assert record["corpus"]["file"] == sidecar.name
+
+    def test_load_autodetects_binary_and_round_trips(self, saved):
+        loaded = CampaignCheckpoint.load(saved)
+        assert loaded.corpus_format == "binary"
+        assert _dicts(loaded.stage_traces("slash24")) == _dicts(_traces())
+        assert loaded.stage_done("slash24") == {("vp-east", "10.0.0.9")}
+        assert loaded.stage_complete("slash24")
+
+    def test_resave_after_load_keeps_binary_format(self, saved):
+        loaded = CampaignCheckpoint.load(saved)
+        loaded.record_stage("rdns", _traces()[:1], done=[], complete=False)
+        loaded.save()
+        assert saved.with_name("campaign.rdns.corpus.npz").exists()
+
+    def test_pending_traces_readable_before_save(self, tmp_path):
+        checkpoint = CampaignCheckpoint(
+            tmp_path / "c.json", corpus_format="binary"
+        )
+        checkpoint.record_stage("slash24", _traces(), done=[], complete=False)
+        assert _dicts(checkpoint.stage_traces("slash24")) == _dicts(_traces())
+
+    def test_tampered_sidecar_is_detected(self, saved):
+        sidecar = saved.with_name("campaign.slash24.corpus.npz")
+        sidecar.write_bytes(sidecar.read_bytes()[:-1] + b"X")
+        loaded = CampaignCheckpoint.load(saved)
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            loaded.stage_traces("slash24")
+
+    def test_missing_sidecar_is_detected(self, saved):
+        saved.with_name("campaign.slash24.corpus.npz").unlink()
+        loaded = CampaignCheckpoint.load(saved)
+        with pytest.raises(CheckpointError, match="missing corpus sidecar"):
+            loaded.stage_traces("slash24")
+
+    def test_json_checkpoint_unaffected(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        checkpoint = CampaignCheckpoint(path)  # default json format
+        checkpoint.record_stage("slash24", _traces(), done=[], complete=True)
+        checkpoint.save()
+        assert list(tmp_path.glob("*.npz")) == []
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.corpus_format == "json"
+        assert _dicts(loaded.stage_traces("slash24")) == _dicts(_traces())

@@ -94,6 +94,58 @@ class TestGate:
         ]
 
 
+class TestColumnarGate:
+    def test_missing_columnar_section_fails_loudly(
+        self, gate, baseline, current
+    ):
+        del current["columnar"]
+        failures = gate.evaluate(current, baseline)
+        assert any("columnar section" in f for f in failures), failures
+
+    def test_oracle_divergence_trips(self, gate, baseline, current):
+        current["columnar"]["columnar"]["digest"] = "0" * 64
+        failures = gate.evaluate(current, baseline)
+        assert any("object-graph oracle" in f for f in failures), failures
+
+    def test_baseline_digest_drift_trips(self, gate, baseline, current):
+        drifted = "1" * 64
+        current["columnar"]["oracle"]["digest"] = drifted
+        current["columnar"]["columnar"]["digest"] = drifted
+        failures = gate.evaluate(current, baseline)
+        assert any("drifted" in f for f in failures), failures
+
+    def test_workload_drift_trips(self, gate, baseline, current):
+        current["columnar"]["columnar"]["workload"]["traces"] += 1
+        failures = gate.evaluate(current, baseline)
+        assert any("workload" in f for f in failures), failures
+
+    def test_smoke_payload_skips_the_speedup_floor(
+        self, gate, baseline, current
+    ):
+        assert current["smoke"]
+        current["columnar"]["speedup"] = 1.2
+        assert gate.evaluate(current, baseline) == []
+
+    def test_full_payload_enforces_the_speedup_floor(
+        self, gate, baseline, current
+    ):
+        current["smoke"] = False
+        current["columnar"]["speedup"] = 2.4
+        failures = gate.evaluate(current, baseline)
+        assert any("3.00x floor" in f for f in failures), failures
+
+    def test_committed_full_payload_passes_against_itself(self, gate):
+        payload = json.loads((ROOT / "BENCH_PR8.json").read_text())
+        assert gate.evaluate(payload, payload) == []
+        assert not payload["smoke"]
+        assert payload["columnar"]["speedup"] >= 3.0
+
+    def test_corrupt_columnar_manifest_trips(self, gate, baseline, current):
+        del current["columnar"]["columnar"]["manifest"]["stages"]
+        failures = gate.evaluate(current, baseline)
+        assert any("schema validation" in f for f in failures), failures
+
+
 class TestSupervisedMeasurementGate:
     def test_smoke_payload_without_measurement_skips_the_check(
         self, gate, baseline, current
