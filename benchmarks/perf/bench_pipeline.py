@@ -1,6 +1,6 @@
 """Benchmark harness: inference-phase speedup and supervised measurement.
 
-Three sections, written to ``BENCH_PR8.json``:
+Three sections, written to ``BENCH_CURRENT.json``:
 
 * **inference** — the phase-2 pipeline (IP→CO mapping, adjacency
   extraction/pruning, refinement) over a large synthetic region corpus
@@ -297,7 +297,7 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=0,
                         help="best-of-N wall-clock per mode "
                              "(default: 3 for --smoke, 1 for full)")
-    parser.add_argument("--out", default=str(ROOT / "BENCH_PR8.json"))
+    parser.add_argument("--out", default=str(ROOT / "BENCH_CURRENT.json"))
     args = parser.parse_args()
 
     if args.mode:

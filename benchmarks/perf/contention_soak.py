@@ -1,0 +1,363 @@
+"""CI contention soak: 3 executors, one SIGKILLed mid-lease, one truth.
+
+The multi-executor acceptance test for the shared-journal protocol:
+
+* spools a seeded portfolio of toy mapping jobs (JSON and binary
+  corpora, chaos retries, a poison job) into one state directory;
+* launches **three** ``repro service run --executor-id eN`` processes
+  against it concurrently, SIGKILLs one mid-lease, relaunches it, and
+  lets the fleet converge (``--until-idle`` waits out peers' leases);
+* asserts the invariants that define correctness under contention:
+  every job terminal with **exactly one terminal journal event**, no
+  artifact written twice with differing bytes (every recorded digest
+  matches the bytes on disk, and deterministic corpora are
+  byte-identical to an uninterrupted single-executor reference), no
+  leftover staging directories, and the HTTP ``GET /jobs`` view in
+  agreement with the on-disk snapshot — plus a live exercise of the
+  artifact and diff endpoints.
+
+Writes a summary plus the final state's exports to ``--artifacts-dir``
+so CI uploads them even on failure.
+
+Exit codes: 0 pass, 1 invariant violation (diagnostics on stderr).
+
+Usage::
+
+    python benchmarks/perf/contention_soak.py [--artifacts-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+EXECUTORS = ("e1", "e2", "e3")
+#: Which executor gets SIGKILLed, and when (seconds after fleet start).
+#: Late enough that jobs are leased, early enough that plenty remain.
+KILL_VICTIM = "e2"
+KILL_AFTER_S = 0.9
+RUN_TIMEOUT_S = 240
+#: Short leases so the killed executor's orphaned job is reclaimed
+#: quickly by a peer (heartbeats stop at SIGKILL).
+LEASE_S = "5"
+
+
+def _portfolio():
+    """Seeded jobs covering both corpus formats and the retry matrix."""
+    from repro.service.spec import JobSpec
+
+    return [
+        # Clean deterministic jobs: must come out byte-identical.
+        JobSpec(pipeline="toy", seed=1, targets=30, hosts=3),
+        JobSpec(pipeline="toy", seed=2, targets=24, hosts=2),
+        JobSpec(pipeline="toy", seed=3, targets=18, hosts=2),
+        JobSpec(pipeline="toy", seed=4, targets=12, hosts=3),
+        JobSpec(pipeline="toy", seed=5, targets=20, hosts=2),
+        JobSpec(pipeline="toy", seed=6, targets=16, hosts=2),
+        # Binary columnar corpora: the .npz artifact path end to end.
+        JobSpec(pipeline="toy", seed=7, targets=20, hosts=2,
+                corpus_format="binary"),
+        JobSpec(pipeline="toy", seed=8, targets=14, hosts=3,
+                corpus_format="binary"),
+        # Retry path: first attempts chaos-fail, then succeed.
+        JobSpec(pipeline="toy", seed=9, targets=12, hosts=2,
+                chaos={"fail_attempts": 1}),
+        JobSpec(pipeline="toy", seed=10, targets=12, hosts=2,
+                chaos={"fail_attempts": 2}),
+        # Poison job: exhausts the attempt budget, must be quarantined.
+        JobSpec(pipeline="toy", seed=11, targets=8, hosts=2,
+                chaos={"fail_attempts": 99}, name="poison"),
+        # Faulty substrate (probe loss is deterministic per plan seed).
+        JobSpec(pipeline="toy", seed=12, targets=16, hosts=2,
+                faults={"probe_loss": 0.2}),
+    ]
+
+
+def _spool(state: pathlib.Path, specs) -> "list[str]":
+    from repro.service.spec import job_id_for, job_spec_to_json
+
+    inbox = state / "inbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    ids = []
+    for spec in specs:
+        job_id = job_id_for(spec)
+        (inbox / f"{job_id}.json").write_text(job_spec_to_json(spec))
+        ids.append(job_id)
+    return ids
+
+
+def _run_args(state: pathlib.Path, executor_id: str) -> "list[str]":
+    return [
+        sys.executable, "-m", "repro", "service", "run", str(state),
+        "--executor-id", executor_id, "--until-idle",
+        "--tick-s", "0.001", "--backoff-base-s", "0.001",
+        "--max-attempts", "6", "--lease-s", LEASE_S,
+    ]
+
+
+def _env():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _launch(state: pathlib.Path, executor_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        _run_args(state, executor_id), env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _get(base: str, path: str) -> "tuple[int, bytes]":
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifacts-dir",
+                        default=str(ROOT / "contention-soak-artifacts"))
+    args = parser.parse_args()
+    artifacts_dir = pathlib.Path(args.artifacts_dir)
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.obs import sha256_bytes, sha256_text
+    from repro.service.http import ServiceHTTPServer
+    from repro.service.store import TERMINAL_STATES, JobStore
+    from repro.validate.schema import parse_artifact
+
+    specs = _portfolio()
+    work = pathlib.Path(tempfile.mkdtemp(prefix="contention-soak-"))
+    summary = {"executors": len(EXECUTORS), "kills": 0}
+    failures: "list[str]" = []
+    started = time.monotonic()
+    try:
+        # Reference: the identical portfolio, one executor, never
+        # interrupted — the byte-identity oracle.
+        clean = work / "clean"
+        ids = _spool(clean, specs)
+        result = subprocess.run(
+            _run_args(clean, "ref"), env=_env(), capture_output=True,
+            text=True, timeout=RUN_TIMEOUT_S,
+        )
+        if result.returncode != 0:
+            raise AssertionError(
+                f"reference run failed ({result.returncode}): "
+                f"{result.stderr}"
+            )
+
+        # The contended fleet.
+        state = work / "state"
+        _spool(state, specs)
+        fleet = {eid: _launch(state, eid) for eid in EXECUTORS}
+        time.sleep(KILL_AFTER_S)
+        victim = fleet[KILL_VICTIM]
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            summary["kills"] += 1
+            # A new incarnation of the same id: reclaims its own
+            # orphaned lease immediately via the executor lock.
+            fleet[KILL_VICTIM] = _launch(state, KILL_VICTIM)
+        deadline = time.monotonic() + RUN_TIMEOUT_S
+        for eid, proc in fleet.items():
+            remaining = max(1.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise AssertionError(f"executor {eid} failed to converge")
+            if proc.returncode != 0:
+                stderr = proc.stderr.read() if proc.stderr else ""
+                raise AssertionError(
+                    f"executor {eid} exited {proc.returncode}: {stderr}"
+                )
+
+        store = JobStore.open(state, readonly=True)
+        reference = JobStore.open(clean, readonly=True)
+
+        # 1. No duplicated or lost jobs.
+        if sorted(store.jobs) != sorted(ids):
+            failures.append(
+                f"job set mismatch: {sorted(store.jobs)} != {sorted(ids)}"
+            )
+        # 2. Every job terminal exactly once: states match the
+        #    reference, and the journal-event ring holds exactly one
+        #    terminal event per job.
+        for job_id in ids:
+            record = store.jobs.get(job_id)
+            if record is None:
+                continue
+            if not record.terminal:
+                failures.append(f"{job_id} not terminal: {record.state}")
+                continue
+            expected = reference.jobs[job_id].state
+            if record.state != expected:
+                failures.append(
+                    f"{job_id} ended {record.state}, reference {expected}"
+                )
+            terminal_events = [
+                event for event in record.events
+                if event["op"] in ("done", "failed")
+            ]
+            if len(terminal_events) != 1:
+                failures.append(
+                    f"{job_id}: {len(terminal_events)} terminal events "
+                    f"({[e['op'] for e in terminal_events]})"
+                )
+        # 3. The poison job failed with a validated quarantine artifact.
+        for job_id in ids:
+            record = store.jobs.get(job_id)
+            if record is None or record.spec.name != "poison":
+                continue
+            if record.state != "failed":
+                failures.append(f"poison job {job_id} ended {record.state}")
+                continue
+            report = parse_artifact(
+                (state / "jobs" / job_id / "failure.json").read_text(),
+                kind="quarantine-report",
+            )
+            if report["records"][0]["category"] != "poison-job":
+                failures.append(f"poison job {job_id}: wrong category")
+        # 4. No artifact written twice with differing bytes: every
+        #    recorded digest matches the bytes on disk (a second writer
+        #    would have journaled a different digest or left different
+        #    bytes), and no staging leftovers survived.
+        for job_id in ids:
+            record = store.jobs[job_id]
+            job_dir = state / "jobs" / job_id
+            parse_artifact((job_dir / "record.json").read_text(),
+                           kind="job-record")
+            for name, meta in record.artifacts.items():
+                data = (job_dir / name).read_bytes()
+                digest = sha256_bytes(data) if name.endswith(".npz") \
+                    else sha256_text(data.decode())
+                if digest != meta["sha256"]:
+                    failures.append(f"{job_id}/{name}: digest mismatch")
+            staging = [p.name for p in job_dir.glob(".staging-*")]
+            if staging:
+                failures.append(f"{job_id}: staging leftovers {staging}")
+        # 5. Deterministic corpora byte-identical to the reference run.
+        for job_id in ids:
+            record = store.jobs[job_id]
+            for name in ("corpus.json", "corpus.npz"):
+                if record.state != "done" or name not in record.artifacts:
+                    continue
+                victim_bytes = (state / "jobs" / job_id / name).read_bytes()
+                oracle = (clean / "jobs" / job_id / name).read_bytes()
+                if victim_bytes != oracle:
+                    failures.append(
+                        f"{job_id}/{name}: diverged from reference"
+                    )
+        # 6. The HTTP view agrees with the on-disk snapshot, and the
+        #    artifact/diff endpoints serve verified content.
+        server = ServiceHTTPServer(state).start()
+        base = f"http://{server.address}"
+        try:
+            status, body = _get(base, "/jobs")
+            if status != 200:
+                failures.append(f"/jobs returned {status}")
+            else:
+                view = json.loads(body)["jobs"]
+                if sorted(view) != sorted(store.jobs):
+                    failures.append("/jobs job set disagrees with snapshot")
+                for job_id, entry in view.items():
+                    record = store.jobs.get(job_id)
+                    if record is None:
+                        continue
+                    if entry["state"] != record.state \
+                            or entry["attempts"] != record.attempts \
+                            or entry["artifacts"] \
+                            != sorted(record.artifacts):
+                        failures.append(
+                            f"/jobs entry for {job_id} disagrees with "
+                            "snapshot"
+                        )
+            done_json = [
+                j for j in ids if store.jobs[j].state == "done"
+                and "corpus.json" in store.jobs[j].artifacts
+            ]
+            done_npz = [
+                j for j in ids if store.jobs[j].state == "done"
+                and "corpus.npz" in store.jobs[j].artifacts
+            ]
+            for job_id, name in (
+                [(j, "corpus.json") for j in done_json[:1]]
+                + [(j, "corpus.npz") for j in done_npz[:1]]
+            ):
+                status, body = _get(
+                    base, f"/jobs/{job_id}/artifacts/{name}"
+                )
+                if status != 200:
+                    failures.append(f"artifact GET {name} returned {status}")
+                elif body != (state / "jobs" / job_id / name).read_bytes():
+                    failures.append(f"artifact GET {name} bytes differ")
+            if len(done_json) >= 2:
+                status, body = _get(
+                    base, f"/jobs/{done_json[0]}/diff/{done_json[1]}"
+                )
+                if status != 200:
+                    failures.append(f"diff GET returned {status}")
+                else:
+                    parse_artifact(body.decode(), kind="topology-diff")
+        finally:
+            server.stop()
+
+        terminal = sum(
+            1 for j in ids if store.jobs[j].state in TERMINAL_STATES
+        )
+        summary.update({
+            "jobs": len(ids),
+            "terminal": terminal,
+            "done": sum(1 for j in ids if store.jobs[j].state == "done"),
+            "failed": sum(1 for j in ids if store.jobs[j].state == "failed"),
+            "attempts": sum(store.jobs[j].attempts for j in ids),
+            "elapsed_s": round(time.monotonic() - started, 1),
+            "failures": failures,
+        })
+        store.close()
+        reference.close()
+        for name in ("snapshot.json", "service-metrics-e1.json",
+                     "service-metrics-e2.json", "service-metrics-e3.json"):
+            source = state / name
+            if source.exists():
+                shutil.copy(source, artifacts_dir / name)
+    finally:
+        (artifacts_dir / "contention-summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True)
+        )
+        shutil.rmtree(work, ignore_errors=True)
+
+    if failures:
+        for failure in failures:
+            print(f"CONTENTION FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"contention soak pass: {summary['jobs']} jobs "
+        f"({summary['done']} done / {summary['failed']} failed) across "
+        f"{summary['executors']} executors, {summary['kills']} SIGKILL(s), "
+        f"{summary['attempts']} attempts in {summary['elapsed_s']}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -378,6 +378,7 @@ def _spec_from_args(args) -> "object":
         sweep_vps=args.sweep_vps,
         faults=faults,
         chaos=chaos,
+        corpus_format=args.corpus_format,
         name=args.name,
         priority=args.priority,
     )
@@ -421,6 +422,14 @@ def cmd_service(args) -> int:
         atomic_write_text(inbox / f"{job_id}.json", job_spec_to_json(spec))
         print(f"submitted {job_id} ({spec.pipeline}, fidelity "
               f"{spec.fidelity}) to {inbox}")
+        return 0
+    if args.service_command == "serve":
+        from repro.service.http import ServiceHTTPServer
+
+        server = ServiceHTTPServer(state_dir, host=args.host, port=args.port)
+        print(f"serving {state_dir} on http://{server.address} "
+              "(read-only; Ctrl-C to stop)")
+        server.serve_forever()
         return 0
     if args.service_command == "status":
         store = JobStore.open(state_dir, readonly=True)
@@ -653,12 +662,27 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="service chaos: fail the job's first N "
                               "attempts (exercises retry/poison paths)")
+    ssubmit.add_argument("--corpus-format", choices=("json", "binary"),
+                         default="json",
+                         help="toy pipeline corpus artifact: JSON trace "
+                              "list or columnar .npz (default json)")
     ssubmit.add_argument("--name", default="",
                          help="submission label (not part of the dedup "
                               "hash)")
     ssubmit.add_argument("--priority", type=int, default=0,
                          help="scheduling priority, higher first "
                               "(default 0)")
+
+    sserve = ssub.add_parser(
+        "serve", help="serve jobs/artifacts/diffs/events over HTTP "
+                      "(read-only; never contends with executors)"
+    )
+    sserve.add_argument("state_dir", help="service state directory")
+    sserve.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    sserve.add_argument("--port", type=int, default=8642,
+                        help="bind port; 0 picks an ephemeral one "
+                             "(default 8642)")
 
     sstatus = ssub.add_parser(
         "status", help="print the job table from a state directory"

@@ -21,10 +21,11 @@ from repro.obs.manifest import (
     fault_plan_digest,
     run_manifest_from_json,
     run_manifest_to_json,
+    sha256_bytes,
     sha256_text,
     write_run_manifest,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, labeled
 from repro.obs.span import Span, Tracer
 
 __all__ = [
@@ -39,6 +40,8 @@ __all__ = [
     "fault_plan_digest",
     "run_manifest_from_json",
     "run_manifest_to_json",
+    "labeled",
+    "sha256_bytes",
     "sha256_text",
     "write_run_manifest",
 ]

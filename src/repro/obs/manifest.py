@@ -42,6 +42,11 @@ def sha256_text(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def sha256_bytes(data: bytes) -> str:
+    """Hex sha256 of a binary artifact (``.npz`` corpora and friends)."""
+    return hashlib.sha256(data).hexdigest()
+
+
 def fault_plan_digest(plan) -> "str | None":
     """Canonical digest of a :class:`~repro.faults.plan.FaultPlan`."""
     if plan is None:

@@ -11,7 +11,9 @@ executor's leases, and resumes interrupted attempts from their
 campaign checkpoints.
 """
 
+from repro.service.diff import load_job_corpus, topology_diff, topology_summary
 from repro.service.executor import ExecutionResult, JobExecutor
+from repro.service.http import ServiceAPI, ServiceHTTPServer
 from repro.service.scheduler import Scheduler
 from repro.service.service import CampaignService
 from repro.service.spec import (
@@ -43,7 +45,12 @@ __all__ = [
     "JobSpec",
     "JobStore",
     "Scheduler",
+    "ServiceAPI",
+    "ServiceHTTPServer",
     "degrade",
+    "load_job_corpus",
+    "topology_diff",
+    "topology_summary",
     "job_id_for",
     "job_record_from_json",
     "job_record_to_json",

@@ -77,8 +77,17 @@ class JobExecutor:
 
     # ------------------------------------------------------------------
     def execute(self, job_id: str, spec: JobSpec, fidelity: str,
-                attempt: int) -> ExecutionResult:
-        """Run one attempt; raises on failure (the service charges it)."""
+                attempt: int,
+                stage_dir: "pathlib.Path | None" = None) -> ExecutionResult:
+        """Run one attempt; raises on failure (the service charges it).
+
+        *stage_dir* is where artifact files land — a per-executor
+        staging directory when several executors share the job store
+        (the service promotes it under the append lock after checking
+        its fencing token), or the job directory itself when absent.
+        The campaign checkpoint always stays in the shared job
+        directory so a retry by *any* executor resumes mid-campaign.
+        """
         fail_until = int(spec.chaos.get("fail_attempts", 0))
         if attempt <= fail_until:
             raise ServiceError(
@@ -88,6 +97,15 @@ class JobExecutor:
 
         job_dir = self.jobs_dir / job_id
         job_dir.mkdir(parents=True, exist_ok=True)
+        if stage_dir is None:
+            stage_dir = job_dir
+        else:
+            # A previous abandoned attempt's leftovers must not leak
+            # into this attempt's artifact set.
+            import shutil
+
+            shutil.rmtree(stage_dir, ignore_errors=True)
+            stage_dir.mkdir(parents=True, exist_ok=True)
         # The normalize/p2p memos are process-wide and keyed by address
         # string: in a long-running service each job's address space
         # would accrete forever.  Jobs never share addresses by design
@@ -95,8 +113,10 @@ class JobExecutor:
         clear_module_memos()
         try:
             if spec.pipeline == "toy":
-                return self._execute_toy(job_id, spec, fidelity, job_dir)
-            return self._execute_cable(job_id, spec, fidelity, job_dir)
+                return self._execute_toy(job_id, spec, fidelity, job_dir,
+                                         stage_dir)
+            return self._execute_cable(job_id, spec, fidelity, job_dir,
+                                       stage_dir)
         finally:
             clear_module_memos()
 
@@ -118,8 +138,35 @@ class JobExecutor:
             self._write(job_dir, "quarantine.json",
                         quarantine_report_to_json(quarantine), artifacts)
 
+    def _write_corpus(self, stage_dir: pathlib.Path, spec: JobSpec,
+                      traces, artifacts: "dict[str, dict]") -> None:
+        """Export the trace corpus in the spec's chosen format.
+
+        ``json`` writes the legacy sorted-JSON trace list; ``binary``
+        writes the columnar ``.npz`` container from
+        :mod:`repro.corpus.binio`, digested over its raw bytes so the
+        HTTP artifact endpoint verifies it the same way.
+        """
+        if spec.corpus_format == "binary":
+            from repro.corpus.binio import save_corpus
+            from repro.corpus.columnar import TraceCorpus
+            from repro.obs import sha256_bytes
+
+            path = stage_dir / "corpus.npz"
+            save_corpus(path, TraceCorpus.from_traces(traces))
+            data = path.read_bytes()
+            artifacts["corpus.npz"] = {
+                "sha256": sha256_bytes(data), "bytes": len(data),
+            }
+            return
+        corpus = json.dumps(
+            [trace_to_dict(trace) for trace in traces], sort_keys=True
+        )
+        self._write(stage_dir, "corpus.json", corpus, artifacts)
+
     def _execute_toy(self, job_id: str, spec: JobSpec, fidelity: str,
-                     job_dir: pathlib.Path) -> ExecutionResult:
+                     job_dir: pathlib.Path,
+                     stage_dir: pathlib.Path) -> ExecutionResult:
         from repro.measure.runner import CampaignRunner
         from repro.measure.substrates import WorkerSpec, toy_substrate
         from repro.measure.supervisor import SupervisedCampaignRunner
@@ -163,12 +210,9 @@ class JobExecutor:
             for index in range(1, targets + 1)
         ]
         traces = runner.run(jobs, stage="campaign")
-        corpus = json.dumps(
-            [trace_to_dict(trace) for trace in traces], sort_keys=True
-        )
         artifacts: "dict[str, dict]" = {}
-        self._write(job_dir, "corpus.json", corpus, artifacts)
-        self._export_campaign(job_dir, runner, artifacts)
+        self._write_corpus(stage_dir, spec, traces, artifacts)
+        self._export_campaign(stage_dir, runner, artifacts)
         return ExecutionResult(
             artifacts=artifacts,
             degraded=runner.health.degraded,
@@ -176,7 +220,8 @@ class JobExecutor:
         )
 
     def _execute_cable(self, job_id: str, spec: JobSpec, fidelity: str,
-                       job_dir: pathlib.Path) -> ExecutionResult:
+                       job_dir: pathlib.Path,
+                       stage_dir: pathlib.Path) -> ExecutionResult:
         from repro.infer.pipeline import CableInferencePipeline
         from repro.io.export import region_to_json
         from repro.measure.substrates import WorkerSpec
@@ -212,17 +257,17 @@ class JobExecutor:
         result = pipeline.run()
         artifacts: "dict[str, dict]" = {}
         for name, region in sorted(result.regions.items()):
-            self._write(job_dir, f"{spec.isp}-{name}.json",
+            self._write(stage_dir, f"{spec.isp}-{name}.json",
                         region_to_json(region), artifacts)
         if result.quarantine is not None and result.quarantine:
-            self._write(job_dir, "quarantine.json",
+            self._write(stage_dir, "quarantine.json",
                         quarantine_report_to_json(result.quarantine),
                         artifacts)
         health = result.health
         if health is not None:
             from repro.io.export import campaign_health_to_json
 
-            self._write(job_dir, "health.json",
+            self._write(stage_dir, "health.json",
                         campaign_health_to_json(health), artifacts)
         return ExecutionResult(
             artifacts=artifacts,

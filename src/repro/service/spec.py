@@ -66,6 +66,9 @@ class JobSpec:
     sweep_vps: int = 8
     faults: "dict[str, object]" = field(default_factory=dict)
     chaos: "dict[str, int]" = field(default_factory=dict)
+    #: Corpus artifact format: ``json`` (a ``corpus.json`` trace list)
+    #: or ``binary`` (a ``corpus.npz`` columnar container).
+    corpus_format: str = "json"
     name: str = ""
     priority: int = 0
 
@@ -90,6 +93,11 @@ class JobSpec:
             raise ServiceError(
                 f"unknown fault-plan field(s) {', '.join(unknown)}"
             )
+        if self.corpus_format not in ("json", "binary"):
+            raise ServiceError(
+                f"unknown corpus format {self.corpus_format!r}; expected "
+                "json or binary"
+            )
 
     # ------------------------------------------------------------------
     def content_dict(self) -> "dict[str, object]":
@@ -110,6 +118,7 @@ class JobSpec:
             "sweep_vps": self.sweep_vps,
             "faults": dict(sorted(self.faults.items())),
             "chaos": dict(sorted(self.chaos.items())),
+            "corpus_format": self.corpus_format,
         }
 
     def as_dict(self) -> "dict[str, object]":
@@ -140,6 +149,7 @@ class JobSpec:
             sweep_vps=payload.get("sweep_vps", 8),
             faults=dict(payload.get("faults", {})),
             chaos=dict(payload.get("chaos", {})),
+            corpus_format=payload.get("corpus_format", "json"),
             name=payload.get("name", ""),
             priority=payload.get("priority", 0),
         )

@@ -1,7 +1,8 @@
-"""Crash-safe on-disk job store: append-only journal + atomic snapshot.
+"""Crash-safe on-disk job store: shared append-only journal + snapshot.
 
 The service must never lose a submitted job, no matter where it is
-SIGKILLed.  The store gets that from two files and one rule:
+SIGKILLed — and since PR 9, *several* executor processes share one
+state directory.  The store gets both from two files and three rules:
 
 * ``journal.jsonl`` — an append-only log of state transitions, one
   JSON object per line, fsynced per append.  Every mutation goes
@@ -12,13 +13,34 @@ SIGKILLed.  The store gets that from two files and one rule:
   :meth:`JobStore.compact`; the journal is then truncated.  A crash
   between the two is safe: journal lines at or below the snapshot's
   ``seq`` are skipped on replay.
+* **Lock-mediated appends** — writers do not hold the state directory
+  for their lifetime.  Every append (and every compaction) runs inside
+  a short ``flock`` critical section on ``state_dir/lock``: refresh
+  the in-memory view from disk, validate the transition against that
+  view, write-ahead, apply, release.  N executors therefore interleave
+  at journal-line granularity, never inside one.  Compaction is
+  *elected* by the same lock: whichever writer trips the threshold
+  while holding it compacts; everyone else detects the truncated
+  journal (the snapshot's stat signature changed) and reloads.
+
+Concurrency-safe transitions layer on top as compare-and-swap over the
+replayed view: :meth:`try_claim` leases a job only if it is still
+queued *after* refreshing under the lock, and returns a **fencing
+token** (the ``start`` entry's journal seq).  :meth:`try_heartbeat` and
+:meth:`settle` re-validate ``(owner, token)`` under the lock before
+appending, so an executor whose lease was reclaimed after expiry can
+never extend, complete, or fail the job out from under the new owner —
+its appends are refused *before* they reach the journal, which keeps
+replay deterministic: every journal line is a valid transition.
 
 On restart :meth:`JobStore.open` loads the snapshot (if any) and
 replays the journal tail.  A **torn final line** — the half-written
-append of a crashed process — is expected damage and is silently
-truncated; a corrupt line *before* the tail, or a corrupt snapshot, is
-real corruption and raises :class:`~repro.errors.ServiceError` (the CLI
-surfaces it as a one-line ``error:`` and exit 3).
+append of a crashed process — is expected damage: a writable open (or
+refresh) truncates it under the lock; a ``readonly`` open repairs it
+*in memory only* and never rewrites the journal.  A corrupt line
+*before* the tail, or a corrupt snapshot, is real corruption and
+raises :class:`~repro.errors.ServiceError` (the CLI surfaces it as a
+one-line ``error:`` and exit 3).
 
 Replay is deterministic because every journal op carries **all** the
 data its transition needs (artifact digests, backoff deadlines, lease
@@ -28,6 +50,7 @@ outside the record it names.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
@@ -51,10 +74,20 @@ from repro.validate.schema import (
 #: Journal appends between automatic compactions.
 COMPACT_EVERY = 200
 
+#: Per-record event-ring size: enough for every attempt of a bounded
+#: retry budget with heartbeats, small enough to keep snapshots lean.
+EVENTS_KEEP = 100
+
+#: How many times a readonly open re-reads when a compaction races it.
+_READONLY_RETRIES = 5
+
 #: Job states.  ``queued`` and ``running`` are live; ``done`` and
 #: ``failed`` are terminal.
 STATES = ("queued", "running", "done", "failed")
 TERMINAL_STATES = ("done", "failed")
+
+#: Journal-entry fields folded into the per-record event detail string.
+_EVENT_DETAIL_FIELDS = ("owner", "fidelity", "outcome", "reason", "error")
 
 
 @dataclass
@@ -74,6 +107,10 @@ class JobRecord:
     failure: "dict | None" = None
     submitted_seq: int = 0
     dedup_count: int = 0
+    #: Bounded ring of journal events touching this job — the HTTP
+    #: events endpoint's cursor source.  Survives compaction because it
+    #: rides the record into every snapshot.
+    events: "list[dict]" = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def open_attempt(self) -> "dict | None":
@@ -110,6 +147,7 @@ class JobRecord:
             "failure": dict(self.failure) if self.failure is not None else None,
             "submitted_seq": self.submitted_seq,
             "dedup_count": self.dedup_count,
+            "events": [dict(event) for event in self.events],
         }
 
     @classmethod
@@ -129,6 +167,7 @@ class JobRecord:
             failure=dict(payload["failure"]) if payload["failure"] else None,
             submitted_seq=payload["submitted_seq"],
             dedup_count=payload["dedup_count"],
+            events=[dict(event) for event in payload.get("events", [])],
         )
 
 
@@ -143,13 +182,26 @@ def job_record_from_json(text: str) -> JobRecord:
     return JobRecord.from_dict(parse_artifact(text, kind="job-record"))
 
 
+def _stat_sig(path: pathlib.Path) -> "tuple[int, int, int] | None":
+    """A cheap change-detection signature (inode, size, mtime)."""
+    try:
+        st = os.stat(path)
+    except FileNotFoundError:
+        return None
+    return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+
 class JobStore:
     """The service's persistent state: jobs, rejections, the journal.
 
-    All mutation goes through :meth:`append`; read access goes through
-    :attr:`jobs` and the query helpers.  One store instance assumes one
-    writing process (the service); cross-process submission rides the
-    ``inbox/`` spool directory, not the journal.
+    All mutation goes through :meth:`append` (optionally wrapped in a
+    :meth:`transact` critical section for compare-and-swap sequences);
+    read access goes through :attr:`jobs` and the query helpers.  Any
+    number of writing processes may share one state directory — the
+    per-append lock serializes them — and any number of ``readonly``
+    inspectors may read concurrently without ever taking the lock.
+    Cross-process submission rides the ``inbox/`` spool directory or
+    the journal, dedup makes both idempotent.
     """
 
     def __init__(self, state_dir: "str | pathlib.Path",
@@ -169,7 +221,11 @@ class JobStore:
         #: Reentrant: the heartbeat thread appends while the main
         #: thread may be mid-append/compact.
         self._mutex = threading.RLock()
-        self._flock_fd = None
+        self._lock_fd = None
+        self._lock_depth = 0
+        self._snapshot_sig: "tuple | None" = None
+        self._journal_sig: "tuple | None" = None
+        self._executor_lock_fd = None
 
     # ------------------------------------------------------------------
     # Load / replay
@@ -181,36 +237,136 @@ class JobStore:
 
         Replays snapshot + journal; corruption anywhere but the torn
         final journal line raises :class:`ServiceError`.  A writable
-        open takes an exclusive ``flock`` on ``state_dir/lock`` — the
-        kernel releases it even on SIGKILL, so a crashed service never
-        wedges its state dir, while two live services can never
-        interleave journal writes.  ``readonly`` opens (status
-        inspection) skip the lock and never mutate anything, including
-        the torn-tail repair.
+        open creates the state layout and repairs a torn journal tail
+        under the append lock.  ``readonly`` opens (status inspection,
+        the HTTP API) create nothing, never take the lock, and never
+        mutate anything on disk — including the torn-tail repair, which
+        happens in memory only.
         """
         store = cls(state_dir, clock=clock, readonly=readonly)
+        if readonly:
+            store._reload_readonly()
+            return store
         store.state_dir.mkdir(parents=True, exist_ok=True)
         store.inbox_dir.mkdir(exist_ok=True)
         store.jobs_dir.mkdir(exist_ok=True)
-        if not readonly:
-            store._acquire_flock()
-        snapshot_seq = store._load_snapshot()
-        store._replay_journal(snapshot_seq)
+        with store._mutex, store._locked():
+            store._reload()
         return store
 
-    def _acquire_flock(self) -> None:
+    # -- locking -------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self):
+        """The cross-process append lock; reentrant within a process.
+
+        ``flock`` locks belong to the open file description, so thread
+        mutual exclusion must come from :attr:`_mutex` — every caller
+        holds it around this context.  The kernel releases the lock on
+        SIGKILL, so a dead writer never wedges the state directory.
+        """
+        if self.readonly:
+            raise ServiceError("job store was opened read-only")
+        if fcntl is None:  # pragma: no cover - non-posix fallback
+            yield
+            return
+        if self._lock_fd is None:
+            self._lock_fd = os.open(
+                self.state_dir / "lock", os.O_CREAT | os.O_RDWR, 0o644
+            )
+        self._lock_depth += 1
+        try:
+            if self._lock_depth == 1:
+                fcntl.flock(self._lock_fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            self._lock_depth -= 1
+            if self._lock_depth == 0:
+                fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+
+    def acquire_executor_lock(self, executor_id: str) -> None:
+        """Claim this executor id for the lifetime of the process.
+
+        Guards two invariants the lease protocol leans on: no two live
+        processes share an executor id (so own-lease recovery at
+        startup is safe — the previous incarnation provably died), and
+        a restart of the same id can immediately reclaim its own
+        leases.  Released by :meth:`close` or process death.
+        """
         if fcntl is None:  # pragma: no cover - non-posix fallback
             return
-        fd = os.open(self.state_dir / "lock", os.O_CREAT | os.O_RDWR, 0o644)
+        lock_dir = self.state_dir / "executors"
+        lock_dir.mkdir(exist_ok=True)
+        fd = os.open(lock_dir / f"{executor_id}.lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
         try:
             fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
             os.close(fd)
             raise ServiceError(
-                f"state dir {self.state_dir} is held by another running "
-                "service instance"
+                f"executor id {executor_id!r} is already running against "
+                f"{self.state_dir}"
             ) from None
-        self._flock_fd = fd
+        self._executor_lock_fd = fd
+
+    # -- refresh -------------------------------------------------------
+    def _state_changed(self) -> bool:
+        return (
+            _stat_sig(self.snapshot_path) != self._snapshot_sig
+            or _stat_sig(self.journal_path) != self._journal_sig
+        )
+
+    def _reload(self) -> None:
+        """Rebuild the in-memory view from disk (caller holds the lock).
+
+        The journal between compactions is bounded (``COMPACT_EVERY``
+        lines), so a full rebuild is cheap and — unlike incremental
+        tailing — trivially immune to the compaction-truncates-the-file
+        race.
+        """
+        self.jobs = {}
+        self.rejected = []
+        self.seq = 0
+        self._snapshot_sig = _stat_sig(self.snapshot_path)
+        snapshot_seq = self._load_snapshot()
+        self._replay_journal(snapshot_seq)
+        self._journal_sig = _stat_sig(self.journal_path)
+
+    def _reload_readonly(self) -> None:
+        """Rebuild without the lock, retrying across a racing compaction.
+
+        A reader can catch compaction between its snapshot read and its
+        journal read (stale snapshot + already-truncated journal).  The
+        snapshot's stat signature changing across the reload detects
+        exactly that window; a bounded retry converges because
+        compactions are rare relative to a read.
+        """
+        for _ in range(_READONLY_RETRIES):
+            before = _stat_sig(self.snapshot_path)
+            self._reload()
+            if _stat_sig(self.snapshot_path) == before:
+                return
+        raise ServiceError(
+            f"state dir {self.state_dir} is compacting faster than it "
+            "can be read"
+        )
+
+    def refresh(self) -> None:
+        """Sync the in-memory view with other writers' appends.
+
+        Cheap when nothing changed (two ``stat`` calls).  Writable
+        stores refresh under the lock; readonly stores use the
+        compaction-retry read path.
+        """
+        if self.readonly:
+            if self._state_changed():
+                self._reload_readonly()
+            return
+        with self._mutex:
+            if not self._state_changed():
+                return
+            with self._locked():
+                if self._state_changed():
+                    self._reload()
 
     def _load_snapshot(self) -> int:
         if not self.snapshot_path.exists():
@@ -273,6 +429,9 @@ class JobStore:
             self._apply(entry)
             self.seq = entry["seq"]
         if valid_end < len(data) and not self.readonly:
+            # Caller holds the append lock, so the torn bytes belong to
+            # a provably dead writer (live appends are serialized and
+            # fsynced before the lock is released).
             with open(self.journal_path, "r+b") as handle:
                 handle.truncate(valid_end)
 
@@ -280,68 +439,174 @@ class JobStore:
     # Write path
     # ------------------------------------------------------------------
     def _fd(self):
+        """The append handle, reopened when compaction replaced the file."""
+        if self._journal_fd is not None:
+            try:
+                same = os.fstat(self._journal_fd.fileno()).st_ino \
+                    == os.stat(self.journal_path).st_ino
+            except FileNotFoundError:
+                same = False
+            if not same:
+                self._journal_fd.close()
+                self._journal_fd = None
         if self._journal_fd is None:
             self._journal_fd = open(self.journal_path, "a")
         return self._journal_fd
 
+    @contextlib.contextmanager
+    def transact(self):
+        """A compare-and-swap critical section over the fresh view.
+
+        Holds the cross-process append lock, refreshes the in-memory
+        view, and yields; every check made and :meth:`append` issued
+        inside the block is atomic with respect to other writers.
+        """
+        with self._mutex:
+            with self._locked():
+                if self._state_changed():
+                    self._reload()
+                yield self
+
     def append(self, op: str, **fields) -> "dict[str, object]":
-        """Write one journal line (write-ahead) and apply it."""
+        """Write one journal line (write-ahead) and apply it.
+
+        Runs in its own critical section when not already inside a
+        :meth:`transact` block (the lock is reentrant), so the seq it
+        assigns is globally unique across all writing processes.
+        """
         if self.readonly:
             raise ServiceError("job store was opened read-only")
         with self._mutex:
-            self.seq += 1
-            entry = {
-                "seq": self.seq, "op": op, "at": float(self.clock()), **fields,
-            }
-            handle = self._fd()
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-            self._apply(entry)
-            self._since_compact += 1
-            if self._since_compact >= COMPACT_EVERY:
-                self.compact()
-            return entry
+            with self._locked():
+                if self._state_changed():
+                    self._reload()
+                self.seq += 1
+                entry = {
+                    "seq": self.seq, "op": op, "at": float(self.clock()),
+                    **fields,
+                }
+                handle = self._fd()
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._apply(entry)
+                self._journal_sig = _stat_sig(self.journal_path)
+                self._since_compact += 1
+                if self._since_compact >= COMPACT_EVERY:
+                    self.compact()
+                return entry
 
     def compact(self) -> None:
         """Snapshot atomically, then truncate the journal.
 
         Crash-safe in both orders of failure: an old journal's lines
         replay as no-ops below the snapshot seq, and a missing snapshot
-        just means a longer replay.
+        just means a longer replay.  Election to exactly one writer is
+        by the append lock: whoever holds it compacts; every other
+        writer sees the snapshot signature change and reloads instead.
         """
         if self.readonly:
             raise ServiceError("job store was opened read-only")
         with self._mutex:
-            payload = {
-                "schema": ARTIFACT_VERSIONS["service-snapshot"],
-                "kind": "service-snapshot",
-                "seq": self.seq,
-                "jobs": {
-                    job_id: record.as_dict()
-                    for job_id, record in sorted(self.jobs.items())
-                },
-                "rejected": list(self.rejected),
-            }
-            atomic_write_text(
-                self.snapshot_path, json.dumps(payload, sort_keys=True)
-            )
-            if self._journal_fd is not None:
-                self._journal_fd.close()
-                self._journal_fd = None
-            atomic_write_text(self.journal_path, "")
-            self._since_compact = 0
+            with self._locked():
+                if self._state_changed():
+                    self._reload()
+                payload = {
+                    "schema": ARTIFACT_VERSIONS["service-snapshot"],
+                    "kind": "service-snapshot",
+                    "seq": self.seq,
+                    "jobs": {
+                        job_id: record.as_dict()
+                        for job_id, record in sorted(self.jobs.items())
+                    },
+                    "rejected": list(self.rejected),
+                }
+                atomic_write_text(
+                    self.snapshot_path, json.dumps(payload, sort_keys=True)
+                )
+                if self._journal_fd is not None:
+                    self._journal_fd.close()
+                    self._journal_fd = None
+                atomic_write_text(self.journal_path, "")
+                self._snapshot_sig = _stat_sig(self.snapshot_path)
+                self._journal_sig = _stat_sig(self.journal_path)
+                self._since_compact = 0
 
     def close(self) -> None:
         with self._mutex:
             if self._journal_fd is not None:
                 self._journal_fd.close()
                 self._journal_fd = None
-        if self._flock_fd is not None:
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)
+            self._lock_fd = None
+        if self._executor_lock_fd is not None:
             if fcntl is not None:  # pragma: no branch
-                fcntl.flock(self._flock_fd, fcntl.LOCK_UN)
-            os.close(self._flock_fd)
-            self._flock_fd = None
+                fcntl.flock(self._executor_lock_fd, fcntl.LOCK_UN)
+            os.close(self._executor_lock_fd)
+            self._executor_lock_fd = None
+
+    # ------------------------------------------------------------------
+    # Compare-and-swap transitions (the multi-executor protocol)
+    # ------------------------------------------------------------------
+    def try_claim(self, job_id: str, owner: str, expires_at: float,
+                  now: float) -> "int | None":
+        """Lease *job_id* if it is still claimable; returns the token.
+
+        The claim is compare-and-swap over the refreshed view: under
+        the lock the job must still be ``queued`` with its backoff
+        deadline passed.  The returned fencing token (the ``start``
+        entry's seq) must accompany every later heartbeat/settle for
+        this attempt.  ``None`` means another executor won the race.
+        """
+        with self.transact():
+            record = self.jobs.get(job_id)
+            if record is None or record.state != "queued" \
+                    or record.not_before > now:
+                return None
+            entry = self.append(
+                "start", job_id=job_id, owner=owner,
+                expires_at=expires_at, fidelity=record.fidelity,
+            )
+            return entry["seq"]
+
+    def lease_valid(self, job_id: str, owner: str, token: int) -> bool:
+        """Whether ``(owner, token)`` still holds the job's lease.
+
+        Only meaningful against a fresh view — call inside
+        :meth:`transact` (or right after a CAS helper refreshed).
+        """
+        record = self.jobs.get(job_id)
+        return (
+            record is not None
+            and record.state == "running"
+            and record.lease is not None
+            and record.lease["owner"] == owner
+            and record.lease.get("token") == token
+        )
+
+    def try_heartbeat(self, job_id: str, owner: str, token: int,
+                      expires_at: float) -> bool:
+        """Extend the lease iff it is still ours; False means it was lost."""
+        with self.transact():
+            if not self.lease_valid(job_id, owner, token):
+                return False
+            self.append("heartbeat", job_id=job_id, expires_at=expires_at)
+            return True
+
+    def settle(self, job_id: str, owner: str, token: int, op: str,
+               **fields) -> bool:
+        """Close our attempt with *op* iff the lease is still ours.
+
+        The fencing check makes a zombie executor (lease reclaimed
+        after expiry) unable to record ``done``/``retry``/``failed``/
+        ``release`` over the new owner's attempt.
+        """
+        with self.transact():
+            if not self.lease_valid(job_id, owner, token):
+                return False
+            self.append(op, job_id=job_id, **fields)
+            return True
 
     # ------------------------------------------------------------------
     # The state machine
@@ -352,6 +617,11 @@ class JobStore:
         if handler is None:
             raise ServiceError(f"unknown journal op {op!r} (seq {entry['seq']})")
         handler(entry)
+        job_id = entry.get("job_id")
+        record = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        if record is not None:
+            record.events.append(_event_for(entry))
+            del record.events[:-EVENTS_KEEP]
 
     def _record(self, entry) -> JobRecord:
         record = self.jobs.get(entry["job_id"])
@@ -393,6 +663,9 @@ class JobStore:
         record.lease = {
             "owner": entry["owner"],
             "expires_at": entry["expires_at"],
+            # The fencing token: the seq of this very entry, so replay
+            # reconstructs it without a second source of truth.
+            "token": entry["seq"],
         }
         record.attempt_log.append({
             "attempt": record.attempts,
@@ -466,17 +739,20 @@ class JobStore:
 
         An identical spec (by content hash) dedupes to the existing
         job — including a finished one, whose cached artifacts satisfy
-        the resubmission for free.
+        the resubmission for free.  The existence check and the journal
+        write share one critical section, so two executors ingesting
+        the same spool file concurrently still create exactly one job.
         """
-        digest = spec_hash(spec)
-        job_id = job_id_for(spec)
-        existing = self.jobs.get(job_id)
-        if existing is not None:
-            self.append("dedup", job_id=job_id)
-            return existing, False
-        self.append("submit", job_id=job_id, spec_hash=digest,
-                    spec=spec.as_dict(), not_before=0.0)
-        return self.jobs[job_id], True
+        with self.transact():
+            digest = spec_hash(spec)
+            job_id = job_id_for(spec)
+            existing = self.jobs.get(job_id)
+            if existing is not None:
+                self.append("dedup", job_id=job_id)
+                return self.jobs[job_id], False
+            self.append("submit", job_id=job_id, spec_hash=digest,
+                        spec=spec.as_dict(), not_before=0.0)
+            return self.jobs[job_id], True
 
     def reject(self, spec: JobSpec, reason: str) -> None:
         self.append("reject", spec_hash=spec_hash(spec), reason=reason)
@@ -496,3 +772,15 @@ class JobStore:
 
     def job_dir(self, job_id: str) -> pathlib.Path:
         return self.jobs_dir / job_id
+
+
+def _event_for(entry: "dict[str, object]") -> "dict[str, object]":
+    """The compact per-record event derived from a journal entry."""
+    event = {"seq": entry["seq"], "op": entry["op"], "at": entry["at"]}
+    parts = [
+        f"{name}={entry[name]}" for name in _EVENT_DETAIL_FIELDS
+        if entry.get(name) not in (None, "")
+    ]
+    if parts:
+        event["detail"] = " ".join(parts)
+    return event

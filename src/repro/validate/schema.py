@@ -35,6 +35,8 @@ ARTIFACT_VERSIONS = {
     "job-record": 1,
     "service-snapshot": 1,
     "trace-corpus": 1,
+    "topology-diff": 1,
+    "job-events": 1,
 }
 
 
@@ -337,6 +339,7 @@ _JOB_SPEC = {
     "sweep_vps": Opt(int),
     "faults": MapOf(ANY),
     "chaos": Opt({"fail_attempts": Opt(int)}),
+    "corpus_format": Opt(str),
 }
 
 _JOB_RECORD = {
@@ -359,7 +362,10 @@ _JOB_RECORD = {
         "finished_at": (float, _NoneType),
     }),
     "not_before": float,
-    "lease": ({"owner": str, "expires_at": float}, _NoneType),
+    "lease": (
+        {"owner": str, "expires_at": float, "token": Opt(int)},
+        _NoneType,
+    ),
     "artifacts": MapOf({
         "sha256": str,
         "bytes": Opt(int),
@@ -367,12 +373,53 @@ _JOB_RECORD = {
     "failure": ({"reason": str, "artifact": (str, _NoneType)}, _NoneType),
     "submitted_seq": int,
     "dedup_count": int,
+    "events": Opt(ListOf({
+        "seq": int,
+        "op": str,
+        "at": float,
+        "detail": Opt(str),
+    })),
 }
 
 _TRACE_CORPUS = {
     "schema": int,
     "kind": str,
     "traces": ListOf(_CHECKPOINT_TRACE),
+}
+
+# Cross-version topology delta served by ``GET /jobs/<a>/diff/<b>``:
+# COs are responding addresses, links are adjacent responding pairs,
+# both derived from the columnar corpus of each job's ``corpus``
+# artifact (see :mod:`repro.service.diff`).
+_TOPOLOGY_DIFF = {
+    "schema": int,
+    "kind": str,
+    "base_job": str,
+    "other_job": str,
+    "cos_added": ListOf(str),
+    "cos_removed": ListOf(str),
+    "links_added": ListOf(ListOf(str)),
+    "links_removed": ListOf(ListOf(str)),
+    "counts": {
+        "base_cos": int,
+        "other_cos": int,
+        "base_links": int,
+        "other_links": int,
+    },
+}
+
+# The polling view over a job's journal-event ring, cursor = max seq.
+_JOB_EVENTS = {
+    "schema": int,
+    "kind": str,
+    "job_id": str,
+    "cursor": int,
+    "events": ListOf({
+        "seq": int,
+        "op": str,
+        "at": float,
+        "detail": Opt(str),
+    }),
 }
 
 _SERVICE_SNAPSHOT = {
@@ -399,6 +446,8 @@ ARTIFACT_SCHEMAS = {
     "job-record": _JOB_RECORD,
     "service-snapshot": _SERVICE_SNAPSHOT,
     "trace-corpus": _TRACE_CORPUS,
+    "topology-diff": _TOPOLOGY_DIFF,
+    "job-events": _JOB_EVENTS,
 }
 
 

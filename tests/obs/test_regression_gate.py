@@ -135,7 +135,7 @@ class TestColumnarGate:
         assert any("3.00x floor" in f for f in failures), failures
 
     def test_committed_full_payload_passes_against_itself(self, gate):
-        payload = json.loads((ROOT / "BENCH_PR8.json").read_text())
+        payload = json.loads((ROOT / "BENCH_CURRENT.json").read_text())
         assert gate.evaluate(payload, payload) == []
         assert not payload["smoke"]
         assert payload["columnar"]["speedup"] >= 3.0

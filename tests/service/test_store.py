@@ -157,13 +157,87 @@ class TestCorruptionFuzz:
 
 
 class TestAccessControl:
-    def test_second_writer_is_locked_out(self, tmp_path):
+    def test_two_writers_share_the_journal(self, tmp_path):
+        """Cooperating writers interleave appends at line granularity."""
+        first = _store(tmp_path)
+        second = _store(tmp_path)
+        record, _ = first.submit(JobSpec(seed=30, targets=4))
+        # The second writer sees the first's append after a refresh...
+        second.refresh()
+        assert record.job_id in second.jobs
+        # ...and its own appends continue the shared seq numbering.
+        entry = second.append("heartbeat", job_id=record.job_id,
+                              expires_at=5.0)
+        assert entry["seq"] == first.seq + 1
+        first.refresh()
+        assert first.seq == second.seq
+        first.close()
+        second.close()
+
+    def test_duplicate_executor_id_is_refused(self, tmp_path):
         store = _store(tmp_path)
-        with pytest.raises(ServiceError, match="held by another"):
-            _store(tmp_path)
+        store.acquire_executor_lock("e1")
+        rival = _store(tmp_path)
+        with pytest.raises(ServiceError, match="already running"):
+            rival.acquire_executor_lock("e1")
+        rival.acquire_executor_lock("e2")
+        rival.close()
         store.close()
+        # Released on close: the id is claimable again.
         reopened = _store(tmp_path)
+        reopened.acquire_executor_lock("e1")
         reopened.close()
+
+    def test_claim_is_compare_and_swap(self, tmp_path):
+        """Two racing claims: exactly one wins, the loser gets None."""
+        first = _store(tmp_path)
+        second = _store(tmp_path)
+        record, _ = first.submit(JobSpec(seed=31, targets=4))
+        token = first.try_claim(record.job_id, "e1", expires_at=50.0, now=1.0)
+        assert token is not None
+        assert second.try_claim(record.job_id, "e2", expires_at=50.0,
+                                now=1.0) is None
+        first.close()
+        second.close()
+
+    def test_fencing_token_blocks_a_zombie_settle(self, tmp_path):
+        """A reclaimed lease's old owner cannot settle over the new one."""
+        zombie = _store(tmp_path, clock=lambda: 0.0)
+        other = _store(tmp_path, clock=lambda: 0.0)
+        record, _ = zombie.submit(JobSpec(seed=32, targets=4))
+        job_id = record.job_id
+        old_token = zombie.try_claim(job_id, "e1", expires_at=1.0, now=0.0)
+        # The lease expires; another executor reclaims and re-claims.
+        other.append("release", job_id=job_id, reason="lease expired",
+                     not_before=0.0)
+        new_token = other.try_claim(job_id, "e2", expires_at=99.0, now=2.0)
+        assert new_token is not None and new_token != old_token
+        # The zombie's heartbeat and settle are refused pre-journal.
+        assert not zombie.try_heartbeat(job_id, "e1", old_token,
+                                        expires_at=500.0)
+        assert not zombie.settle(job_id, "e1", old_token, "done",
+                                 degraded=False, artifacts={})
+        # The live owner's settle goes through.
+        assert other.settle(job_id, "e2", new_token, "done",
+                            degraded=False, artifacts={})
+        other.refresh()
+        assert other.jobs[job_id].state == "done"
+        zombie.close()
+        other.close()
+
+    def test_events_ring_survives_compaction(self, tmp_path):
+        store = _store(tmp_path)
+        record, _ = store.submit(JobSpec(seed=33, targets=4))
+        store.append("start", job_id=record.job_id, owner="e1",
+                     expires_at=10.0, fidelity="full")
+        store.compact()
+        store.close()
+        replayed = _store(tmp_path)
+        ops = [e["op"] for e in replayed.jobs[record.job_id].events]
+        assert ops == ["submit", "start"]
+        seqs = [e["seq"] for e in replayed.jobs[record.job_id].events]
+        assert seqs == sorted(seqs)
+        replayed.close()
 
     def test_readonly_open_coexists_and_refuses_writes(self, tmp_path):
         store = _store(tmp_path)
