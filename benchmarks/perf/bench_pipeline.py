@@ -24,6 +24,13 @@ Three sections, written to ``BENCH_CURRENT.json``:
   the inferred-region digests must be identical — the columnar path is
   a pure representation change, not an approximation.
 
+* **streaming** — the measurement-bias lab's incremental engine
+  (:class:`~repro.bias.incremental.IncrementalCoGraph`) replaying the
+  inference workload one trace at a time, against the batch stages as
+  oracle.  The snapshot digest must equal the batch digest (streaming
+  is a scheduling change, not an approximation); the section records
+  both wall-clocks and streaming ingest throughput.
+
 * **measurement** (full mode only) — a paced slice of the
   simulated-internet Comcast campaign run serially and under the
   process-sharded :class:`SupervisedCampaignRunner` with
@@ -210,6 +217,73 @@ def _best_of(repeats: int, mode: str, workload: "dict") -> "dict":
     return min(runs, key=lambda run: run["wall_s"])
 
 
+def run_streaming_section(workload: "dict") -> "dict":
+    """Streaming incremental inference vs the batch stages.
+
+    Replays the synthetic corpus one trace at a time through
+    :class:`~repro.bias.incremental.IncrementalCoGraph` and snapshots,
+    then runs the classic batch stages over the same traces.  The
+    snapshot digest must equal the batch digest — streaming is a
+    scheduling change, not an approximation — and the section records
+    both wall-clocks plus streaming ingest throughput.
+    """
+    from repro.infer.adjacency import AdjacencyExtractor
+    from repro.infer.ip2co import Ip2CoMapper
+    from repro.infer.refine import RegionRefiner
+    from repro.perf.synthetic import build_synthetic_region_corpus
+    from repro.rdns.regexes import HostnameParser
+
+    from repro.bias.incremental import IncrementalCoGraph
+
+    corpus = build_synthetic_region_corpus(**workload)
+    parser = HostnameParser()
+
+    start = time.perf_counter()
+    mapper = Ip2CoMapper(corpus.rdns, corpus.isp, parser=parser)
+    mapping = mapper.build(corpus.traces, corpus.aliases)
+    extractor = AdjacencyExtractor(
+        mapping, corpus.rdns, corpus.isp, parser=parser
+    )
+    adjacencies = extractor.extract(
+        corpus.traces, followup_traces=corpus.followups
+    )
+    refiner = RegionRefiner()
+    regions = {
+        name: refiner.refine(name, counter)
+        for name, counter in adjacencies.per_region.items()
+    }
+    batch_s = time.perf_counter() - start
+    batch_digest = _region_digest(regions)
+
+    graph = IncrementalCoGraph(corpus.rdns, corpus.isp, parser=parser)
+    start = time.perf_counter()
+    for trace in corpus.traces:
+        graph.ingest(trace)
+    for trace in corpus.followups:
+        graph.ingest_followup(trace)
+    ingest_s = time.perf_counter() - start
+    start = time.perf_counter()
+    snapshot = graph.snapshot(aliases=corpus.aliases)
+    snapshot_s = time.perf_counter() - start
+
+    stream_s = ingest_s + snapshot_s
+    return {
+        "workload": dict(workload),
+        "batch_wall_s": round(batch_s, 3),
+        "stream_wall_s": round(stream_s, 3),
+        "stream_ingest_s": round(ingest_s, 3),
+        "stream_snapshot_s": round(snapshot_s, 3),
+        "stream_traces_per_s": (
+            round(len(corpus.traces) / ingest_s) if ingest_s else 0
+        ),
+        "overhead": round(stream_s / batch_s, 2) if batch_s else 0.0,
+        "digest_identical": snapshot.digest == batch_digest,
+        "digest": batch_digest,
+        "traces": len(corpus.traces),
+        "followups": len(corpus.followups),
+    }
+
+
 #: Measurement-section workload: a bounded, paced slice of the Comcast
 #: slash24 sweep.  1 ms inter-trace pacing ≈ a conservative probe RTT.
 MEASUREMENT = {"seed": 0, "jobs": 4000, "pace_ms": 1.0, "sweep_vps": 4,
@@ -363,6 +437,21 @@ def main() -> int:
         "results_identical": True,
     }
     print(f"columnar speedup: {col_speedup:.2f}x", file=sys.stderr)
+
+    # Streaming section: incremental engine vs batch, digest parity
+    # fatal.  Runs in-process (it compares wall-clock ratios, not RSS).
+    print(f"streaming workload: {workload}", file=sys.stderr)
+    streaming = run_streaming_section(workload)
+    print(f"streaming: ingest {streaming['stream_ingest_s']}s + snapshot "
+          f"{streaming['stream_snapshot_s']}s vs batch "
+          f"{streaming['batch_wall_s']}s "
+          f"({streaming['stream_traces_per_s']} traces/s)", file=sys.stderr)
+    if not streaming["digest_identical"]:
+        print("FATAL: streaming snapshot diverged from the batch pipeline",
+              file=sys.stderr)
+        return 1
+    payload["streaming"] = streaming
+
     if not args.smoke:
         print("measurement section (serial vs supervised workers=4)…",
               file=sys.stderr)

@@ -18,10 +18,21 @@ Compares a freshly produced benchmark payload (``bench_pipeline.py
   below ``--min-columnar-speedup`` (default 3.0) on the unpaced
   1000-CO workload;
 * an embedded run manifest is missing or fails schema validation;
+* a ``streaming`` section is present whose snapshot digest diverged
+  from the batch pipeline's (streaming must be digest-identical, never
+  approximate) — payloads without the section skip this check, so
+  baselines committed before it existed still self-check;
 * a ``measurement`` section is present (full-mode payloads only) whose
   supervised corpus diverged from the serial oracle, or whose
   supervised speedup fell below 1.0 — smoke payloads carry no
   measurement section and skip this check.
+
+Independently, ``--bias-report PATH`` gates a committed (or freshly
+generated) ``bias-report`` artifact from the measurement-bias lab:
+schema validation, streaming parity, species-estimator relative error
+within ``--max-species-error`` (default 0.35) of ground truth, and the
+optimized VP placement beating its seeded random baseline on edge
+recall.  With ``--bias-report`` alone, ``--current`` may be omitted.
 
 Speedup is a *ratio* of two wall-clocks measured on the same machine in
 the same run, so the gate is machine-independent; absolute wall times
@@ -133,6 +144,13 @@ def evaluate(
         current, baseline, min_columnar_speedup
     ))
 
+    streaming = current.get("streaming")
+    if streaming is not None and not streaming.get("digest_identical"):
+        failures.append(
+            "streaming snapshot diverged from the batch pipeline in the "
+            "streaming section (must be digest-identical)"
+        )
+
     measurement = current.get("measurement")
     if measurement is not None:
         if not measurement.get("corpus_digest_identical"):
@@ -210,9 +228,49 @@ def _evaluate_columnar(
     return failures
 
 
+DEFAULT_MAX_SPECIES_ERROR = 0.35
+
+
+def evaluate_bias_report(
+    report: "dict", max_species_error: float = DEFAULT_MAX_SPECIES_ERROR
+) -> "list[str]":
+    """Gate a ``bias-report`` artifact from the measurement-bias lab."""
+    from repro.errors import SchemaError
+    from repro.validate.schema import validate_artifact
+
+    try:
+        validate_artifact(report, kind="bias-report")
+    except SchemaError as exc:
+        return [f"bias report failed schema validation: {exc}"]
+
+    failures: "list[str]" = []
+    for label in ("cos", "links"):
+        section = report["species"][label]
+        error = section["relative_error"]
+        if error > max_species_error:
+            failures.append(
+                f"species estimator for {label} missed ground truth by "
+                f"{error:.1%} (chao1 {section['chao1']} vs truth "
+                f"{section['truth']}; floor {max_species_error:.0%})"
+            )
+    placement = report["placement"]
+    if placement["edge_recall"] <= placement["random_recall"]:
+        failures.append(
+            f"optimized VP placement ({placement['edge_recall']:.1%} edge "
+            f"recall) failed to beat the seeded random baseline "
+            f"({placement['random_recall']:.1%})"
+        )
+    if not report["streaming"]["parity"]:
+        failures.append(
+            "bias report records broken streaming parity: the incremental "
+            "engine diverged from the batch pipeline"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True, help="fresh benchmark JSON")
+    parser.add_argument("--current", help="fresh benchmark JSON")
     parser.add_argument(
         "--baseline",
         default=str(pathlib.Path(__file__).resolve().parent / "BENCH_BASELINE.json"),
@@ -236,29 +294,62 @@ def main() -> int:
         default=DEFAULT_MIN_COLUMNAR_SPEEDUP,
         help="columnar-path speedup floor on full payloads (default 3.0)",
     )
-    args = parser.parse_args()
-
-    current = json.loads(pathlib.Path(args.current).read_text())
-    baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    failures = evaluate(
-        current,
-        baseline,
-        max_regression=args.max_regression,
-        min_speedup=args.min_speedup,
-        min_columnar_speedup=args.min_columnar_speedup,
+    parser.add_argument(
+        "--bias-report", metavar="PATH",
+        help="also gate this bias-report artifact (schema, species "
+             "accuracy, placement vs random, streaming parity)",
     )
+    parser.add_argument(
+        "--max-species-error",
+        type=float,
+        default=DEFAULT_MAX_SPECIES_ERROR,
+        help="allowed species-estimator relative error vs ground truth "
+             "(default 0.35)",
+    )
+    args = parser.parse_args()
+    if not args.current and not args.bias_report:
+        parser.error("need --current and/or --bias-report")
+
+    failures: "list[str]" = []
+    if args.current:
+        current = json.loads(pathlib.Path(args.current).read_text())
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        failures.extend(evaluate(
+            current,
+            baseline,
+            max_regression=args.max_regression,
+            min_speedup=args.min_speedup,
+            min_columnar_speedup=args.min_columnar_speedup,
+        ))
+    if args.bias_report:
+        report = json.loads(pathlib.Path(args.bias_report).read_text())
+        failures.extend(evaluate_bias_report(
+            report, max_species_error=args.max_species_error
+        ))
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    cur = current["inference"]
-    col = current.get("columnar", {})
-    print(
-        f"benchmark regression gate passed: speedup {cur['speedup']:.2f}x "
-        f"(baseline {baseline['inference']['speedup']:.2f}x), columnar "
-        f"{col.get('speedup', 0.0):.2f}x, digests stable"
-    )
+    parts = []
+    if args.current:
+        cur = current["inference"]
+        col = current.get("columnar", {})
+        parts.append(
+            f"speedup {cur['speedup']:.2f}x "
+            f"(baseline {baseline['inference']['speedup']:.2f}x), columnar "
+            f"{col.get('speedup', 0.0):.2f}x, digests stable"
+        )
+    if args.bias_report:
+        species = report["species"]
+        parts.append(
+            f"bias report OK (species err cos {species['cos']['relative_error']:.1%} "
+            f"/ links {species['links']['relative_error']:.1%}, placement "
+            f"{report['placement']['edge_recall']:.1%} > random "
+            f"{report['placement']['random_recall']:.1%}, parity "
+            f"{report['streaming']['parity']})"
+        )
+    print("benchmark regression gate passed: " + "; ".join(parts))
     return 0
 
 

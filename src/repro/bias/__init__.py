@@ -1,0 +1,68 @@
+"""Measurement-bias lab: quantify what traceroute sampling cannot see.
+
+The reproduction's unique asset over the paper is ground truth, which
+lets it measure the *blind spots* of the methodology itself:
+
+* :mod:`repro.bias.routemodel` — route-model variants (valley-free
+  AS-policy routing, per-ISP hot-potato exit selection) pluggable into
+  :class:`~repro.net.network.Network`, so the same ground truth yields
+  differently-biased corpora;
+* :mod:`repro.bias.placement` — a greedy / seeded-stochastic
+  vantage-point placement optimizer scored against ground truth and a
+  random-placement baseline;
+* :mod:`repro.bias.species` — Chao1 / Good-Turing species-style
+  estimators of unobserved CO and link counts, computed vectorized from
+  :class:`~repro.corpus.columnar.TraceCorpus` observation frequencies;
+* :mod:`repro.bias.incremental` — :class:`IncrementalCoGraph`, a
+  streaming inference engine digest-identical to the batch pipeline,
+  plus an rDNS-epoch change detector for longitudinal mapping;
+* :mod:`repro.bias.lab` / :mod:`repro.bias.report` — the orchestration
+  runner and the validated ``bias-report`` artifact.
+
+Like :mod:`repro.infer.metrics`, this package is allowed to read
+ground-truth annotations — it exists to score measurement against them.
+"""
+
+from repro.bias.incremental import (
+    EpochChangeDetector,
+    IncrementalCoGraph,
+    ingest_from_store,
+    region_digest,
+)
+from repro.bias.lab import BiasLab, BiasLabResult
+from repro.bias.placement import PlacementResult, VpPlacementOptimizer
+from repro.bias.routemodel import (
+    HotPotatoRouteModel,
+    ValleyFreeRouteModel,
+    annotate_asns,
+    build_as_graph,
+    build_route_model,
+)
+from repro.bias.report import (
+    bias_report_from_json,
+    bias_report_to_json,
+    build_bias_report,
+)
+from repro.bias.species import SpeciesEstimate, chao1, estimate_from_counts
+
+__all__ = [
+    "BiasLab",
+    "BiasLabResult",
+    "EpochChangeDetector",
+    "HotPotatoRouteModel",
+    "IncrementalCoGraph",
+    "PlacementResult",
+    "SpeciesEstimate",
+    "ValleyFreeRouteModel",
+    "VpPlacementOptimizer",
+    "annotate_asns",
+    "bias_report_from_json",
+    "bias_report_to_json",
+    "build_as_graph",
+    "build_bias_report",
+    "build_route_model",
+    "chao1",
+    "estimate_from_counts",
+    "ingest_from_store",
+    "region_digest",
+]

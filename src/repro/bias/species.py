@@ -1,0 +1,157 @@
+"""Species-style coverage estimators for traceroute corpora.
+
+Topology inference is a species-sampling problem: every trace is a
+quadrat, every CO (or CO-level link) a species, and the observation
+frequency spectrum tells us how much of the population the campaign has
+*not* seen yet.  This module ports the classic abundance-based
+machinery — Chao1's lower bound on total richness and Good–Turing
+sample coverage — to the columnar corpus, computing the frequency
+spectra vectorized from :class:`~repro.corpus.columnar.TraceCorpus`
+columns.
+
+The estimators only read observations; ground truth enters solely when
+the bias lab scores their predictions (``truth`` fields on the report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.columnar import TraceCorpus, adjacent_pair_counts
+from repro.errors import ReproError
+
+
+def chao1(observed: int, f1: int, f2: int) -> float:
+    """Chao1 lower-bound estimate of total species richness.
+
+    ``S_chao1 = S_obs + f1² / (2·f2)`` with the bias-corrected fallback
+    ``S_obs + f1·(f1−1)/2`` when no doubletons were observed (Chao 1984;
+    the same form the topology-species literature applies to routers
+    and links).
+    """
+    if observed < 0 or f1 < 0 or f2 < 0:
+        raise ReproError("frequency counts cannot be negative")
+    if f1 + f2 > observed:
+        raise ReproError(
+            f"singletons+doubletons ({f1}+{f2}) exceed observed ({observed})"
+        )
+    if f2 > 0:
+        return observed + (f1 * f1) / (2.0 * f2)
+    return observed + (f1 * (f1 - 1)) / 2.0
+
+
+@dataclass(frozen=True)
+class SpeciesEstimate:
+    """The abundance summary of one species class (COs or links)."""
+
+    #: Distinct species observed at least once.
+    observed: int
+    #: Singletons / doubletons (seen exactly once / twice).
+    f1: int
+    f2: int
+    #: Chao1 estimate of the total (observed + unseen) richness.
+    chao1: float
+    #: Good–Turing sample coverage ``1 − f1/N`` (1.0 when N == 0).
+    coverage: float
+    #: Total observations N across all species.
+    n: int
+
+    @property
+    def unseen(self) -> float:
+        """Estimated number of species the campaign never observed."""
+        return self.chao1 - self.observed
+
+    def as_dict(self) -> dict:
+        return {
+            "observed": self.observed,
+            "f1": self.f1,
+            "f2": self.f2,
+            "chao1": round(self.chao1, 4),
+            "unseen": round(self.unseen, 4),
+            "coverage": round(self.coverage, 6),
+            "n": self.n,
+        }
+
+
+def estimate_from_counts(counts: "np.ndarray | list[int]") -> SpeciesEstimate:
+    """Build a :class:`SpeciesEstimate` from per-species abundances.
+
+    *counts* holds one entry per observed species (its number of
+    observations); zeros are ignored so callers can pass raw
+    ``np.bincount`` output directly.
+    """
+    arr = np.asarray(counts, dtype=np.int64)
+    arr = arr[arr > 0]
+    observed = int(arr.size)
+    n = int(arr.sum())
+    # Frequency-of-frequencies via one more bincount: spectrum[k] =
+    # number of species observed exactly k times.
+    if observed:
+        spectrum = np.bincount(arr, minlength=3)
+        f1 = int(spectrum[1])
+        f2 = int(spectrum[2])
+    else:
+        f1 = f2 = 0
+    coverage = 1.0 - (f1 / n) if n else 1.0
+    return SpeciesEstimate(
+        observed=observed,
+        f1=f1,
+        f2=f2,
+        chao1=chao1(observed, f1, f2),
+        coverage=coverage,
+        n=n,
+    )
+
+
+def co_abundances(corpus: TraceCorpus, mapping) -> "np.ndarray":
+    """Observation counts per inferred CO, from hop address columns.
+
+    Each responding hop is one observation of the CO its address maps
+    to (via *mapping*, an :class:`~repro.infer.ip2co.Ip2CoMapping`);
+    addresses the mapper could not place are skipped.
+    """
+    addr_ids = corpus.addr_id[corpus.addr_id >= 0]
+    per_address = np.bincount(addr_ids, minlength=len(corpus.addresses))
+    totals: "dict[str, int]" = {}
+    for addr_index, count in enumerate(per_address):
+        if not count:
+            continue
+        co = mapping.co_of(corpus.addresses[int(addr_index)])
+        if co is None:
+            continue
+        totals[co] = totals.get(co, 0) + int(count)
+    return np.asarray(list(totals.values()), dtype=np.int64)
+
+
+def link_abundances(corpus: TraceCorpus, mapping) -> "np.ndarray":
+    """Observation counts per inferred CO-level link.
+
+    Adjacent responding hop pairs whose endpoints map to two different
+    COs of the *same region* count as observations of that (unordered)
+    CO edge — the raw signal the adjacency extractor votes over,
+    before pruning.  Cross-region pairs are excluded up front: they
+    are overwhelmingly stale rDNS (App. B.2), not an edge species.
+    """
+    totals: "dict[tuple[str, str], int]" = {}
+    for first, second, count in adjacent_pair_counts(corpus):
+        co_a = mapping.co_of(corpus.addresses[first])
+        co_b = mapping.co_of(corpus.addresses[second])
+        if co_a is None or co_b is None or co_a == co_b:
+            continue
+        if co_a[0] != co_b[0]:
+            continue
+        edge = (co_a, co_b) if co_a <= co_b else (co_b, co_a)
+        totals[edge] = totals.get(edge, 0) + count
+    return np.asarray(list(totals.values()), dtype=np.int64)
+
+
+def estimate_corpus(
+    corpus: TraceCorpus, mapping
+) -> "tuple[SpeciesEstimate, SpeciesEstimate]":
+    """(CO estimate, link estimate) for a corpus under a CO mapping."""
+    return (
+        estimate_from_counts(co_abundances(corpus, mapping)),
+        estimate_from_counts(link_abundances(corpus, mapping)),
+    )

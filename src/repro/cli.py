@@ -8,6 +8,10 @@ Commands map one-to-one onto the paper's campaigns:
 * ``ship``        — run the §7 ShipTraceroute campaign and IPv6 analysis;
 * ``energy``      — print the Fig 14 energy comparison;
 * ``resilience``  — single-failure sweeps over inferred region graphs;
+* ``bias``        — the measurement-bias lab (``report`` / ``place`` /
+  ``stream``): species-style coverage estimation, VP-placement
+  optimization against ground truth, and streaming incremental
+  inference over finished service corpora;
 * ``service``     — the resilient campaign service (``run`` / ``submit``
   / ``status`` / ``drain``): a crash-safe job queue over the mapping
   pipelines with leases, retries, backpressure, and graceful drain.
@@ -84,6 +88,11 @@ def cmd_map_cable(args) -> int:
     internet = _build_internet(args, include_telco=False, include_mobile=False)
     isp = getattr(internet, args.isp)
     fleet = list(internet.build_standard_vps())
+    route_model = None
+    if args.route_model != "spf":
+        from repro.bias.routemodel import build_route_model
+
+        route_model = build_route_model(internet, args.route_model)
     faults = None
     if (args.faults or args.vp_dropouts or args.stale_rdns
             or args.worker_crash or args.worker_stall or args.worker_slow):
@@ -117,7 +126,7 @@ def cmd_map_cable(args) -> int:
         worker_spec=worker_spec, shard_deadline=args.shard_deadline,
         max_shard_retries=args.max_shard_retries, pace_ms=args.pace_ms,
         profile=args.profile, trace_seed=args.seed,
-        corpus_format=args.corpus_format,
+        corpus_format=args.corpus_format, route_model=route_model,
     )
     result = pipeline.run()
     if args.corpus_out:
@@ -184,6 +193,7 @@ def cmd_map_cable(args) -> int:
                 "attempts": args.attempts,
                 "workers": args.workers,
                 "validate": args.validate,
+                "route_model": args.route_model,
             },
             tracer=pipeline.obs,
             metrics=pipeline.metrics,
@@ -384,6 +394,93 @@ def _spec_from_args(args) -> "object":
     )
 
 
+def cmd_bias(args) -> int:
+    """The measurement-bias lab (``report`` / ``place`` / ``stream``)."""
+    internet = None
+    if args.bias_command in ("report", "place"):
+        internet = _build_internet(
+            args, include_telco=False, include_mobile=False
+        )
+    from repro.bias import BiasLab, VpPlacementOptimizer, bias_report_to_json
+    from repro.io.atomic import atomic_write_text
+
+    if args.bias_command == "report":
+        lab = BiasLab(
+            internet, isp=args.isp, vp_count=args.vps,
+            targets_per_region=args.targets_per_region,
+            rdns_fraction=args.rdns_fraction, placement_k=args.k,
+            seed=args.seed, route_model=args.route_model,
+        )
+        result = lab.run()
+        text = bias_report_to_json(result)
+        cos, links = result.co_species, result.link_species
+        print(f"{args.isp} bias report (route model {args.route_model}, "
+              f"{result.vp_count} VPs, {result.targets} targets)")
+        print(f"  COs:   {cos.estimate.observed} observed, "
+              f"chao1 {cos.estimate.chao1:.1f} vs truth {cos.truth} "
+              f"(rel err {cos.relative_error:.1%})")
+        print(f"  links: {links.estimate.observed} observed, "
+              f"chao1 {links.estimate.chao1:.1f} vs truth {links.truth} "
+              f"(rel err {links.relative_error:.1%})")
+        placement = result.placement
+        print(f"  placement k={placement.k}: edge recall "
+              f"{placement.edge_recall:.1%} vs random "
+              f"{placement.random_recall:.1%}; chosen: "
+              f"{', '.join(placement.chosen)}")
+        stream = result.stream
+        print(f"  streaming: {stream.traces} traces, parity "
+              f"{'OK' if stream.parity else 'BROKEN'}, "
+              f"{stream.epoch_changes} epoch change(s) detected")
+        if args.out:
+            path = atomic_write_text(pathlib.Path(args.out), text + "\n")
+            print(f"wrote bias report to {path}")
+        if args.trace_out:
+            path = atomic_write_text(pathlib.Path(args.trace_out),
+                                     lab.obs.to_json() + "\n")
+            print(f"wrote span trace to {path}")
+        if args.metrics_out:
+            path = atomic_write_text(pathlib.Path(args.metrics_out),
+                                     lab.metrics.to_json() + "\n")
+            print(f"wrote metrics snapshot to {path}")
+        return 0 if stream.parity else 3
+    if args.bias_command == "place":
+        isp = getattr(internet, args.isp)
+        optimizer = VpPlacementOptimizer(
+            internet, isp, list(internet.build_standard_vps()),
+            targets_per_region=args.targets_per_region, seed=args.seed,
+        )
+        placement = optimizer.optimize(args.k, restarts=args.restarts)
+        baseline = optimizer.random_baseline(args.k)
+        print(f"{args.isp} placement k={placement.k}: "
+              f"{placement.covered_edges}/{placement.total_edges} edges "
+              f"({placement.edge_recall:.1%}); random baseline "
+              f"{baseline:.1%}")
+        for name, gain in zip(placement.chosen, placement.marginal_gains):
+            print(f"  {name}: +{gain} edges")
+        return 0
+    # stream: incremental inference over a service state directory.
+    from repro.bias.incremental import IncrementalCoGraph, ingest_from_store
+    from repro.rdns.regexes import HostnameParser
+
+    internet = _build_internet(args, include_telco=False, include_mobile=False)
+    graph = IncrementalCoGraph(
+        internet.network.rdns, args.isp, parser=HostnameParser()
+    )
+    traces, cursor = ingest_from_store(
+        graph, pathlib.Path(args.state_dir), after_seq=args.after_seq
+    )
+    snapshot = graph.snapshot()
+    print(f"ingested {traces} trace(s) from {args.state_dir} "
+          f"(cursor {args.after_seq} -> {cursor})")
+    print(f"snapshot: {len(snapshot.regions)} region(s), "
+          f"digest {snapshot.digest[:16]}")
+    for name in sorted(snapshot.regions):
+        region = snapshot.regions[name]
+        print(f"  {name}: {region.graph.number_of_nodes()} COs, "
+              f"{len(region.agg_cos)} AggCOs")
+    return 0
+
+
 def cmd_service(args) -> int:
     """The resilient campaign service front end."""
     from repro.io.atomic import atomic_write_text
@@ -557,6 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
              "the vectorized columnar path with .npz checkpoint "
              "sidecars (digest-identical output; default json)")
     map_cable.add_argument(
+        "--route-model", choices=("spf", "valley-free", "hot-potato"),
+        default="spf",
+        help="forwarding policy for the campaign: delay-weighted SPF "
+             "(default), valley-free AS policy, or per-AS hot-potato "
+             "early exit (see repro.bias.routemodel); recorded in the "
+             "run manifest")
+    map_cable.add_argument(
         "--corpus-out", metavar="PATH",
         help="export the collected trace corpus to PATH (validated "
              "trace-corpus JSON, or .npz when --corpus-format binary); "
@@ -586,6 +690,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", choices=("strict", "lenient", "off"), default="off",
         help="invariant checking for loaded artifacts / the pipeline "
              "(default off; artifact schemas are always validated)")
+
+    bias = sub.add_parser(
+        "bias",
+        help="measurement-bias lab: species coverage estimation, VP "
+             "placement optimization, streaming incremental inference",
+    )
+    bsub = bias.add_subparsers(dest="bias_command", required=True)
+
+    breport = bsub.add_parser(
+        "report", help="run the full seeded lab and print/export the "
+                       "validated bias-report artifact"
+    )
+    breport.add_argument("--isp", choices=("comcast", "charter"),
+                         default="comcast")
+    breport.add_argument("--route-model",
+                         choices=("spf", "valley-free", "hot-potato"),
+                         default="spf",
+                         help="forwarding policy for the lab campaign "
+                              "(default spf)")
+    breport.add_argument("--vps", type=int, default=6,
+                         help="external vantage points probing (default 6)")
+    breport.add_argument("--targets-per-region", type=int, default=24,
+                         help="/24 targets each VP samples per region "
+                              "(default 24)")
+    breport.add_argument("--rdns-fraction", type=float, default=0.15,
+                         help="fraction of rDNS-known infrastructure "
+                              "addresses each VP probes (default 0.15)")
+    breport.add_argument("--k", type=int, default=4,
+                         help="placement-optimizer budget (default 4)")
+    breport.add_argument("--out", metavar="PATH",
+                         help="write the validated bias-report JSON to PATH")
+    breport.add_argument("--trace-out", metavar="PATH",
+                         help="write the run's span trace (JSON) to PATH")
+    breport.add_argument("--metrics-out", metavar="PATH",
+                         help="write the run's metrics snapshot to PATH")
+
+    bplace = bsub.add_parser(
+        "place", help="optimize VP placement against ground truth"
+    )
+    bplace.add_argument("--isp", choices=("comcast", "charter"),
+                        default="comcast")
+    bplace.add_argument("--k", type=int, default=4,
+                        help="vantage points to choose (default 4)")
+    bplace.add_argument("--targets-per-region", type=int, default=24,
+                        help="/24 targets sampled per region (default 24)")
+    bplace.add_argument("--restarts", type=int, default=4,
+                        help="seeded stochastic restarts (default 4)")
+
+    bstream = bsub.add_parser(
+        "stream", help="stream finished service corpora through the "
+                       "incremental inference engine"
+    )
+    bstream.add_argument("state_dir", help="campaign-service state directory")
+    bstream.add_argument("--isp", choices=("comcast", "charter"),
+                         default="comcast")
+    bstream.add_argument("--after-seq", type=int, default=0,
+                         help="resume cursor: only ingest jobs submitted "
+                              "after this sequence number (default 0)")
 
     service = sub.add_parser(
         "service",
@@ -704,6 +866,7 @@ _COMMANDS = {
     "ship": cmd_ship,
     "energy": cmd_energy,
     "resilience": cmd_resilience,
+    "bias": cmd_bias,
     "service": cmd_service,
 }
 

@@ -109,6 +109,7 @@ class CableInferencePipeline:
         profile: bool = False,
         trace_seed: int = 0,
         corpus_format: str = "json",
+        route_model=None,
     ) -> None:
         if not vps:
             raise MeasurementError("the pipeline needs at least one vantage point")
@@ -146,6 +147,17 @@ class CableInferencePipeline:
         self.tracer = Tracerouter(network, attempts=self.attempts,
                                   pace_ms=pace_ms)
         self.faults = faults
+        #: Optional policy route model (see :mod:`repro.bias.routemodel`)
+        #: attached to the network for the campaign's duration; None
+        #: keeps the default delay-weighted SPF.  Collection must be
+        #: in-process: supervised workers rebuild the substrate from
+        #: ``worker_spec`` and would silently probe under plain SPF.
+        self.route_model = route_model
+        if route_model is not None and workers > 1:
+            raise MeasurementError(
+                "route_model campaigns cannot use supervised workers: "
+                "worker processes rebuild the substrate without the model"
+            )
         self.checkpoint_path = checkpoint_path
         self.resume = resume
         self.min_vps = min_vps
@@ -236,18 +248,23 @@ class CableInferencePipeline:
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def _fault_context(self):
-        """Attach this pipeline's fault plan for the campaign's duration.
+        """Attach the fault plan and route model for the campaign.
 
-        Restores whatever injector (usually None) was attached before,
-        so a shared Network fixture is never left perturbed.
+        Restores whatever injector (usually None) and route model were
+        attached before, so a shared Network fixture is never left
+        perturbed.
         """
         previous = self.network.faults
+        previous_model = self.network.route_model
         if self.faults is not None and self.faults.active:
             self.network.attach_faults(FaultInjector(self.faults))
+        if self.route_model is not None:
+            self.network.route_model = self.route_model
         try:
             yield
         finally:
             self.network.attach_faults(previous)
+            self.network.route_model = previous_model
 
     def _make_runner(self) -> CampaignRunner:
         """Build (or resume) the campaign runner shared by all sweeps."""

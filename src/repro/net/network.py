@@ -37,6 +37,13 @@ class Network:
         self.mpls = MplsDomain()
         #: Active fault injector (None ⇒ the fault-free substrate).
         self.faults = None
+        #: Pluggable routing policy (None ⇒ delay-weighted SPF).  A
+        #: route model exposes ``forwarding_path(network, src, dst,
+        #: flow_id)`` and may return None for flows it declines to
+        #: route, which fall back to the default SPF.  Models are
+        #: attached *after* the topology is built (they may keep their
+        #: own per-source caches keyed on the link count).
+        self.route_model = None
         self._addr_owner: dict[str, Interface] = {}
         # Longest-prefix "attraction" routes: traffic to any address in
         # the prefix is delivered to the given router even when no
@@ -199,7 +206,17 @@ class Network:
         Equal-cost choices are broken deterministically by a hash of the
         flow id and the node, so a fixed flow (paris-traceroute) always
         sees one stable path while different flows may diverge.
+
+        When a :attr:`route_model` is attached it is consulted first;
+        a model that returns None for this flow falls through to the
+        default delay-weighted SPF below.
         """
+        if self.route_model is not None:
+            modeled = self.route_model.forwarding_path(
+                self, src, dst, flow_id
+            )
+            if modeled is not None:
+                return modeled
         dist, preds = self._sssp(src.uid)
         if dst.uid not in dist:
             raise RoutingError(f"no route from {src.uid} to {dst.uid}")

@@ -69,6 +69,27 @@ def load_job_corpus(job_dir: "str | pathlib.Path", record) -> TraceCorpus:
     )
 
 
+def iter_finished_corpora(store, after_seq: int = 0):
+    """Yield ``(record, corpus)`` for done jobs with a corpus artifact.
+
+    Jobs stream in submission order (``submitted_seq``), skipping those
+    at or below *after_seq* — the cursor contract the bias lab's
+    incremental ingestion uses to resume where it left off.  Jobs
+    without a corpus (e.g. ``map-cable``) are silently skipped; a *done*
+    job whose corpus is corrupt still raises, as in the diff endpoint.
+    """
+    records = sorted(store.jobs.values(), key=lambda r: r.submitted_seq)
+    for record in records:
+        if record.submitted_seq <= after_seq or record.state != "done":
+            continue
+        if (
+            "corpus.npz" not in record.artifacts
+            and "corpus.json" not in record.artifacts
+        ):
+            continue
+        yield record, load_job_corpus(store.job_dir(record.job_id), record)
+
+
 def topology_summary(
     corpus: TraceCorpus,
 ) -> "tuple[list[str], list[tuple[str, str]]]":

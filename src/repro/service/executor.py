@@ -259,6 +259,10 @@ class JobExecutor:
         for name, region in sorted(result.regions.items()):
             self._write(stage_dir, f"{spec.isp}-{name}.json",
                         region_to_json(region), artifacts)
+        # The collected corpus ships alongside the inferred regions so
+        # downstream consumers (diffing, the streaming incremental
+        # engine's ingest_from_store) can replay the raw observations.
+        self._write_corpus(stage_dir, spec, result.traces, artifacts)
         if result.quarantine is not None and result.quarantine:
             self._write(stage_dir, "quarantine.json",
                         quarantine_report_to_json(result.quarantine),

@@ -10,6 +10,11 @@ per provider.
 This module synthesizes an equivalent dataset: a deterministic AS graph
 with provider/peer relationships, per-carrier neighbour sets of the
 paper's sizes, and target addresses derived from each neighbour's ASN.
+
+It also provides :class:`AsGraph`, a generic relationship graph with
+Gao-style valley-free path semantics (uphill ``c2p*``, at most one
+``p2p``, downhill ``p2c*``).  The bias lab's policy route model drives
+its export-policy checks through it.
 """
 
 from __future__ import annotations
@@ -35,6 +40,112 @@ class AsRelationship:
     asn_b: int
     #: "p2c" (a provides transit to b) or "p2p" (settlement-free peers).
     kind: str
+
+
+#: Valley-free walk phases: still climbing providers, crossed the one
+#: allowed peering link, or descending toward customers.
+VALLEY_PHASES = ("up", "peer", "down")
+
+
+def valley_free_next_phase(phase: str, rel: "str | None") -> "str | None":
+    """The phase after crossing a *rel* link, or None when forbidden.
+
+    Gao export policy: a path is ``c2p* (p2p)? p2c*`` — once a path
+    stops climbing (crosses a peering or provider→customer link) it may
+    never climb or peer again.  A missing relationship (``rel`` None)
+    always blocks: without a known relationship no export policy would
+    propagate the route.
+    """
+    if phase not in VALLEY_PHASES:
+        raise TopologyError(f"unknown valley phase {phase!r}")
+    if rel == "c2p":
+        return "up" if phase == "up" else None
+    if rel == "p2p":
+        return "peer" if phase == "up" else None
+    if rel == "p2c":
+        return "down"
+    return None
+
+
+class AsGraph:
+    """A directed AS-relationship store with valley-free bookkeeping.
+
+    Relationships are recorded from the first AS's point of view:
+    ``rel_of(a, b) == "p2c"`` means *a* provides transit to *b* (and so
+    ``rel_of(b, a) == "c2p"``); ``"p2p"`` is symmetric.  Re-declaring an
+    existing edge with a different kind raises — a dataset that
+    disagrees with itself would make policy routing nondeterministic.
+    """
+
+    def __init__(self) -> None:
+        self._rels: "dict[tuple[int, int], str]" = {}
+
+    def add_relationship(self, asn_a: int, asn_b: int, kind: str) -> None:
+        """Record one edge; *kind* is ``"p2c"`` (a transits b) or ``"p2p"``."""
+        if kind not in ("p2c", "p2p"):
+            raise TopologyError(
+                f"unknown relationship kind {kind!r} (expected p2c or p2p)"
+            )
+        if asn_a == asn_b:
+            raise TopologyError(f"AS{asn_a} cannot have a relationship with itself")
+        inverse = {"p2c": "c2p", "c2p": "p2c", "p2p": "p2p"}
+        existing = self._rels.get((asn_a, asn_b))
+        if existing is not None and existing != kind:
+            raise TopologyError(
+                f"conflicting relationship for AS{asn_a}–AS{asn_b}: "
+                f"{existing} vs {kind}"
+            )
+        self._rels[(asn_a, asn_b)] = kind
+        self._rels[(asn_b, asn_a)] = inverse[kind]
+
+    def rel_of(self, asn_a: int, asn_b: int) -> "str | None":
+        """``"p2c"``/``"c2p"``/``"p2p"`` from *asn_a*'s view, else None."""
+        return self._rels.get((asn_a, asn_b))
+
+    def neighbors_of(self, asn: int) -> "list[int]":
+        """ASes with a recorded relationship to *asn*, sorted."""
+        return sorted({b for (a, b) in self._rels if a == asn})
+
+    def providers_of(self, asn: int) -> "list[int]":
+        return sorted(
+            b for (a, b), kind in self._rels.items()
+            if a == asn and kind == "c2p"
+        )
+
+    def customers_of(self, asn: int) -> "list[int]":
+        return sorted(
+            b for (a, b), kind in self._rels.items()
+            if a == asn and kind == "p2c"
+        )
+
+    def peers_of(self, asn: int) -> "list[int]":
+        return sorted(
+            b for (a, b), kind in self._rels.items()
+            if a == asn and kind == "p2p"
+        )
+
+    def is_valley_free(self, as_path: "list[int]") -> bool:
+        """Whether an AS-level path obeys the Gao export policy.
+
+        Consecutive duplicate ASNs (intra-AS hops) are phase-neutral;
+        any unknown relationship on the path makes it non-valley-free.
+        """
+        phase = "up"
+        for asn_a, asn_b in zip(as_path, as_path[1:]):
+            if asn_a == asn_b:
+                continue
+            phase = valley_free_next_phase(phase, self.rel_of(asn_a, asn_b))
+            if phase is None:
+                return False
+        return True
+
+    @classmethod
+    def from_dataset(cls, dataset: "AsRelationshipDataset") -> "AsGraph":
+        """Lift the synthetic carrier dataset into a generic graph."""
+        graph = cls()
+        for rel in dataset.relationships():
+            graph.add_relationship(rel.asn_a, rel.asn_b, rel.kind)
+        return graph
 
 
 class AsRelationshipDataset:

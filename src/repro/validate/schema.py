@@ -37,6 +37,7 @@ ARTIFACT_VERSIONS = {
     "trace-corpus": 1,
     "topology-diff": 1,
     "job-events": 1,
+    "bias-report": 1,
 }
 
 
@@ -434,6 +435,53 @@ _SERVICE_SNAPSHOT = {
     }),
 }
 
+# One bias-lab run: species estimates scored against ground truth,
+# optimized-vs-random VP placement, and streaming/batch digest parity
+# (see :mod:`repro.bias.report`).  CI gates on this artifact.
+_SPECIES_SECTION = {
+    "observed": int,
+    "f1": int,
+    "f2": int,
+    "chao1": float,
+    "unseen": float,
+    "coverage": float,
+    "n": int,
+    "truth": int,
+    "relative_error": float,
+}
+
+_BIAS_REPORT = {
+    "schema": int,
+    "kind": str,
+    "isp": str,
+    "seed": int,
+    "route_model": str,
+    "vp_count": int,
+    "targets": int,
+    "species": {
+        "cos": _SPECIES_SECTION,
+        "links": _SPECIES_SECTION,
+    },
+    "placement": {
+        "k": int,
+        "chosen": ListOf(str),
+        "covered_edges": int,
+        "total_edges": int,
+        "edge_recall": float,
+        "random_recall": float,
+        "random_trials": int,
+        "marginal_gains": ListOf(int),
+    },
+    "streaming": {
+        "traces": int,
+        "digest": str,
+        "parity": bool,
+        "ingest_seconds": float,
+        "batch_seconds": float,
+        "epoch_changes": int,
+    },
+}
+
 ARTIFACT_SCHEMAS = {
     "cable-region": _CABLE_REGION,
     "telco-region": _TELCO_REGION,
@@ -448,6 +496,7 @@ ARTIFACT_SCHEMAS = {
     "trace-corpus": _TRACE_CORPUS,
     "topology-diff": _TOPOLOGY_DIFF,
     "job-events": _JOB_EVENTS,
+    "bias-report": _BIAS_REPORT,
 }
 
 

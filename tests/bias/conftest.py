@@ -1,0 +1,42 @@
+"""Bias-lab fixtures.
+
+The lab's epoch drill mutates the rDNS store, so these tests build
+their own cable-only internet instead of sharing the suite-wide
+``internet`` fixture, and run one small seeded lab per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bias_internet():
+    from repro.topology.internet import SimulatedInternet
+
+    return SimulatedInternet(
+        seed=11, include_telco=False, include_mobile=False
+    )
+
+
+@pytest.fixture(scope="session")
+def bias_lab(bias_internet):
+    from repro.bias import BiasLab
+
+    lab = BiasLab(
+        bias_internet,
+        isp="comcast",
+        vp_count=2,
+        targets_per_region=4,
+        rdns_fraction=0.04,
+        placement_k=2,
+        seed=7,
+        route_model="valley-free",
+    )
+    lab.result = lab.run()
+    return lab
+
+
+@pytest.fixture(scope="session")
+def lab_result(bias_lab):
+    return bias_lab.result

@@ -1,0 +1,75 @@
+"""VP-placement optimization: greedy coverage vs the random baseline."""
+
+import ipaddress
+
+import pytest
+
+from repro.bias.placement import VpPlacementOptimizer
+
+
+@pytest.fixture(scope="module")
+def optimizer(bias_internet):
+    return VpPlacementOptimizer(
+        bias_internet,
+        bias_internet.comcast,
+        list(bias_internet.build_standard_vps()),
+        targets_per_region=4,
+        seed=7,
+    )
+
+
+class TestCandidates:
+    def test_internal_vps_excluded(self, bias_internet, optimizer):
+        """VPs inside the ISP's own pool would trivially win."""
+        pool = ipaddress.ip_network(
+            str(bias_internet.comcast.allocator.pool)
+        )
+        assert optimizer.candidates
+        for vp in optimizer.candidates:
+            assert ipaddress.ip_address(vp.src_address) not in pool
+
+    def test_coverage_is_memoized_truth_edges(self, optimizer):
+        vp = optimizer.candidates[0]
+        first = optimizer.coverage_of(vp)
+        assert optimizer.coverage_of(vp) is first
+        assert first <= optimizer.truth_edges
+
+
+class TestOptimize:
+    def test_result_shape(self, optimizer):
+        result = optimizer.optimize(2, restarts=1)
+        assert result.k == 2
+        assert len(result.chosen) == len(result.marginal_gains) <= 2
+        assert result.covered_edges == sum(result.marginal_gains)
+        assert 0 < result.covered_edges <= result.total_edges
+
+    def test_greedy_gains_non_increasing(self, optimizer):
+        result = optimizer.optimize(3, restarts=0)
+        gains = result.marginal_gains
+        assert gains == sorted(gains, reverse=True)
+
+    def test_beats_or_matches_random_baseline(self, optimizer):
+        result = optimizer.optimize(2, restarts=1)
+        assert result.edge_recall >= result.random_recall
+        assert result.gain_over_random == pytest.approx(
+            result.edge_recall - result.random_recall
+        )
+
+    def test_deterministic(self, optimizer):
+        first = optimizer.optimize(2, restarts=2)
+        second = optimizer.optimize(2, restarts=2)
+        assert first == second
+
+    def test_as_dict(self, optimizer):
+        payload = optimizer.optimize(2, restarts=0).as_dict()
+        assert set(payload) == {
+            "k", "chosen", "covered_edges", "total_edges", "edge_recall",
+            "random_recall", "random_trials", "marginal_gains",
+        }
+
+
+class TestLabPlacement:
+    def test_lab_scenario_beats_random(self, lab_result):
+        placement = lab_result.placement
+        assert placement.edge_recall > placement.random_recall
+        assert len(placement.chosen) == placement.k

@@ -1,0 +1,98 @@
+"""Unit tests for the Chao1 / Good–Turing species machinery."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bias.species import chao1, estimate_from_counts
+from repro.errors import ReproError
+
+
+class TestChao1:
+    def test_doubleton_form(self):
+        assert chao1(10, 4, 2) == 10 + 16 / 4
+
+    def test_bias_corrected_fallback(self):
+        assert chao1(10, 4, 0) == 10 + (4 * 3) / 2
+
+    def test_no_singletons_no_extrapolation(self):
+        assert chao1(10, 0, 5) == 10.0
+        assert chao1(10, 0, 0) == 10.0
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ReproError):
+            chao1(-1, 0, 0)
+        with pytest.raises(ReproError):
+            chao1(5, -2, 0)
+
+    def test_impossible_spectrum_raises(self):
+        with pytest.raises(ReproError):
+            chao1(3, 2, 2)
+
+    def test_is_a_lower_bound_on_nothing_less_than_observed(self):
+        for observed, f1, f2 in [(5, 0, 0), (9, 3, 3), (50, 10, 1)]:
+            assert chao1(observed, f1, f2) >= observed
+
+
+class TestEstimateFromCounts:
+    def test_known_spectrum(self):
+        est = estimate_from_counts([1, 1, 2, 3])
+        assert est.observed == 4
+        assert (est.f1, est.f2) == (2, 1)
+        assert est.n == 7
+        assert est.chao1 == 4 + 4 / 2
+        assert est.coverage == pytest.approx(1 - 2 / 7)
+        assert est.unseen == pytest.approx(2.0)
+
+    def test_zeros_ignored(self):
+        assert estimate_from_counts([0, 0, 1, 1, 2, 3, 0]) == \
+            estimate_from_counts([1, 1, 2, 3])
+
+    def test_empty(self):
+        est = estimate_from_counts([])
+        assert est.observed == 0 and est.n == 0
+        assert est.chao1 == 0.0 and est.coverage == 1.0
+
+    def test_accepts_raw_bincount_output(self):
+        species = np.array([0, 0, 1, 1, 2, 3, 3, 3])
+        est = estimate_from_counts(np.bincount(species))
+        assert est.observed == 4
+        assert est.n == 8
+
+    def test_as_dict(self):
+        payload = estimate_from_counts([1, 2, 2]).as_dict()
+        assert payload["observed"] == 3
+        assert payload["unseen"] == pytest.approx(payload["chao1"] - 3)
+
+    def test_recovers_hidden_richness(self):
+        """Seeded binomial detection (8 occasions, p=0.2) over 600 true
+        species: Chao1's extrapolation beats raw S_obs."""
+        rng = random.Random("species-recovery")
+        true_species = 600
+        counts = [
+            sum(1 for _ in range(8) if rng.random() < 0.2)
+            for _ in range(true_species)
+        ]
+        est = estimate_from_counts(counts)
+        assert est.observed < true_species
+        assert abs(est.chao1 - true_species) < \
+            abs(est.observed - true_species)
+
+
+class TestLabSpecies:
+    def test_truth_scored_reports(self, lab_result):
+        for report in (lab_result.co_species, lab_result.link_species):
+            assert report.truth > 0
+            assert report.estimate.observed <= report.truth * 1.5
+            assert report.relative_error == pytest.approx(
+                abs(report.estimate.chao1 - report.truth) / report.truth
+            )
+            payload = report.as_dict()
+            assert payload["truth"] == report.truth
+            assert "relative_error" in payload
+
+    def test_chao1_extrapolates_beyond_observed(self, lab_result):
+        est = lab_result.co_species.estimate
+        assert est.f1 > 0, "per-VP sampling must leave singletons"
+        assert est.chao1 > est.observed

@@ -6,8 +6,10 @@ from repro.errors import TopologyError
 from repro.topology.asrel import (
     CARRIER_ASNS,
     NEIGHBOR_COUNTS,
+    AsGraph,
     AsRelationshipDataset,
     reduced_target,
+    valley_free_next_phase,
 )
 
 
@@ -54,6 +56,148 @@ class TestTargets:
     def test_unknown_carrier(self, dataset):
         with pytest.raises(TopologyError):
             dataset.targets_for("sprint")
+
+
+class TestAsGraph:
+    def test_inverse_views(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2c")
+        graph.add_relationship(2, 3, "p2p")
+        assert graph.rel_of(1, 2) == "p2c"
+        assert graph.rel_of(2, 1) == "c2p"
+        assert graph.rel_of(2, 3) == "p2p"
+        assert graph.rel_of(3, 2) == "p2p"
+
+    def test_missing_relationship_is_none(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2c")
+        assert graph.rel_of(1, 3) is None
+        assert graph.rel_of(3, 1) is None
+
+    def test_redeclare_same_kind_ok(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2c")
+        graph.add_relationship(1, 2, "p2c")
+        assert graph.rel_of(1, 2) == "p2c"
+
+    def test_conflicting_redeclaration_raises(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2c")
+        with pytest.raises(TopologyError):
+            graph.add_relationship(1, 2, "p2p")
+        # The conflict is also caught from the inverse direction.
+        with pytest.raises(TopologyError):
+            graph.add_relationship(2, 1, "p2c")
+
+    def test_self_loop_raises(self):
+        with pytest.raises(TopologyError):
+            AsGraph().add_relationship(7, 7, "p2p")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TopologyError):
+            AsGraph().add_relationship(1, 2, "sibling")
+
+    def test_accessor_partitions(self):
+        graph = AsGraph()
+        graph.add_relationship(10, 20, "p2c")   # 10 transits 20
+        graph.add_relationship(30, 10, "p2c")   # 30 transits 10
+        graph.add_relationship(10, 40, "p2p")
+        assert graph.customers_of(10) == [20]
+        assert graph.providers_of(10) == [30]
+        assert graph.peers_of(10) == [40]
+        assert graph.neighbors_of(10) == [20, 30, 40]
+
+    def test_insertion_order_does_not_change_views(self):
+        """Tie-breaking determinism: accessors are sorted, so policy
+        routing sees the same neighbour order however the dataset was
+        loaded."""
+        edges = [(1, 5, "p2c"), (1, 3, "p2c"), (1, 9, "p2p"), (4, 1, "p2c")]
+        forward, backward = AsGraph(), AsGraph()
+        for a, b, kind in edges:
+            forward.add_relationship(a, b, kind)
+        for a, b, kind in reversed(edges):
+            backward.add_relationship(a, b, kind)
+        for accessor in ("neighbors_of", "customers_of", "providers_of",
+                         "peers_of"):
+            assert getattr(forward, accessor)(1) == getattr(
+                backward, accessor)(1)
+
+    def test_from_dataset_deterministic(self):
+        asn = CARRIER_ASNS["tmobile"]
+        first = AsGraph.from_dataset(AsRelationshipDataset(seed=3))
+        second = AsGraph.from_dataset(AsRelationshipDataset(seed=3))
+        assert first.neighbors_of(asn) == second.neighbors_of(asn)
+        assert first.customers_of(asn) == second.customers_of(asn)
+
+
+class TestValleyFree:
+    def test_phase_table(self):
+        assert valley_free_next_phase("up", "c2p") == "up"
+        assert valley_free_next_phase("up", "p2p") == "peer"
+        assert valley_free_next_phase("up", "p2c") == "down"
+        assert valley_free_next_phase("peer", "p2c") == "down"
+        assert valley_free_next_phase("down", "p2c") == "down"
+        # Once descending (or past the peer link), never climb again.
+        assert valley_free_next_phase("peer", "c2p") is None
+        assert valley_free_next_phase("peer", "p2p") is None
+        assert valley_free_next_phase("down", "c2p") is None
+        assert valley_free_next_phase("down", "p2p") is None
+
+    def test_missing_relationship_blocks(self):
+        for phase in ("up", "peer", "down"):
+            assert valley_free_next_phase(phase, None) is None
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(TopologyError):
+            valley_free_next_phase("sideways", "p2c")
+
+    @pytest.fixture()
+    def staircase(self):
+        graph = AsGraph()
+        graph.add_relationship(2, 1, "p2c")   # 2 provides 1
+        graph.add_relationship(3, 2, "p2c")   # 3 provides 2
+        graph.add_relationship(3, 4, "p2p")
+        graph.add_relationship(4, 5, "p2c")
+        graph.add_relationship(5, 6, "p2c")
+        return graph
+
+    def test_full_staircase_is_valley_free(self, staircase):
+        assert staircase.is_valley_free([1, 2, 3, 4, 5, 6])
+
+    def test_valley_is_rejected(self, staircase):
+        # Descending 3→2 then climbing 2→3 again is the textbook valley.
+        assert not staircase.is_valley_free([4, 3, 2, 3, 4])
+
+    def test_two_peer_links_rejected(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2p")
+        graph.add_relationship(2, 3, "p2p")
+        assert not graph.is_valley_free([1, 2, 3])
+
+    def test_missing_edge_rejects_path(self, staircase):
+        assert not staircase.is_valley_free([1, 2, 99])
+
+    def test_duplicate_asns_are_phase_neutral(self, staircase):
+        assert staircase.is_valley_free([1, 1, 2, 2, 3, 3])
+
+    def test_provider_cycle_walk_terminates(self):
+        """A p2c cycle is a broken dataset, but a *path list* over it
+        still evaluates edge-by-edge (all downhill → valley-free) and
+        the accessors stay consistent."""
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2c")
+        graph.add_relationship(2, 3, "p2c")
+        graph.add_relationship(3, 1, "p2c")
+        assert graph.is_valley_free([1, 2, 3, 1])
+        assert graph.providers_of(1) == [3]
+        assert graph.customers_of(1) == [2]
+
+    def test_peer_cycle_rejected(self):
+        graph = AsGraph()
+        graph.add_relationship(1, 2, "p2p")
+        graph.add_relationship(2, 3, "p2p")
+        graph.add_relationship(3, 1, "p2p")
+        assert not graph.is_valley_free([1, 2, 3, 1])
 
 
 class TestReduction:
